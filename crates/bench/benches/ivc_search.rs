@@ -1,0 +1,27 @@
+//! Criterion bench: the probability-based MLV search (Table 3's engine).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use relia_flow::{AgingAnalysis, FlowConfig};
+use relia_ivc::{search_mlv_set, MlvSearchConfig};
+use relia_netlist::iscas;
+
+fn bench_mlv(c: &mut Criterion) {
+    let circuit = iscas::circuit("c432").unwrap();
+    let config = FlowConfig::paper_defaults().unwrap();
+    let analysis = AgingAnalysis::new(&config, &circuit).unwrap();
+    let search = MlvSearchConfig {
+        vectors_per_round: 32,
+        max_rounds: 4,
+        restarts: 2,
+        ..MlvSearchConfig::default()
+    };
+    let mut group = c.benchmark_group("ivc");
+    group.sample_size(10);
+    group.bench_function("mlv_search_c432_short", |b| {
+        b.iter(|| search_mlv_set(&analysis, &search).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mlv);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion bench: leakage-table construction (stack-aware network solve
+//! for every cell x vector) and whole-circuit leakage lookups (drives
+//! Table 2/3 and the MLV search).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use relia_cells::Library;
+use relia_core::Kelvin;
+use relia_leakage::{circuit_leakage, DeviceModels, LeakageTable};
+use relia_netlist::iscas;
+
+fn bench_leakage(c: &mut Criterion) {
+    let lib = Library::ptm90();
+    let models = DeviceModels::ptm90();
+    c.bench_function("leakage_table_build", |b| {
+        b.iter(|| LeakageTable::build(&lib, &models, Kelvin(400.0)))
+    });
+
+    let circuit = iscas::circuit("c880").unwrap();
+    let table = LeakageTable::build(circuit.library(), &models, Kelvin(400.0));
+    let stim = vec![false; circuit.primary_inputs().len()];
+    c.bench_function("circuit_leakage_c880", |b| {
+        b.iter(|| circuit_leakage(&circuit, &stim, &table).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_leakage);
+criterion_main!(benches);

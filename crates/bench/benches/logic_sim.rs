@@ -1,0 +1,43 @@
+//! Criterion bench: logic simulation and signal-probability propagation
+//! (the statistical front half of the Fig. 6 flow).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use relia_netlist::iscas;
+use relia_sim::{logic, monte_carlo, prob};
+
+fn bench_sim(c: &mut Criterion) {
+    let circuit = iscas::circuit("c880").unwrap();
+    let stim = vec![true; circuit.primary_inputs().len()];
+    c.bench_function("logic_sim_c880", |b| {
+        b.iter(|| logic::simulate(&circuit, &stim).unwrap())
+    });
+    c.bench_function("sp_propagate_c880", |b| {
+        b.iter(|| prob::propagate_uniform(&circuit).unwrap())
+    });
+    let probs = vec![0.5; circuit.primary_inputs().len()];
+    c.bench_function("monte_carlo_200_vectors_c880", |b| {
+        b.iter(|| monte_carlo::estimate(&circuit, &probs, 200, 7).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_sim, parse_bench::bench_parsers);
+criterion_main!(benches);
+
+// Appended: front-end parsing throughput.
+mod parse_bench {
+    use criterion::Criterion;
+    use relia_cells::Library;
+    use relia_netlist::{bench as bench_fmt, iscas, verilog};
+
+    pub fn bench_parsers(c: &mut Criterion) {
+        let circuit = iscas::circuit("c880").unwrap();
+        let bench_text = bench_fmt::write(&circuit);
+        let verilog_text = verilog::write(&circuit);
+        c.bench_function("parse_bench_c880", |b| {
+            b.iter(|| bench_fmt::parse(&bench_text, Library::ptm90()).unwrap())
+        });
+        c.bench_function("parse_verilog_c880", |b| {
+            b.iter(|| verilog::parse(&verilog_text, Library::ptm90()).unwrap())
+        });
+    }
+}

@@ -1,0 +1,34 @@
+//! Criterion bench: throughput of the temperature-aware NBTI model
+//! (the per-PMOS evaluation at the heart of every table/figure).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use relia_core::{Kelvin, ModeSchedule, NbtiModel, PmosStress, Ras, Seconds};
+
+fn bench_nbti(c: &mut Criterion) {
+    let model = NbtiModel::ptm90().unwrap();
+    let schedule = ModeSchedule::new(
+        Ras::new(1.0, 9.0).unwrap(),
+        Seconds(1000.0),
+        Kelvin(400.0),
+        Kelvin(330.0),
+    )
+    .unwrap();
+    let stress = PmosStress::worst_case();
+
+    c.bench_function("delta_vth_schedule_1e8s", |b| {
+        b.iter(|| {
+            model
+                .delta_vth(black_box(Seconds(1.0e8)), &schedule, &stress)
+                .unwrap()
+        })
+    });
+    c.bench_function("delta_vth_dc", |b| {
+        b.iter(|| model.delta_vth_dc(black_box(Seconds(1.0e8)), Kelvin(400.0)).unwrap())
+    });
+    c.bench_function("s_n_exact_4096", |b| {
+        b.iter(|| relia_core::ac::s_n_exact(black_box(0.5), 4096))
+    });
+}
+
+criterion_group!(benches, bench_nbti);
+criterion_main!(benches);

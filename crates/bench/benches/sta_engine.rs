@@ -1,0 +1,28 @@
+//! Criterion bench: static-timing throughput on the benchmark suite
+//! (nominal and NBTI-degraded analyses; drives Tables 3-4, Figs 5/11/12).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use relia_core::NbtiParams;
+use relia_netlist::iscas;
+use relia_sta::TimingAnalysis;
+
+fn bench_sta(c: &mut Criterion) {
+    let params = NbtiParams::ptm90().unwrap();
+    for name in ["c432", "c880", "c2670"] {
+        let circuit = iscas::circuit(name).unwrap();
+        let shifts = vec![0.02; circuit.gates().len()];
+        c.bench_function(&format!("sta_nominal_{name}"), |b| {
+            b.iter(|| TimingAnalysis::nominal(&circuit).max_delay_ps())
+        });
+        c.bench_function(&format!("sta_degraded_{name}"), |b| {
+            b.iter(|| {
+                TimingAnalysis::degraded(&circuit, &shifts, &params)
+                    .unwrap()
+                    .max_delay_ps()
+            })
+        });
+    }
+}
+
+criterion_group!(benches, bench_sta);
+criterion_main!(benches);

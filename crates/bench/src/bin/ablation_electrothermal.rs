@@ -1,0 +1,95 @@
+//! Ablation — self-consistent standby temperature: IVC's second-order
+//! benefit.
+//!
+//! The paper treats `T_standby` as an input. In reality the standby
+//! temperature is *set by the standby power itself*: a low-leakage vector
+//! cools the die, and a cooler die both leaks less (electrothermal fixed
+//! point) and ages slower (the NBTI temperature dependence). This ties the
+//! three substrates together: leakage → thermal equilibrium → NBTI.
+
+use relia_bench::pct;
+use relia_core::{Kelvin, Ras};
+use relia_flow::{AgingAnalysis, FlowConfig, StandbyPolicy};
+use relia_ivc::{search_mlv_set, MlvSearchConfig};
+use relia_leakage::{circuit_leakage, DeviceModels, LeakageTable};
+use relia_netlist::iscas;
+use relia_thermal::{find_equilibrium, Equilibrium, RcThermalModel};
+
+fn main() {
+    let circuit = iscas::circuit("c880").expect("known benchmark");
+    let thermal = RcThermalModel::air_cooled();
+    let devices = DeviceModels::ptm90();
+    // Rest-of-chip standby power the block shares a die with; tuned so the
+    // die sits in the paper's standby range. One logic block's leakage is
+    // scaled up as a stand-in for the full die's.
+    let baseline_watts = 28.0;
+    let die_scale = 2.0e5; // this block replicated across the die
+    const VDD: f64 = 1.0;
+
+    // Candidate standby vectors: the MLV versus the worst random corner.
+    let config = FlowConfig::paper_defaults().expect("built-in");
+    let analysis = AgingAnalysis::new(&config, &circuit).expect("valid analysis");
+    let set = search_mlv_set(&analysis, &MlvSearchConfig::default()).expect("search");
+    let mlv = set.vectors()[0].0.clone();
+    let worst_vec = vec![false; circuit.primary_inputs().len()];
+
+    // Power gating cuts the gated block's standby leakage by roughly the
+    // sleep transistor's stack suppression.
+    let gating_suppression = 15.0;
+
+    println!("Ablation: self-consistent standby temperature on c880");
+    println!(
+        "{:>16} {:>10} {:>12} {:>8} {:>10}",
+        "standby mode", "T_eq [K]", "P_leak [W]", "iters", "aging"
+    );
+    relia_bench::rule(62);
+    let cases: [(&str, &Vec<bool>, f64, bool); 3] = [
+        ("all-0 (worst)", &worst_vec, 1.0, false),
+        ("MLV (IVC)", &mlv, 1.0, false),
+        ("footer-gated", &mlv, gating_suppression, true),
+    ];
+    for (label, vector, suppression, gated) in cases {
+        // Leakage as a function of die temperature (table rebuilt per T).
+        let leak_w = |t: Kelvin| {
+            let table = LeakageTable::build(circuit.library(), &devices, t);
+            circuit_leakage(&circuit, vector, &table).expect("valid vector") * VDD * die_scale
+                / suppression
+        };
+        match find_equilibrium(&thermal, baseline_watts, leak_w) {
+            Equilibrium::Stable {
+                temp,
+                power,
+                iterations,
+            } => {
+                // Re-run the aging flow at the self-consistent T_standby.
+                let cfg = FlowConfig::with_schedule(
+                    Ras::new(1.0, 9.0).expect("constant"),
+                    temp,
+                )
+                .expect("valid schedule");
+                let a = AgingAnalysis::new(&cfg, &circuit).expect("valid analysis");
+                let policy = if gated {
+                    StandbyPolicy::PowerGatedFooter
+                } else {
+                    StandbyPolicy::InputVector(vector.clone())
+                };
+                let report = a.run(&policy).expect("run");
+                println!(
+                    "{:>16} {:>10.1} {:>12.2} {:>8} {:>10}",
+                    label,
+                    temp.0,
+                    power - baseline_watts,
+                    iterations,
+                    pct(report.degradation_fraction())
+                );
+            }
+            Equilibrium::ThermalRunaway { reached } => {
+                println!("{:>16} runaway past {:.0} K", label, reached.0);
+            }
+        }
+    }
+    println!();
+    println!("(vector choice barely moves the die temperature — the leakage spread is");
+    println!(" ~1% at circuit scale — but power gating cools the standby die by a few");
+    println!(" kelvin on top of removing all PMOS stress: the two ST benefits compound)");
+}

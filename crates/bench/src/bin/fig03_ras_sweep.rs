@@ -1,0 +1,40 @@
+//! Fig. 3 — ΔV_th over time for different active:standby ratios (RAS).
+//!
+//! `T_active = 400 K`; the reference line keeps `T_standby = 400 K`, all
+//! other lines use 330 K. Active-mode signal probability 0.5; the standby
+//! vector holds the PMOS gate low (worst case). The cooler the standby and
+//! the larger its share, the smaller the shift.
+
+use relia_bench::{log_times, schedule};
+use relia_core::{NbtiModel, PmosStress};
+
+fn main() {
+    let model = NbtiModel::ptm90().expect("built-in calibration");
+    let stress = PmosStress::worst_case();
+    let ras_list: [(f64, f64); 5] = [(1.0, 1.0), (1.0, 3.0), (1.0, 5.0), (1.0, 7.0), (1.0, 9.0)];
+
+    println!("Fig. 3: dVth vs time under different RAS (T_a = 400 K, T_s = 330 K)");
+    print!("{:>12} {:>12}", "time [s]", "400K/400K");
+    for (a, s) in ras_list {
+        print!(" {:>9}", format!("{a:.0}:{s:.0}"));
+    }
+    println!();
+    relia_bench::rule(78);
+
+    let reference = schedule(1.0, 1.0, 400.0);
+    for t in log_times(1.0e4, 1.0e8, 9) {
+        let ref_dv = model
+            .delta_vth(t, &reference, &stress)
+            .expect("valid inputs");
+        print!("{:>12.3e} {:>11.2}m", t.0, ref_dv * 1e3);
+        for (a, s) in ras_list {
+            let dv = model
+                .delta_vth(t, &schedule(a, s, 330.0), &stress)
+                .expect("valid inputs");
+            print!(" {:>8.2}m", dv * 1e3);
+        }
+        println!();
+    }
+    println!();
+    println!("(values in mV; larger standby share at 330 K => smaller shift)");
+}

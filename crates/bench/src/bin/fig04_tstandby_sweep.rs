@@ -1,0 +1,35 @@
+//! Fig. 4 — ΔV_th over time for different standby temperatures.
+//!
+//! RAS fixed at 1:5; `T_standby` swept from 330 K to 400 K. Worst-case
+//! standby stress (PMOS gate low). The shift grows monotonically with the
+//! standby temperature, matching the temperature-variation data the paper
+//! cites.
+
+use relia_bench::{log_times, schedule};
+use relia_core::{NbtiModel, PmosStress};
+
+fn main() {
+    let model = NbtiModel::ptm90().expect("built-in calibration");
+    let stress = PmosStress::worst_case();
+    let temps = [330.0, 340.0, 350.0, 360.0, 370.0, 380.0, 390.0, 400.0];
+
+    println!("Fig. 4: dVth vs time under different T_standby (RAS = 1:5)");
+    print!("{:>12}", "time [s]");
+    for temp in temps {
+        print!(" {:>8}", format!("{temp:.0}K"));
+    }
+    println!();
+    relia_bench::rule(86);
+    for t in log_times(1.0e4, 1.0e8, 9) {
+        print!("{:>12.3e}", t.0);
+        for temp in temps {
+            let dv = model
+                .delta_vth(t, &schedule(1.0, 5.0, temp), &stress)
+                .expect("valid inputs");
+            print!(" {:>7.2}m", dv * 1e3);
+        }
+        println!();
+    }
+    println!();
+    println!("(values in mV; monotone in T_standby)");
+}

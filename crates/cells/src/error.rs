@@ -1,0 +1,66 @@
+//! Error type for cell-library operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by cell construction and evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CellError {
+    /// An input slice of the wrong width was supplied.
+    InputWidthMismatch {
+        /// Cell name.
+        cell: String,
+        /// Width the cell expects.
+        expected: usize,
+        /// Width supplied.
+        got: usize,
+    },
+    /// A network references a stage input that does not exist.
+    DanglingInput {
+        /// Cell name.
+        cell: String,
+        /// Offending input index.
+        index: usize,
+    },
+    /// A cell name is not present in the library.
+    UnknownCell {
+        /// The requested name.
+        name: String,
+    },
+}
+
+impl fmt::Display for CellError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CellError::InputWidthMismatch {
+                cell,
+                expected,
+                got,
+            } => write!(
+                f,
+                "cell {cell} expects {expected} inputs but received {got}"
+            ),
+            CellError::DanglingInput { cell, index } => {
+                write!(f, "cell {cell} references undefined stage input {index}")
+            }
+            CellError::UnknownCell { name } => write!(f, "unknown cell {name}"),
+        }
+    }
+}
+
+impl Error for CellError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_cell() {
+        let e = CellError::InputWidthMismatch {
+            cell: "NAND2".into(),
+            expected: 2,
+            got: 3,
+        };
+        assert!(e.to_string().contains("NAND2"));
+    }
+}

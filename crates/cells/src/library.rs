@@ -1,0 +1,125 @@
+//! The cell library: a named, indexed collection of [`Cell`]s.
+
+use std::collections::HashMap;
+
+use crate::catalog::builtin_cells;
+use crate::cell::Cell;
+use crate::error::CellError;
+
+/// Opaque identifier of a cell within a [`Library`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CellId(pub(crate) usize);
+
+impl CellId {
+    /// Raw index into the library's cell list.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// An indexed standard-cell library.
+///
+/// ```
+/// use relia_cells::Library;
+///
+/// let lib = Library::ptm90();
+/// let id = lib.find("INV").expect("INV is built in");
+/// assert_eq!(lib.cell(id).name(), "INV");
+/// assert!(lib.len() >= 16);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Library {
+    cells: Vec<Cell>,
+    by_name: HashMap<String, CellId>,
+}
+
+impl Library {
+    /// Builds the default 90 nm-class library from the built-in catalog.
+    pub fn ptm90() -> Self {
+        Library::from_cells(builtin_cells())
+    }
+
+    /// Builds a library from explicit cells. Later duplicates of a name
+    /// shadow earlier ones in name lookup.
+    pub fn from_cells(cells: Vec<Cell>) -> Self {
+        let by_name = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.name().to_owned(), CellId(i)))
+            .collect();
+        Library { cells, by_name }
+    }
+
+    /// Looks up a cell by name.
+    pub fn find(&self, name: &str) -> Option<CellId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Looks up a cell by name, with a descriptive error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CellError::UnknownCell`] when `name` is not present.
+    pub fn require(&self, name: &str) -> Result<CellId, CellError> {
+        self.find(name).ok_or_else(|| CellError::UnknownCell {
+            name: name.to_owned(),
+        })
+    }
+
+    /// Fetches a cell by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` does not belong to this library.
+    pub fn cell(&self, id: CellId) -> &Cell {
+        &self.cells[id.0]
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the library is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Iterates over `(id, cell)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (CellId, &Cell)> {
+        self.cells.iter().enumerate().map(|(i, c)| (CellId(i), c))
+    }
+}
+
+impl Default for Library {
+    fn default() -> Self {
+        Library::ptm90()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_round_trip() {
+        let lib = Library::ptm90();
+        for (id, cell) in lib.iter() {
+            assert_eq!(lib.find(cell.name()), Some(id));
+        }
+    }
+
+    #[test]
+    fn require_unknown_is_error() {
+        let lib = Library::ptm90();
+        assert!(matches!(
+            lib.require("FLUXCAP"),
+            Err(CellError::UnknownCell { .. })
+        ));
+    }
+
+    #[test]
+    fn default_is_ptm90() {
+        assert_eq!(Library::default().len(), Library::ptm90().len());
+    }
+}

@@ -1,0 +1,327 @@
+//! Series/parallel switch networks — the transistor-level structure of one
+//! CMOS stage.
+//!
+//! A [`Network`] is a tree whose leaves are MOS devices gated by stage
+//! inputs. A PMOS pull-up network conducts between `V_dd` and the stage
+//! output; its dual NMOS pull-down conducts between the output and ground.
+//! The same tree drives three analyses: logic (conduction), NBTI stress
+//! (which PMOS see `V_gs = −V_dd`), and leakage (stack topology).
+
+use crate::error::CellError;
+
+/// MOS polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MosType {
+    /// P-channel device: conducts when its gate input is low.
+    Pmos,
+    /// N-channel device: conducts when its gate input is high.
+    Nmos,
+}
+
+impl MosType {
+    /// Whether a device of this polarity conducts for the given gate level.
+    pub fn conducts(self, gate: bool) -> bool {
+        match self {
+            MosType::Pmos => !gate,
+            MosType::Nmos => gate,
+        }
+    }
+
+    /// Default device width (in multiples of the minimum NMOS width) used by
+    /// the library: PMOS are drawn twice as wide to balance drive strength.
+    pub fn default_width(self) -> f64 {
+        match self {
+            MosType::Pmos => 2.0,
+            MosType::Nmos => 1.0,
+        }
+    }
+}
+
+/// A series/parallel transistor network over stage inputs `0..k`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Network {
+    /// A single device gated by stage input `usize`.
+    Device(usize),
+    /// Sub-networks in series; the first element sits nearest the rail
+    /// (`V_dd` for a pull-up network).
+    Series(Vec<Network>),
+    /// Sub-networks in parallel.
+    Parallel(Vec<Network>),
+}
+
+impl Network {
+    /// Convenience constructor: `n` devices in series gated by inputs
+    /// `0..n` (the canonical NAND pull-down / NOR pull-up shape).
+    pub fn series_chain(n: usize) -> Network {
+        Network::Series((0..n).map(Network::Device).collect())
+    }
+
+    /// Convenience constructor: `n` devices in parallel gated by inputs
+    /// `0..n`.
+    pub fn parallel_bank(n: usize) -> Network {
+        Network::Parallel((0..n).map(Network::Device).collect())
+    }
+
+    /// Whether the network conducts for the given stage-input levels, for
+    /// devices of polarity `mos`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a device references an input index outside `inputs` (cells
+    /// validate this at construction).
+    pub fn conducts(&self, mos: MosType, inputs: &[bool]) -> bool {
+        match self {
+            Network::Device(pin) => mos.conducts(inputs[*pin]),
+            Network::Series(children) => children.iter().all(|c| c.conducts(mos, inputs)),
+            Network::Parallel(children) => children.iter().any(|c| c.conducts(mos, inputs)),
+        }
+    }
+
+    /// The structural dual (series ↔ parallel), which is the complementary
+    /// network of a static CMOS stage.
+    ///
+    /// ```
+    /// use relia_cells::Network;
+    ///
+    /// let pu = Network::series_chain(2); // NOR2 pull-up
+    /// assert_eq!(pu.dual(), Network::parallel_bank(2)); // NOR2 pull-down
+    /// ```
+    pub fn dual(&self) -> Network {
+        match self {
+            Network::Device(pin) => Network::Device(*pin),
+            Network::Series(children) => {
+                Network::Parallel(children.iter().map(Network::dual).collect())
+            }
+            Network::Parallel(children) => {
+                Network::Series(children.iter().map(Network::dual).collect())
+            }
+        }
+    }
+
+    /// Number of devices in the network.
+    pub fn device_count(&self) -> usize {
+        match self {
+            Network::Device(_) => 1,
+            Network::Series(children) | Network::Parallel(children) => {
+                children.iter().map(Network::device_count).sum()
+            }
+        }
+    }
+
+    /// Gate input index of every device in DFS order.
+    pub fn device_pins(&self) -> Vec<usize> {
+        let mut pins = Vec::with_capacity(self.device_count());
+        self.collect_pins(&mut pins);
+        pins
+    }
+
+    fn collect_pins(&self, pins: &mut Vec<usize>) {
+        match self {
+            Network::Device(pin) => pins.push(*pin),
+            Network::Series(children) | Network::Parallel(children) => {
+                for c in children {
+                    c.collect_pins(pins);
+                }
+            }
+        }
+    }
+
+    /// The largest series stack depth of the network (1 for a single
+    /// device). Leakage suppression grows with this depth.
+    pub fn max_stack_depth(&self) -> usize {
+        match self {
+            Network::Device(_) => 1,
+            Network::Series(children) => children.iter().map(Network::max_stack_depth).sum(),
+            Network::Parallel(children) => children
+                .iter()
+                .map(Network::max_stack_depth)
+                .max()
+                .unwrap_or(0),
+        }
+    }
+
+    /// Validates that every device references an input below `width`.
+    pub(crate) fn validate(&self, cell: &str, width: usize) -> Result<(), CellError> {
+        match self {
+            Network::Device(pin) => {
+                if *pin >= width {
+                    Err(CellError::DanglingInput {
+                        cell: cell.to_owned(),
+                        index: *pin,
+                    })
+                } else {
+                    Ok(())
+                }
+            }
+            Network::Series(children) | Network::Parallel(children) => {
+                children.iter().try_for_each(|c| c.validate(cell, width))
+            }
+        }
+    }
+
+    /// Switch-level stress analysis for a **PMOS pull-up** network.
+    ///
+    /// Appends to `out` one flag per device (DFS order): `true` when the
+    /// device's gate is low *and* one of its source/drain terminals is held
+    /// at `V_dd` through conducting devices — the condition for
+    /// `V_gs = −V_dd` NBTI stress. `top_at_vdd` says whether the terminal
+    /// nearer the rail is at `V_dd`; `bottom_at_vdd` whether the terminal
+    /// nearer the output is (i.e. the stage output is logic 1).
+    ///
+    /// Most callers want [`crate::Cell::stressed_pmos`]; this low-level
+    /// form is exposed for custom network analyses and cross-validation.
+    pub fn collect_pmos_stress(
+        &self,
+        inputs: &[bool],
+        top_at_vdd: bool,
+        bottom_at_vdd: bool,
+        out: &mut Vec<bool>,
+    ) {
+        match self {
+            Network::Device(pin) => {
+                let gate_low = !inputs[*pin];
+                out.push(gate_low && (top_at_vdd || bottom_at_vdd));
+            }
+            Network::Parallel(children) => {
+                for c in children {
+                    c.collect_pmos_stress(inputs, top_at_vdd, bottom_at_vdd, out);
+                }
+            }
+            Network::Series(children) => {
+                let n = children.len();
+                // Forward pass: is the node above child i pulled to Vdd?
+                let mut from_top = vec![false; n];
+                let mut driven = top_at_vdd;
+                for (i, c) in children.iter().enumerate() {
+                    from_top[i] = driven;
+                    driven = driven && c.conducts(MosType::Pmos, inputs);
+                }
+                // Backward pass: is the node below child i pulled to Vdd?
+                let mut from_bottom = vec![false; n];
+                let mut driven = bottom_at_vdd;
+                for (i, c) in children.iter().enumerate().rev() {
+                    from_bottom[i] = driven;
+                    driven = driven && c.conducts(MosType::Pmos, inputs);
+                }
+                for (i, c) in children.iter().enumerate() {
+                    c.collect_pmos_stress(inputs, from_top[i], from_bottom[i], out);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn polarity_conduction() {
+        assert!(MosType::Pmos.conducts(false));
+        assert!(!MosType::Pmos.conducts(true));
+        assert!(MosType::Nmos.conducts(true));
+        assert!(!MosType::Nmos.conducts(false));
+    }
+
+    #[test]
+    fn series_chain_is_and_of_conduction() {
+        let net = Network::series_chain(3);
+        // PMOS series conducts only when all inputs are low.
+        assert!(net.conducts(MosType::Pmos, &[false, false, false]));
+        assert!(!net.conducts(MosType::Pmos, &[false, true, false]));
+    }
+
+    #[test]
+    fn parallel_bank_is_or_of_conduction() {
+        let net = Network::parallel_bank(3);
+        assert!(net.conducts(MosType::Pmos, &[true, false, true]));
+        assert!(!net.conducts(MosType::Pmos, &[true, true, true]));
+    }
+
+    #[test]
+    fn dual_is_involutive() {
+        let aoi21_pu = Network::Series(vec![
+            Network::Parallel(vec![Network::Device(0), Network::Device(1)]),
+            Network::Device(2),
+        ]);
+        assert_eq!(aoi21_pu.dual().dual(), aoi21_pu);
+    }
+
+    #[test]
+    fn complementarity_of_duals() {
+        // For any input vector, exactly one of (PU on PMOS, dual on NMOS)
+        // conducts.
+        let pu = Network::Series(vec![
+            Network::Parallel(vec![Network::Device(0), Network::Device(1)]),
+            Network::Device(2),
+        ]);
+        let pd = pu.dual();
+        for v in 0..8u32 {
+            let inputs: Vec<bool> = (0..3).map(|i| v >> i & 1 == 1).collect();
+            let up = pu.conducts(MosType::Pmos, &inputs);
+            let down = pd.conducts(MosType::Nmos, &inputs);
+            assert_ne!(up, down, "inputs {inputs:?}");
+        }
+    }
+
+    #[test]
+    fn device_counts_and_pins() {
+        let net = Network::Series(vec![
+            Network::Parallel(vec![Network::Device(0), Network::Device(1)]),
+            Network::Device(2),
+        ]);
+        assert_eq!(net.device_count(), 3);
+        assert_eq!(net.device_pins(), vec![0, 1, 2]);
+        assert_eq!(net.max_stack_depth(), 2);
+        assert_eq!(Network::series_chain(4).max_stack_depth(), 4);
+        assert_eq!(Network::parallel_bank(4).max_stack_depth(), 1);
+    }
+
+    #[test]
+    fn validation_catches_dangling_pin() {
+        let net = Network::Device(5);
+        assert!(net.validate("X", 2).is_err());
+        assert!(net.validate("X", 6).is_ok());
+    }
+
+    #[test]
+    fn nor2_stress_asymmetry() {
+        // NOR2 pull-up: series [A (top, at Vdd), B (bottom, at out)].
+        let pu = Network::series_chain(2);
+        let stress = |a: bool, b: bool| {
+            let inputs = [a, b];
+            let out_high = pu.conducts(MosType::Pmos, &inputs);
+            let mut s = Vec::new();
+            pu.collect_pmos_stress(&inputs, true, out_high, &mut s);
+            s
+        };
+        // (0,0): both conduct; both stressed.
+        assert_eq!(stress(false, false), vec![true, true]);
+        // (0,1): A on and stressed; B gate high, unstressed.
+        assert_eq!(stress(false, true), vec![true, false]);
+        // (1,0): A off blocks Vdd; out is 0; B gate low but floats — no
+        // stress. The internal-node dependence the paper highlights.
+        assert_eq!(stress(true, false), vec![false, false]);
+        // (1,1): nothing stressed.
+        assert_eq!(stress(true, true), vec![false, false]);
+    }
+
+    #[test]
+    fn parallel_devices_all_see_vdd() {
+        // NAND2 pull-up: parallel PMOS, each tied to Vdd directly.
+        let pu = Network::parallel_bank(2);
+        let mut s = Vec::new();
+        pu.collect_pmos_stress(&[false, true], true, false, &mut s);
+        assert_eq!(s, vec![true, false]);
+    }
+
+    #[test]
+    fn stress_through_output_side() {
+        // Series [A, B] with the output high through another path: B sees
+        // Vdd from below even when A is off.
+        let pu = Network::series_chain(2);
+        let mut s = Vec::new();
+        pu.collect_pmos_stress(&[true, false], true, true, &mut s);
+        assert_eq!(s, vec![false, true]);
+    }
+}

@@ -1,0 +1,123 @@
+//! One complementary CMOS stage of a (possibly multi-stage) cell.
+
+use crate::network::{MosType, Network};
+
+/// Where a stage input comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Source {
+    /// An external cell pin.
+    Pin(usize),
+    /// The output of an earlier stage of the same cell.
+    Stage(usize),
+}
+
+/// A complementary static-CMOS stage: a PMOS pull-up network and its dual
+/// NMOS pull-down, fed by a list of [`Source`]s.
+///
+/// The pull-down is always the structural dual of the pull-up, so the stage
+/// is complementary by construction and its output is simply "does the
+/// pull-up conduct".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stage {
+    pull_up: Network,
+    sources: Vec<Source>,
+}
+
+impl Stage {
+    /// Creates a stage from its PMOS pull-up network and input sources.
+    /// Device pin indices in `pull_up` index into `sources`.
+    pub fn new(pull_up: Network, sources: Vec<Source>) -> Self {
+        Stage { pull_up, sources }
+    }
+
+    /// The PMOS pull-up network.
+    pub fn pull_up(&self) -> &Network {
+        &self.pull_up
+    }
+
+    /// The NMOS pull-down network (the structural dual of the pull-up).
+    pub fn pull_down(&self) -> Network {
+        self.pull_up.dual()
+    }
+
+    /// The stage's input sources.
+    pub fn sources(&self) -> &[Source] {
+        &self.sources
+    }
+
+    /// Resolves this stage's input levels from the cell pins and the outputs
+    /// of earlier stages.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a source references a pin or stage out of range (cells
+    /// validate sources at construction).
+    pub fn resolve_inputs(&self, pins: &[bool], stage_outputs: &[bool]) -> Vec<bool> {
+        self.sources
+            .iter()
+            .map(|s| match s {
+                Source::Pin(i) => pins[*i],
+                Source::Stage(i) => stage_outputs[*i],
+            })
+            .collect()
+    }
+
+    /// Evaluates the stage output for resolved input levels.
+    pub fn eval(&self, stage_inputs: &[bool]) -> bool {
+        self.pull_up.conducts(MosType::Pmos, stage_inputs)
+    }
+
+    /// Number of PMOS devices in the stage.
+    pub fn pmos_count(&self) -> usize {
+        self.pull_up.device_count()
+    }
+
+    /// Stress flags for each PMOS in the stage (DFS order over the pull-up
+    /// network) given resolved stage-input levels.
+    pub fn stressed_pmos(&self, stage_inputs: &[bool]) -> Vec<bool> {
+        let out_high = self.eval(stage_inputs);
+        let mut flags = Vec::with_capacity(self.pmos_count());
+        self.pull_up
+            .collect_pmos_stress(stage_inputs, true, out_high, &mut flags);
+        flags
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inv_stage() -> Stage {
+        Stage::new(Network::Device(0), vec![Source::Pin(0)])
+    }
+
+    #[test]
+    fn inverter_truth_table() {
+        let s = inv_stage();
+        assert!(s.eval(&[false]));
+        assert!(!s.eval(&[true]));
+    }
+
+    #[test]
+    fn inverter_stress() {
+        let s = inv_stage();
+        assert_eq!(s.stressed_pmos(&[false]), vec![true]);
+        assert_eq!(s.stressed_pmos(&[true]), vec![false]);
+    }
+
+    #[test]
+    fn resolve_mixes_pins_and_stages() {
+        let s = Stage::new(
+            Network::parallel_bank(2),
+            vec![Source::Pin(1), Source::Stage(0)],
+        );
+        let inputs = s.resolve_inputs(&[true, false], &[true]);
+        assert_eq!(inputs, vec![false, true]);
+    }
+
+    #[test]
+    fn pull_down_is_dual() {
+        let s = Stage::new(Network::series_chain(2), vec![Source::Pin(0), Source::Pin(1)]);
+        assert_eq!(s.pull_down(), Network::parallel_bank(2));
+    }
+}

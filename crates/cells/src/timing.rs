@@ -1,0 +1,63 @@
+//! Per-cell timing parameters for the alpha-power-law delay model.
+//!
+//! The paper's STA needs only a load-dependent nominal delay per gate
+//! (eq. 20) that NBTI then degrades multiplicatively (eq. 22). We use a
+//! logical-effort-style linear model:
+//!
+//! ```text
+//! d = intrinsic + per_load · C_load
+//! ```
+//!
+//! with `C_load` expressed in unit input capacitances. Absolute picosecond
+//! values are representative of a 90 nm library; only relative magnitudes
+//! matter to the reproduced experiments.
+
+/// Timing parameters of one cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellTiming {
+    /// Parasitic (unloaded) delay in picoseconds.
+    pub intrinsic_ps: f64,
+    /// Additional delay per unit of load capacitance, in picoseconds.
+    pub per_load_ps: f64,
+    /// Input capacitance presented on each pin, in unit capacitances.
+    pub input_cap: f64,
+}
+
+impl CellTiming {
+    /// Nominal (time-zero) delay driving `load` unit capacitances.
+    ///
+    /// ```
+    /// use relia_cells::CellTiming;
+    ///
+    /// let t = CellTiming { intrinsic_ps: 8.0, per_load_ps: 4.0, input_cap: 1.0 };
+    /// assert_eq!(t.delay_ps(2.0), 16.0);
+    /// ```
+    pub fn delay_ps(&self, load: f64) -> f64 {
+        self.intrinsic_ps + self.per_load_ps * load.max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delay_grows_with_load() {
+        let t = CellTiming {
+            intrinsic_ps: 10.0,
+            per_load_ps: 5.0,
+            input_cap: 1.0,
+        };
+        assert!(t.delay_ps(3.0) > t.delay_ps(1.0));
+    }
+
+    #[test]
+    fn negative_load_is_clamped() {
+        let t = CellTiming {
+            intrinsic_ps: 10.0,
+            per_load_ps: 5.0,
+            input_cap: 1.0,
+        };
+        assert_eq!(t.delay_ps(-2.0), 10.0);
+    }
+}

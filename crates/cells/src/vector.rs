@@ -1,0 +1,186 @@
+//! Input vectors over a fixed pin width.
+
+use std::fmt;
+
+/// An input vector for up to 32 pins, stored as a bitmask with
+/// least-significant bit = pin 0.
+///
+/// ```
+/// use relia_cells::Vector;
+///
+/// let v = Vector::from_bits(&[true, false, true]);
+/// assert_eq!(v.bit(0), true);
+/// assert_eq!(v.bit(1), false);
+/// assert_eq!(format!("{v}"), "101");
+/// assert_eq!(Vector::all(3).count(), 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Vector {
+    bits: u32,
+    width: usize,
+}
+
+impl Vector {
+    /// Maximum supported width.
+    pub const MAX_WIDTH: usize = 32;
+
+    /// Creates a vector from a raw bitmask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` exceeds [`Vector::MAX_WIDTH`].
+    pub fn new(bits: u32, width: usize) -> Self {
+        assert!(width <= Self::MAX_WIDTH, "vector width {width} > 32");
+        let mask = if width == 32 {
+            u32::MAX
+        } else {
+            (1u32 << width) - 1
+        };
+        Vector {
+            bits: bits & mask,
+            width,
+        }
+    }
+
+    /// Creates a vector from explicit levels (index 0 = pin 0).
+    pub fn from_bits(levels: &[bool]) -> Self {
+        let mut bits = 0u32;
+        for (i, &b) in levels.iter().enumerate() {
+            if b {
+                bits |= 1 << i;
+            }
+        }
+        Vector::new(bits, levels.len())
+    }
+
+    /// The all-zero vector of the given width.
+    pub fn zeros(width: usize) -> Self {
+        Vector::new(0, width)
+    }
+
+    /// The all-one vector of the given width.
+    pub fn ones(width: usize) -> Self {
+        Vector::new(u32::MAX, width)
+    }
+
+    /// Level of pin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= width`.
+    pub fn bit(&self, i: usize) -> bool {
+        assert!(i < self.width, "pin {i} out of range for width {}", self.width);
+        self.bits >> i & 1 == 1
+    }
+
+    /// Returns a copy with pin `i` set to `level`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= width`.
+    pub fn with_bit(&self, i: usize, level: bool) -> Self {
+        assert!(i < self.width, "pin {i} out of range for width {}", self.width);
+        let bits = if level {
+            self.bits | (1 << i)
+        } else {
+            self.bits & !(1 << i)
+        };
+        Vector::new(bits, self.width)
+    }
+
+    /// Number of pins.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Raw bitmask.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Expands to a `Vec<bool>` (index 0 = pin 0).
+    pub fn to_bools(&self) -> Vec<bool> {
+        (0..self.width).map(|i| self.bit(i)).collect()
+    }
+
+    /// Iterates over all `2^width` vectors in ascending bitmask order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 24` (the full enumeration would be excessive).
+    pub fn all(width: usize) -> impl Iterator<Item = Vector> {
+        assert!(width <= 24, "exhaustive enumeration capped at 24 pins");
+        (0..(1u32 << width)).map(move |bits| Vector::new(bits, width))
+    }
+
+    /// Joint probability of this vector under independent per-pin
+    /// probabilities of being high.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probs.len() != width`.
+    pub fn probability(&self, probs: &[f64]) -> f64 {
+        assert_eq!(probs.len(), self.width, "probability width mismatch");
+        (0..self.width)
+            .map(|i| if self.bit(i) { probs[i] } else { 1.0 - probs[i] })
+            .product()
+    }
+}
+
+impl fmt::Display for Vector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Pin 0 first, reading left to right.
+        for i in 0..self.width {
+            write!(f, "{}", if self.bit(i) { '1' } else { '0' })?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let v = Vector::from_bits(&[true, true, false, true]);
+        assert_eq!(v.to_bools(), vec![true, true, false, true]);
+        assert_eq!(v.width(), 4);
+    }
+
+    #[test]
+    fn zeros_and_ones() {
+        assert_eq!(Vector::zeros(3).bits(), 0);
+        assert_eq!(Vector::ones(3).bits(), 0b111);
+    }
+
+    #[test]
+    fn with_bit_is_pure() {
+        let v = Vector::zeros(2);
+        let w = v.with_bit(1, true);
+        assert!(!v.bit(1));
+        assert!(w.bit(1));
+    }
+
+    #[test]
+    fn enumeration_is_complete_and_distinct() {
+        let all: Vec<Vector> = Vector::all(4).collect();
+        assert_eq!(all.len(), 16);
+        let mut sorted = all.clone();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 16);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let probs = [0.3, 0.9, 0.5];
+        let total: f64 = Vector::all(3).map(|v| v.probability(&probs)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bit_out_of_range_panics() {
+        Vector::zeros(2).bit(2);
+    }
+}

@@ -1,0 +1,113 @@
+//! Arrhenius temperature dependence of the NBTI rate constants (eqs. 13–16).
+//!
+//! The interface-trap generation rate depends on the dissociation rate `k_f`,
+//! the self-annealing rate `k_r`, and the hydrogen diffusion coefficient
+//! `D_H`, each thermally activated. Because `E_f ≈ E_r`, the overall
+//! activation energy collapses to `E_A ≈ E_D/4` and the temperature
+//! dependence can be captured entirely through `D_H`.
+
+use crate::consts::BOLTZMANN_EV;
+use crate::units::{ElectronVolts, Kelvin};
+
+/// Ratio of diffusion coefficients `D_H(temp) / D_H(temp_ref)` for an
+/// activation energy `e_d`.
+///
+/// This is the factor by which stress time at `temp` is *rescaled into
+/// equivalent stress time at `temp_ref`* (eq. 17): a second of stress at a
+/// cooler standby temperature generates as many traps as
+/// `diffusion_ratio(e_d, temp, temp_ref)` seconds at the reference
+/// temperature.
+///
+/// ```
+/// use relia_core::arrhenius::diffusion_ratio;
+/// use relia_core::units::{ElectronVolts, Kelvin};
+///
+/// let r = diffusion_ratio(ElectronVolts(0.295), Kelvin(330.0), Kelvin(400.0));
+/// assert!(r > 0.0 && r < 1.0); // cooler => slower diffusion
+/// ```
+pub fn diffusion_ratio(e_d: ElectronVolts, temp: Kelvin, temp_ref: Kelvin) -> f64 {
+    // D(T) = D0 exp(-E_D / kT)  =>  D(T)/D(Tref) = exp(E_D/k (1/Tref - 1/T)).
+    (e_d.0 / BOLTZMANN_EV * (1.0 / temp_ref.0 - 1.0 / temp.0)).exp()
+}
+
+/// Overall activation energy of the trap-generation power law,
+/// `E_A = E_D/4 + (E_f − E_r)/2` (eq. 16).
+///
+/// With the paper's assumption `E_f ≈ E_r` this reduces to `E_D/4`.
+pub fn overall_activation_energy(
+    e_d: ElectronVolts,
+    e_f: ElectronVolts,
+    e_r: ElectronVolts,
+) -> ElectronVolts {
+    ElectronVolts(0.25 * e_d.0 + 0.5 * (e_f.0 - e_r.0))
+}
+
+/// Temperature scaling of the `K_v` pre-factor: because
+/// `N_it ∝ (D_H t)^(1/4)`, the pre-factor scales with `D_H^(1/4)`,
+/// i.e. with activation energy `E_D/4`.
+///
+/// ```
+/// use relia_core::arrhenius::kv_temperature_factor;
+/// use relia_core::units::{ElectronVolts, Kelvin};
+///
+/// let f = kv_temperature_factor(ElectronVolts(0.295), Kelvin(400.0), Kelvin(400.0));
+/// assert!((f - 1.0).abs() < 1e-12);
+/// ```
+pub fn kv_temperature_factor(e_d: ElectronVolts, temp: Kelvin, temp_ref: Kelvin) -> f64 {
+    diffusion_ratio(e_d, temp, temp_ref).powf(0.25)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const E_D: ElectronVolts = ElectronVolts(0.295);
+
+    #[test]
+    fn ratio_is_one_at_reference() {
+        let r = diffusion_ratio(E_D, Kelvin(400.0), Kelvin(400.0));
+        assert!((r - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_monotonic_in_temperature() {
+        let r330 = diffusion_ratio(E_D, Kelvin(330.0), Kelvin(400.0));
+        let r370 = diffusion_ratio(E_D, Kelvin(370.0), Kelvin(400.0));
+        let r400 = diffusion_ratio(E_D, Kelvin(400.0), Kelvin(400.0));
+        assert!(r330 < r370 && r370 < r400);
+    }
+
+    #[test]
+    fn calibration_places_ras_neutral_point_near_370k() {
+        // The paper's Table 1 shows ΔV_th insensitive to RAS at T_s = 370 K
+        // with a 0.5 active duty cycle: D(370)/D(400) ≈ 0.5.
+        let r = diffusion_ratio(E_D, Kelvin(370.0), Kelvin(400.0));
+        assert!((r - 0.5).abs() < 0.01, "D ratio at 370K was {r}");
+    }
+
+    #[test]
+    fn ratio_330k_is_strongly_suppressed() {
+        let r = diffusion_ratio(E_D, Kelvin(330.0), Kelvin(400.0));
+        assert!(r > 0.1 && r < 0.25, "D ratio at 330K was {r}");
+    }
+
+    #[test]
+    fn overall_activation_energy_reduces_to_quarter() {
+        let ea = overall_activation_energy(E_D, ElectronVolts(0.2), ElectronVolts(0.2));
+        assert!((ea.0 - E_D.0 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kv_factor_is_quarter_power() {
+        let r = diffusion_ratio(E_D, Kelvin(330.0), Kelvin(400.0));
+        let f = kv_temperature_factor(E_D, Kelvin(330.0), Kelvin(400.0));
+        assert!((f - r.powf(0.25)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_ratios_multiply_to_one() {
+        let up = diffusion_ratio(E_D, Kelvin(330.0), Kelvin(400.0));
+        let down = diffusion_ratio(E_D, Kelvin(400.0), Kelvin(330.0));
+        assert!((up * down - 1.0).abs() < 1e-12);
+    }
+}

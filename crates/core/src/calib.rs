@@ -1,0 +1,234 @@
+//! Calibration fitting: recover model parameters from measured DC-stress
+//! data.
+//!
+//! Given threshold-shift measurements `(t, T, ΔV_th)` under DC stress, the
+//! power law `ΔV_th = K_v(T)·t^(1/4)` with the Arrhenius pre-factor
+//! `K_v(T) = K_ref·exp(−(E_D/4k)(1/T − 1/T_ref))` is linear in
+//! `(ln K_ref, E_D)` after taking logs:
+//!
+//! ```text
+//! ln ΔV = ln K_ref + (1/4) ln t − (E_D/4k)(1/T − 1/T_ref)
+//! ```
+//!
+//! so a plain least-squares solve recovers the calibration — the same knob
+//! a user would turn to match their own silicon instead of the paper's
+//! PTM-90nm anchor.
+
+use crate::consts::BOLTZMANN_EV;
+use crate::error::ModelError;
+use crate::params::NbtiParams;
+use crate::units::{ElectronVolts, Kelvin};
+
+/// One DC-stress measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measurement {
+    /// Stress time in seconds.
+    pub time: f64,
+    /// Stress temperature.
+    pub temp: Kelvin,
+    /// Measured threshold shift in volts.
+    pub delta_vth: f64,
+}
+
+/// Result of a calibration fit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrationFit {
+    /// The fitted parameter set (other fields taken from the base).
+    pub params: NbtiParams,
+    /// Root-mean-square relative residual of the fit.
+    pub rms_residual: f64,
+}
+
+/// Fits `kv_ref` and `e_d` to DC-stress measurements, keeping every other
+/// field of `base` (including `temp_ref`, which anchors the fit).
+///
+/// # Errors
+///
+/// Returns [`ModelError::InvalidParameter`] when fewer than two
+/// measurements are supplied, a measurement is non-physical, or the
+/// temperatures are all identical (the activation energy is then
+/// unidentifiable).
+///
+/// ```
+/// use relia_core::calib::{fit_dc_measurements, Measurement};
+/// use relia_core::{Kelvin, NbtiModel, NbtiParams, Seconds};
+///
+/// # fn main() -> Result<(), relia_core::ModelError> {
+/// // Synthesize "measurements" from the built-in model, then re-fit.
+/// let truth = NbtiModel::ptm90()?;
+/// let mut meas = Vec::new();
+/// for &t in &[1.0e4, 1.0e6, 1.0e8] {
+///     for &temp in &[330.0, 370.0, 400.0] {
+///         meas.push(Measurement {
+///             time: t,
+///             temp: Kelvin(temp),
+///             delta_vth: truth.delta_vth_dc(Seconds(t), Kelvin(temp))?,
+///         });
+///     }
+/// }
+/// let fit = fit_dc_measurements(&NbtiParams::ptm90()?, &meas)?;
+/// assert!((fit.params.kv_ref - truth.params().kv_ref).abs() / truth.params().kv_ref < 1e-6);
+/// assert!((fit.params.e_d.0 - 0.295).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+pub fn fit_dc_measurements(
+    base: &NbtiParams,
+    measurements: &[Measurement],
+) -> Result<CalibrationFit, ModelError> {
+    if measurements.len() < 2 {
+        return Err(ModelError::InvalidParameter {
+            name: "measurements",
+            value: measurements.len() as f64,
+            expected: "at least 2 points",
+        });
+    }
+    for m in measurements {
+        if m.time <= 0.0 || !m.time.is_finite() || !m.temp.is_physical() || m.delta_vth <= 0.0 || !m.delta_vth.is_finite() {
+            return Err(ModelError::InvalidParameter {
+                name: "measurement",
+                value: m.delta_vth,
+                expected: "positive time/temperature/shift",
+            });
+        }
+    }
+
+    // Design matrix columns: [1, x] with x = −(1/4k)(1/T − 1/T_ref);
+    // response y = ln ΔV − (1/4) ln t. Solve the 2x2 normal equations.
+    let t_ref = base.temp_ref.0;
+    let mut s11 = 0.0;
+    let mut s1x = 0.0;
+    let mut sxx = 0.0;
+    let mut s1y = 0.0;
+    let mut sxy = 0.0;
+    for m in measurements {
+        let x = -(1.0 / (4.0 * BOLTZMANN_EV)) * (1.0 / m.temp.0 - 1.0 / t_ref);
+        let y = m.delta_vth.ln() - 0.25 * m.time.ln();
+        s11 += 1.0;
+        s1x += x;
+        sxx += x * x;
+        s1y += y;
+        sxy += x * y;
+    }
+    let det = s11 * sxx - s1x * s1x;
+    if det.abs() < 1e-18 {
+        return Err(ModelError::InvalidParameter {
+            name: "measurements",
+            value: det,
+            expected: "at least two distinct temperatures",
+        });
+    }
+    let ln_kref = (s1y * sxx - s1x * sxy) / det;
+    let e_d = (s11 * sxy - s1x * s1y) / det;
+
+    let params = NbtiParams {
+        kv_ref: ln_kref.exp(),
+        e_d: ElectronVolts(e_d),
+        ..base.clone()
+    }
+    .validated()?;
+
+    // Relative residuals against the fitted model.
+    let mut ss = 0.0;
+    for m in measurements {
+        let factor =
+            (-(e_d / (4.0 * BOLTZMANN_EV)) * (1.0 / m.temp.0 - 1.0 / t_ref)).exp();
+        let predicted = params.kv_ref * factor * m.time.powf(0.25);
+        let rel = (predicted - m.delta_vth) / m.delta_vth;
+        ss += rel * rel;
+    }
+    Ok(CalibrationFit {
+        params,
+        rms_residual: (ss / measurements.len() as f64).sqrt(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::NbtiModel;
+    use crate::units::Seconds;
+
+    fn synthetic(noise: f64) -> Vec<Measurement> {
+        let truth = NbtiModel::ptm90().unwrap();
+        let mut out = Vec::new();
+        let mut k = 0u32;
+        for &t in &[1.0e3, 1.0e5, 1.0e7, 1.0e8] {
+            for &temp in &[320.0, 350.0, 380.0, 400.0] {
+                let dv = truth.delta_vth_dc(Seconds(t), Kelvin(temp)).unwrap();
+                // Deterministic pseudo-noise, alternating sign.
+                k += 1;
+                let wiggle = 1.0 + noise * if k.is_multiple_of(2) { 1.0 } else { -1.0 };
+                out.push(Measurement {
+                    time: t,
+                    temp: Kelvin(temp),
+                    delta_vth: dv * wiggle,
+                });
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn exact_data_recovers_truth() {
+        let fit = fit_dc_measurements(&NbtiParams::ptm90().unwrap(), &synthetic(0.0)).unwrap();
+        assert!((fit.params.kv_ref - 3.5e-4).abs() / 3.5e-4 < 1e-9);
+        assert!((fit.params.e_d.0 - 0.295).abs() < 1e-9);
+        assert!(fit.rms_residual < 1e-12);
+    }
+
+    #[test]
+    fn noisy_data_recovers_truth_approximately() {
+        let fit = fit_dc_measurements(&NbtiParams::ptm90().unwrap(), &synthetic(0.05)).unwrap();
+        assert!(
+            (fit.params.kv_ref - 3.5e-4).abs() / 3.5e-4 < 0.1,
+            "kv {}",
+            fit.params.kv_ref
+        );
+        assert!((fit.params.e_d.0 - 0.295).abs() < 0.08, "e_d {}", fit.params.e_d.0);
+        assert!(fit.rms_residual > 0.0 && fit.rms_residual < 0.1);
+    }
+
+    #[test]
+    fn single_temperature_is_rejected() {
+        let truth = NbtiModel::ptm90().unwrap();
+        let meas: Vec<Measurement> = [1.0e4, 1.0e6]
+            .iter()
+            .map(|&t| Measurement {
+                time: t,
+                temp: Kelvin(400.0),
+                delta_vth: truth.delta_vth_dc(Seconds(t), Kelvin(400.0)).unwrap(),
+            })
+            .collect();
+        // Same temperature everywhere: E_D unidentifiable... but the design
+        // matrix is singular only when x is constant, which it is here.
+        assert!(fit_dc_measurements(&NbtiParams::ptm90().unwrap(), &meas).is_err());
+    }
+
+    #[test]
+    fn too_few_points_rejected() {
+        let meas = [Measurement {
+            time: 1.0e4,
+            temp: Kelvin(400.0),
+            delta_vth: 0.01,
+        }];
+        assert!(fit_dc_measurements(&NbtiParams::ptm90().unwrap(), &meas).is_err());
+    }
+
+    #[test]
+    fn bad_measurement_rejected() {
+        let meas = [
+            Measurement {
+                time: -1.0,
+                temp: Kelvin(400.0),
+                delta_vth: 0.01,
+            },
+            Measurement {
+                time: 1.0e4,
+                temp: Kelvin(350.0),
+                delta_vth: 0.01,
+            },
+        ];
+        assert!(fit_dc_measurements(&NbtiParams::ptm90().unwrap(), &meas).is_err());
+    }
+}

@@ -1,0 +1,126 @@
+//! Error type for the NBTI model crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when model parameters or stress descriptions are invalid.
+///
+/// ```
+/// use relia_core::{ModelError, Ras};
+///
+/// let err = Ras::new(-1.0, 9.0).unwrap_err();
+/// assert!(matches!(err, ModelError::InvalidParameter { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A scalar parameter is outside its physically meaningful range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Human-readable description of the accepted range.
+        expected: &'static str,
+    },
+    /// A temperature is non-positive or non-finite.
+    InvalidTemperature {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value in kelvin.
+        kelvin: f64,
+    },
+    /// The numerical reaction–diffusion solver failed to converge.
+    SolverDiverged {
+        /// Description of the failing stage.
+        stage: &'static str,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidParameter {
+                name,
+                value,
+                expected,
+            } => write!(f, "invalid parameter {name} = {value}; expected {expected}"),
+            ModelError::InvalidTemperature { name, kelvin } => {
+                write!(f, "invalid temperature {name} = {kelvin} K; expected > 0 K")
+            }
+            ModelError::SolverDiverged { stage } => {
+                write!(f, "reaction-diffusion solver diverged during {stage}")
+            }
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+/// Validates that a value lies in `[lo, hi]`, producing a [`ModelError`]
+/// otherwise.
+pub(crate) fn check_range(
+    name: &'static str,
+    value: f64,
+    lo: f64,
+    hi: f64,
+    expected: &'static str,
+) -> Result<f64, ModelError> {
+    if value.is_finite() && value >= lo && value <= hi {
+        Ok(value)
+    } else {
+        Err(ModelError::InvalidParameter {
+            name,
+            value,
+            expected,
+        })
+    }
+}
+
+/// Validates that a temperature is physical.
+pub(crate) fn check_temp(
+    name: &'static str,
+    temp: crate::units::Kelvin,
+) -> Result<crate::units::Kelvin, ModelError> {
+    if temp.is_physical() {
+        Ok(temp)
+    } else {
+        Err(ModelError::InvalidTemperature {
+            name,
+            kelvin: temp.0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::Kelvin;
+
+    #[test]
+    fn check_range_accepts_in_range() {
+        assert_eq!(check_range("x", 0.5, 0.0, 1.0, "[0,1]"), Ok(0.5));
+    }
+
+    #[test]
+    fn check_range_rejects_out_of_range() {
+        assert!(check_range("x", 1.5, 0.0, 1.0, "[0,1]").is_err());
+        assert!(check_range("x", f64::NAN, 0.0, 1.0, "[0,1]").is_err());
+    }
+
+    #[test]
+    fn check_temp_rejects_nonphysical() {
+        assert!(check_temp("t", Kelvin(300.0)).is_ok());
+        assert!(check_temp("t", Kelvin(-5.0)).is_err());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let err = ModelError::InvalidParameter {
+            name: "duty",
+            value: 2.0,
+            expected: "[0, 1]",
+        };
+        let s = err.to_string();
+        assert!(s.contains("duty") && s.contains('2'));
+    }
+}

@@ -1,0 +1,112 @@
+//! Analytical reaction–diffusion (R-D) expressions for a single stress or
+//! recovery phase (eqs. 5–6 of the paper).
+//!
+//! Under DC stress with quasi-equilibrium and a thick oxide, the interface
+//! trap density follows the quarter-power law
+//! `N_it(t) = 1.16 (k_f N_0 / k_r)^(1/2) (D_H t)^(1/4) = A t^(1/4)`.
+//! When the stress is removed after `t_stress`, traps anneal following
+//! `N_it(t) = N_it0 / (1 + sqrt(t / t_stress))`.
+
+use crate::error::{check_range, ModelError};
+
+/// Interface-trap density after DC stress of duration `t` with power-law
+/// pre-factor `a` (eq. 5).
+///
+/// ```
+/// use relia_core::rd::dc_stress;
+///
+/// let n1 = dc_stress(1.0, 16.0);
+/// assert!((n1 - 2.0).abs() < 1e-12); // 16^(1/4) = 2
+/// ```
+pub fn dc_stress(a: f64, t: f64) -> f64 {
+    debug_assert!(t >= 0.0, "stress time must be non-negative");
+    a * t.powf(0.25)
+}
+
+/// Fraction of interface traps remaining after a recovery of duration `t`
+/// following a stress of duration `t_stress` (eq. 6).
+///
+/// Returns `N_it(t)/N_it0 = 1 / (1 + sqrt(t/t_stress))`.
+///
+/// # Errors
+///
+/// Returns [`ModelError::InvalidParameter`] when `t` is negative or
+/// `t_stress` is non-positive.
+///
+/// ```
+/// use relia_core::rd::recovery_fraction;
+///
+/// // After recovering for as long as the stress lasted, half the traps
+/// // remain.
+/// let f = recovery_fraction(100.0, 100.0).unwrap();
+/// assert!((f - 0.5).abs() < 1e-12);
+/// ```
+pub fn recovery_fraction(t: f64, t_stress: f64) -> Result<f64, ModelError> {
+    check_range("t", t, 0.0, f64::MAX, "non-negative seconds")?;
+    check_range("t_stress", t_stress, f64::MIN_POSITIVE, f64::MAX, "positive seconds")?;
+    Ok(1.0 / (1.0 + (t / t_stress).sqrt()))
+}
+
+/// Power-law pre-factor `A = 1.16 sqrt(k_f N_0 / k_r) D_H^(1/4)` from the
+/// microscopic R-D rate constants (eq. 5).
+///
+/// All quantities are in consistent (user-chosen) units; the result carries
+/// units of `traps / time^(1/4)`.
+pub fn power_law_prefactor(k_f: f64, k_r: f64, n_0: f64, d_h: f64) -> f64 {
+    debug_assert!(k_f >= 0.0 && k_r > 0.0 && n_0 >= 0.0 && d_h >= 0.0);
+    1.16 * (k_f * n_0 / k_r).sqrt() * d_h.powf(0.25)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_stress_quarter_power_scaling() {
+        // Scaling time by 16x doubles the trap count.
+        let n1 = dc_stress(2.0, 100.0);
+        let n2 = dc_stress(2.0, 1600.0);
+        assert!((n2 / n1 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dc_stress_zero_time_gives_zero() {
+        assert_eq!(dc_stress(3.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn recovery_starts_at_unity() {
+        assert!((recovery_fraction(0.0, 50.0).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recovery_is_monotone_decreasing() {
+        let mut prev = 1.0;
+        for k in 1..=10 {
+            let f = recovery_fraction(k as f64 * 10.0, 100.0).unwrap();
+            assert!(f < prev);
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn recovery_never_completes() {
+        // Even after 1000x the stress duration a residual remains: the R-D
+        // model's partial-recovery signature.
+        let f = recovery_fraction(1.0e5, 100.0).unwrap();
+        assert!(f > 0.0 && f < 0.05);
+    }
+
+    #[test]
+    fn recovery_rejects_bad_inputs() {
+        assert!(recovery_fraction(-1.0, 100.0).is_err());
+        assert!(recovery_fraction(1.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn prefactor_combines_rates() {
+        let a = power_law_prefactor(1.0, 4.0, 1.0, 16.0);
+        // 1.16 * sqrt(1/4) * 2 = 1.16
+        assert!((a - 1.16).abs() < 1e-12);
+    }
+}

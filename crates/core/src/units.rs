@@ -1,0 +1,164 @@
+//! Strongly typed physical quantities used across the NBTI model.
+//!
+//! Newtypes keep temperatures, voltages, times and energies from being mixed
+//! up at API boundaries; arithmetic on the raw `f64` stays available through
+//! the public tuple field.
+//!
+//! ```
+//! use relia_core::units::{Kelvin, Volts};
+//!
+//! let t = Kelvin(400.0);
+//! assert!(t.is_physical());
+//! let v = Volts(1.0);
+//! assert_eq!(format!("{v}"), "1 V");
+//! ```
+
+use std::fmt;
+
+/// Absolute temperature in kelvin.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Kelvin(pub f64);
+
+impl Kelvin {
+    /// Converts from degrees Celsius.
+    ///
+    /// ```
+    /// use relia_core::units::Kelvin;
+    /// assert!((Kelvin::from_celsius(27.0).0 - 300.15).abs() < 1e-9);
+    /// ```
+    pub fn from_celsius(c: f64) -> Self {
+        Kelvin(c + 273.15)
+    }
+
+    /// Converts to degrees Celsius.
+    pub fn to_celsius(self) -> f64 {
+        self.0 - 273.15
+    }
+
+    /// Returns `true` when the temperature is finite and above absolute zero.
+    pub fn is_physical(self) -> bool {
+        self.0.is_finite() && self.0 > 0.0
+    }
+}
+
+impl fmt::Display for Kelvin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} K", self.0)
+    }
+}
+
+/// Electric potential in volts.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Volts(pub f64);
+
+impl Volts {
+    /// Converts to millivolts.
+    pub fn to_millivolts(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// Converts from millivolts.
+    pub fn from_millivolts(mv: f64) -> Self {
+        Volts(mv * 1e-3)
+    }
+}
+
+impl fmt::Display for Volts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} V", self.0)
+    }
+}
+
+/// Time duration in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Seconds(pub f64);
+
+impl Seconds {
+    /// One Julian year expressed in seconds.
+    pub const YEAR: f64 = 365.25 * 24.0 * 3600.0;
+
+    /// Converts from years.
+    ///
+    /// ```
+    /// use relia_core::units::Seconds;
+    /// assert!(Seconds::from_years(10.0).0 > 3.0e8);
+    /// ```
+    pub fn from_years(years: f64) -> Self {
+        Seconds(years * Self::YEAR)
+    }
+
+    /// Converts to years.
+    pub fn to_years(self) -> f64 {
+        self.0 / Self::YEAR
+    }
+
+    /// Returns `true` when the duration is finite and non-negative.
+    pub fn is_physical(self) -> bool {
+        self.0.is_finite() && self.0 >= 0.0
+    }
+}
+
+impl fmt::Display for Seconds {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} s", self.0)
+    }
+}
+
+/// Energy in electron-volts (activation energies and barrier heights).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct ElectronVolts(pub f64);
+
+impl fmt::Display for ElectronVolts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} eV", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn celsius_round_trip() {
+        let t = Kelvin::from_celsius(85.0);
+        assert!((t.to_celsius() - 85.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kelvin_physicality() {
+        assert!(Kelvin(300.0).is_physical());
+        assert!(!Kelvin(0.0).is_physical());
+        assert!(!Kelvin(-1.0).is_physical());
+        assert!(!Kelvin(f64::NAN).is_physical());
+        assert!(!Kelvin(f64::INFINITY).is_physical());
+    }
+
+    #[test]
+    fn years_round_trip() {
+        let t = Seconds::from_years(3.17);
+        assert!((t.to_years() - 3.17).abs() < 1e-12);
+        // The paper's 1e8 s lifetime is close to 3.17 years.
+        assert!((Seconds(1.0e8).to_years() - 3.168).abs() < 0.01);
+    }
+
+    #[test]
+    fn seconds_physicality() {
+        assert!(Seconds(0.0).is_physical());
+        assert!(Seconds(1.0e8).is_physical());
+        assert!(!Seconds(-1.0).is_physical());
+        assert!(!Seconds(f64::NAN).is_physical());
+    }
+
+    #[test]
+    fn millivolt_conversions() {
+        assert_eq!(Volts(0.22).to_millivolts(), 220.0);
+        assert!((Volts::from_millivolts(220.0).0 - 0.22).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Kelvin(400.0)), "400 K");
+        assert_eq!(format!("{}", Seconds(10.0)), "10 s");
+        assert_eq!(format!("{}", ElectronVolts(0.295)), "0.295 eV");
+    }
+}

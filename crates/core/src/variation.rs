@@ -1,0 +1,226 @@
+//! Process-variation hooks for statistical aging analysis (the paper's
+//! Fig. 12 experiment).
+//!
+//! The crate carries no random-number dependency; sampling is expressed as
+//! pure transforms of caller-supplied uniform variates so downstream crates
+//! can plug in any RNG while the core stays deterministic and testable.
+
+use crate::error::{check_range, ModelError};
+use crate::units::Volts;
+
+/// A Gaussian distribution of initial PMOS threshold voltages,
+/// `V_th0 ~ N(mean, sigma²)`.
+///
+/// ```
+/// use relia_core::{VthDistribution, Volts};
+///
+/// let dist = VthDistribution::new(Volts(0.22), Volts(0.010)).unwrap();
+/// let v = dist.sample_box_muller(0.3, 0.7);
+/// assert!(v.0 > 0.1 && v.0 < 0.35);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VthDistribution {
+    mean: f64,
+    sigma: f64,
+}
+
+impl VthDistribution {
+    /// Creates a distribution with mean `mean` volts and standard deviation
+    /// `sigma` volts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] for a non-positive mean or a
+    /// negative sigma.
+    pub fn new(mean: Volts, sigma: Volts) -> Result<Self, ModelError> {
+        check_range("vth mean", mean.0, f64::MIN_POSITIVE, 10.0, "positive volts")?;
+        check_range("vth sigma", sigma.0, 0.0, mean.0, "[0, mean] volts")?;
+        Ok(VthDistribution {
+            mean: mean.0,
+            sigma: sigma.0,
+        })
+    }
+
+    /// Distribution mean.
+    pub fn mean(&self) -> Volts {
+        Volts(self.mean)
+    }
+
+    /// Distribution standard deviation.
+    pub fn sigma(&self) -> Volts {
+        Volts(self.sigma)
+    }
+
+    /// Maps two independent uniforms `u1, u2 ∈ (0, 1)` to one Gaussian sample
+    /// via the Box–Muller transform, clamping three-sigma outliers to keep
+    /// thresholds physical.
+    ///
+    /// Inputs outside `(0, 1)` are nudged inside rather than rejected, so the
+    /// function is total.
+    pub fn sample_box_muller(&self, u1: f64, u2: f64) -> Volts {
+        let u1 = u1.clamp(1e-12, 1.0 - 1e-12);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let z = z.clamp(-3.5, 3.5);
+        Volts(self.mean + self.sigma * z)
+    }
+
+    /// The `p`-quantile of the distribution (inverse normal CDF, Acklam's
+    /// rational approximation, absolute error < 1.2e-9).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] for `p` outside `(0, 1)`.
+    pub fn quantile(&self, p: f64) -> Result<Volts, ModelError> {
+        check_range("quantile p", p, f64::MIN_POSITIVE, 1.0 - 1e-16, "(0, 1)")?;
+        Ok(Volts(self.mean + self.sigma * standard_normal_quantile(p)))
+    }
+}
+
+/// Summary statistics of a sample (used by the Fig. 12 harness).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SampleStats {
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (population convention, `n` divisor).
+    pub std_dev: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl SampleStats {
+    /// Computes statistics over `values`; returns `None` for an empty slice.
+    pub fn from_values(values: &[f64]) -> Option<Self> {
+        if values.is_empty() {
+            return None;
+        }
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        Some(SampleStats {
+            mean,
+            std_dev: var.sqrt(),
+            min,
+            max,
+        })
+    }
+
+    /// `mean − k·σ`.
+    pub fn lower(&self, k: f64) -> f64 {
+        self.mean - k * self.std_dev
+    }
+
+    /// `mean + k·σ`.
+    pub fn upper(&self, k: f64) -> f64 {
+        self.mean + k * self.std_dev
+    }
+}
+
+/// Standard-normal quantile function (Acklam's approximation).
+fn standard_normal_quantile(p: f64) -> f64 {
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383_577_518_672_69e2,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantile_symmetry() {
+        let d = VthDistribution::new(Volts(0.22), Volts(0.01)).unwrap();
+        let lo = d.quantile(0.1587).unwrap().0; // ≈ mean − σ
+        let hi = d.quantile(0.8413).unwrap().0; // ≈ mean + σ
+        assert!((lo - 0.21).abs() < 1e-4);
+        assert!((hi - 0.23).abs() < 1e-4);
+        assert!((d.quantile(0.5).unwrap().0 - 0.22).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_rejects_out_of_range() {
+        let d = VthDistribution::new(Volts(0.22), Volts(0.01)).unwrap();
+        assert!(d.quantile(0.0).is_err());
+        assert!(d.quantile(1.0).is_err());
+    }
+
+    #[test]
+    fn box_muller_matches_moments() {
+        let d = VthDistribution::new(Volts(0.22), Volts(0.01)).unwrap();
+        // Deterministic low-discrepancy sweep over the unit square.
+        let mut vals = Vec::new();
+        let n = 200;
+        for i in 0..n {
+            for j in 0..n {
+                let u1 = (i as f64 + 0.5) / n as f64;
+                let u2 = (j as f64 + 0.5) / n as f64;
+                vals.push(d.sample_box_muller(u1, u2).0);
+            }
+        }
+        let stats = SampleStats::from_values(&vals).unwrap();
+        assert!((stats.mean - 0.22).abs() < 5e-4, "mean {}", stats.mean);
+        assert!((stats.std_dev - 0.01).abs() < 1e-3, "sigma {}", stats.std_dev);
+    }
+
+    #[test]
+    fn distribution_validation() {
+        assert!(VthDistribution::new(Volts(0.0), Volts(0.01)).is_err());
+        assert!(VthDistribution::new(Volts(0.22), Volts(-0.01)).is_err());
+        assert!(VthDistribution::new(Volts(0.22), Volts(0.5)).is_err());
+    }
+
+    #[test]
+    fn stats_basics() {
+        let s = SampleStats::from_values(&[1.0, 2.0, 3.0]).unwrap();
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert!((s.lower(1.0) - (2.0 - s.std_dev)).abs() < 1e-12);
+        assert!(SampleStats::from_values(&[]).is_none());
+    }
+}

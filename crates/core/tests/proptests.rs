@@ -1,0 +1,108 @@
+//! Property-based tests for the NBTI model invariants.
+
+use proptest::prelude::*;
+use relia_core::ac::{ac_to_dc_ratio, s_n, s_n_exact};
+use relia_core::arrhenius::diffusion_ratio;
+use relia_core::rd::recovery_fraction;
+use relia_core::units::{ElectronVolts, Kelvin, Seconds, Volts};
+use relia_core::{
+    DelayDegradation, ModeSchedule, NbtiModel, NbtiParams, PmosStress, Ras, VthDistribution,
+};
+
+proptest! {
+    /// The hybrid S_n evaluator tracks the exact recursion everywhere.
+    #[test]
+    fn s_n_matches_exact(c in 0.01f64..1.0, n in 1u64..20_000) {
+        let e = s_n_exact(c, n);
+        let h = s_n(c, n);
+        prop_assert!((e - h).abs() / e.max(1e-30) < 2e-3, "c={c} n={n} e={e} h={h}");
+    }
+
+    /// Damage is monotone in the number of cycles.
+    #[test]
+    fn s_n_monotone_in_cycles(c in 0.01f64..1.0, n in 1u64..10_000) {
+        prop_assert!(s_n(c, n + 1) >= s_n(c, n));
+    }
+
+    /// Damage is monotone in the duty cycle.
+    #[test]
+    fn s_n_monotone_in_duty(c in 0.01f64..0.99, n in 1u64..10_000) {
+        prop_assert!(s_n(c + 0.01, n) >= s_n(c, n));
+    }
+
+    /// AC damage never exceeds DC damage at the same elapsed time.
+    #[test]
+    fn ac_never_exceeds_dc(c in 0.0f64..1.0) {
+        prop_assert!(ac_to_dc_ratio(c) <= 1.0 + 1e-12);
+    }
+
+    /// Recovery fraction stays within (0, 1].
+    #[test]
+    fn recovery_fraction_bounded(t in 0.0f64..1e12, ts in 1e-6f64..1e12) {
+        let f = recovery_fraction(t, ts).unwrap();
+        prop_assert!(f > 0.0 && f <= 1.0);
+    }
+
+    /// Diffusion slows monotonically as the temperature drops.
+    #[test]
+    fn diffusion_ratio_monotone(t in 250.0f64..399.0) {
+        let lo = diffusion_ratio(ElectronVolts(0.295), Kelvin(t), Kelvin(400.0));
+        let hi = diffusion_ratio(ElectronVolts(0.295), Kelvin(t + 1.0), Kelvin(400.0));
+        prop_assert!(lo < hi && hi <= 1.0 + 1e-12);
+    }
+
+    /// ΔV_th is monotone in total stress time for any schedule.
+    #[test]
+    fn delta_vth_monotone_in_time(
+        standby_weight in 0.0f64..20.0,
+        temp_s in 300.0f64..400.0,
+        p_a in 0.0f64..1.0,
+        p_s in 0.0f64..1.0,
+        t in 1.0e4f64..1.0e8,
+    ) {
+        let m = NbtiModel::ptm90().unwrap();
+        let s = ModeSchedule::new(
+            Ras::new(1.0, standby_weight).unwrap(),
+            Seconds(1000.0),
+            Kelvin(400.0),
+            Kelvin(temp_s),
+        ).unwrap();
+        let stress = PmosStress::new(p_a, p_s).unwrap();
+        let d1 = m.delta_vth(Seconds(t), &s, &stress).unwrap();
+        let d2 = m.delta_vth(Seconds(2.0 * t), &s, &stress).unwrap();
+        prop_assert!(d2 >= d1);
+    }
+
+    /// ΔV_th is monotone in the standby temperature when standby stresses.
+    #[test]
+    fn delta_vth_monotone_in_standby_temp(temp_s in 300.0f64..395.0) {
+        let m = NbtiModel::ptm90().unwrap();
+        let mk = |temp: f64| ModeSchedule::new(
+            Ras::new(1.0, 9.0).unwrap(),
+            Seconds(1000.0),
+            Kelvin(400.0),
+            Kelvin(temp),
+        ).unwrap();
+        let cool = m.delta_vth(Seconds(1.0e8), &mk(temp_s), &PmosStress::worst_case()).unwrap();
+        let warm = m.delta_vth(Seconds(1.0e8), &mk(temp_s + 5.0), &PmosStress::worst_case()).unwrap();
+        prop_assert!(warm >= cool);
+    }
+
+    /// A degraded delay is never negative, and exact >= linear.
+    #[test]
+    fn delay_degradation_ordering(dvth in 0.0f64..0.2) {
+        let dd = DelayDegradation::new(&NbtiParams::ptm90().unwrap());
+        let lin = dd.linear(dvth).unwrap();
+        let ex = dd.exact(dvth).unwrap();
+        prop_assert!(lin >= 0.0);
+        prop_assert!(ex + 1e-15 >= lin);
+    }
+
+    /// Box–Muller samples respect the 3.5-sigma clamp.
+    #[test]
+    fn variation_samples_bounded(u1 in 0.0f64..1.0, u2 in 0.0f64..1.0) {
+        let d = VthDistribution::new(Volts(0.22), Volts(0.01)).unwrap();
+        let v = d.sample_box_muller(u1, u2).0;
+        prop_assert!((0.22 - 0.036..=0.22 + 0.036).contains(&v));
+    }
+}

@@ -1,0 +1,100 @@
+//! Error type for the analysis platform.
+
+use std::error::Error;
+use std::fmt;
+
+use relia_core::ModelError;
+use relia_sim::SimError;
+use relia_sta::StaError;
+
+/// Error returned by the flow.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlowError {
+    /// The NBTI model rejected a parameter or stress description.
+    Model(ModelError),
+    /// Simulation failed (stimulus width, probabilities).
+    Sim(SimError),
+    /// Timing analysis failed.
+    Sta(StaError),
+    /// A standby vector has the wrong width.
+    StandbyVectorWidth {
+        /// Primary inputs the circuit has.
+        expected: usize,
+        /// Vector bits supplied.
+        got: usize,
+    },
+    /// A per-gate array has the wrong length.
+    GateVectorWidth {
+        /// Gates in the circuit.
+        expected: usize,
+        /// Entries supplied.
+        got: usize,
+    },
+    /// A scalar parameter is out of range.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::Model(e) => write!(f, "nbti model: {e}"),
+            FlowError::Sim(e) => write!(f, "simulation: {e}"),
+            FlowError::Sta(e) => write!(f, "timing: {e}"),
+            FlowError::StandbyVectorWidth { expected, got } => {
+                write!(f, "standby vector has {got} bits but circuit has {expected} inputs")
+            }
+            FlowError::GateVectorWidth { expected, got } => {
+                write!(f, "per-gate array has {got} entries but circuit has {expected} gates")
+            }
+            FlowError::InvalidParameter { name, value } => {
+                write!(f, "invalid parameter {name} = {value}")
+            }
+        }
+    }
+}
+
+impl Error for FlowError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FlowError::Model(e) => Some(e),
+            FlowError::Sim(e) => Some(e),
+            FlowError::Sta(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for FlowError {
+    fn from(e: ModelError) -> Self {
+        FlowError::Model(e)
+    }
+}
+
+impl From<SimError> for FlowError {
+    fn from(e: SimError) -> Self {
+        FlowError::Sim(e)
+    }
+}
+
+impl From<StaError> for FlowError {
+    fn from(e: StaError) -> Self {
+        FlowError::Sta(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_wrap() {
+        let e: FlowError = SimError::NoSamples.into();
+        assert!(matches!(e, FlowError::Sim(_)));
+        assert!(e.to_string().contains("simulation"));
+    }
+}

@@ -1,0 +1,144 @@
+//! NBTI/leakage co-optimization over the MLV set (the paper's Table 3
+//! experiment): among near-minimum-leakage vectors, pick the one whose
+//! standby state minimizes the NBTI-induced delay degradation.
+
+use relia_flow::{AgingAnalysis, FlowError, StandbyPolicy};
+
+use crate::mlv::MlvSet;
+
+/// Evaluation of one MLV candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MlvEvaluation {
+    /// The standby input vector.
+    pub vector: Vec<bool>,
+    /// Its standby leakage in amperes.
+    pub leakage: f64,
+    /// The NBTI-induced relative delay degradation over the configured
+    /// lifetime when the circuit parks on this vector.
+    pub degradation: f64,
+}
+
+/// Result of co-optimizing a set of MLVs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoOptimization {
+    /// All evaluations, in the MLV set's (leakage-sorted) order.
+    pub evaluations: Vec<MlvEvaluation>,
+    /// Index (into `evaluations`) of the degradation-minimizing vector.
+    pub best_for_nbti: usize,
+    /// The circuit's nominal critical-path delay in picoseconds.
+    pub nominal_delay_ps: f64,
+}
+
+impl CoOptimization {
+    /// The selected vector: minimum degradation within the leakage band.
+    pub fn best(&self) -> &MlvEvaluation {
+        &self.evaluations[self.best_for_nbti]
+    }
+
+    /// Spread of degradation across the set, in absolute delay fraction —
+    /// the paper's "MLV diff" column (small at low standby temperature,
+    /// which is the paper's headline IVC finding).
+    pub fn degradation_spread(&self) -> f64 {
+        let lo = self
+            .evaluations
+            .iter()
+            .map(|e| e.degradation)
+            .fold(f64::MAX, f64::min);
+        let hi = self
+            .evaluations
+            .iter()
+            .map(|e| e.degradation)
+            .fold(0.0f64, f64::max);
+        hi - lo
+    }
+}
+
+/// Evaluates the NBTI degradation of every vector in `set` and selects the
+/// best (the Fig. 6 co-optimization step).
+///
+/// # Errors
+///
+/// Returns [`FlowError`] if an evaluation fails.
+pub fn co_optimize(
+    analysis: &AgingAnalysis<'_>,
+    set: &MlvSet,
+) -> Result<CoOptimization, FlowError> {
+    assert!(
+        !set.vectors().is_empty(),
+        "co-optimization needs a nonempty MLV set"
+    );
+    let mut evaluations = Vec::with_capacity(set.vectors().len());
+    let mut nominal = 0.0;
+    for (vector, leakage) in set.vectors() {
+        let report = analysis.run(&StandbyPolicy::InputVector(vector.clone()))?;
+        nominal = report.nominal.max_delay_ps();
+        evaluations.push(MlvEvaluation {
+            vector: vector.clone(),
+            leakage: *leakage,
+            degradation: report.degradation_fraction(),
+        });
+    }
+    let best_for_nbti = evaluations
+        .iter()
+        .enumerate()
+        .min_by(|a, b| {
+            a.1.degradation
+                .partial_cmp(&b.1.degradation)
+                .expect("degradation is finite")
+        })
+        .map(|(i, _)| i)
+        .expect("nonempty set");
+    Ok(CoOptimization {
+        evaluations,
+        best_for_nbti,
+        nominal_delay_ps: nominal,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mlv::{search_mlv_set, MlvSearchConfig};
+    use relia_flow::FlowConfig;
+    use relia_netlist::iscas;
+
+    #[test]
+    fn co_optimization_selects_minimum_degradation() {
+        let circuit = iscas::c17();
+        let config = FlowConfig::paper_defaults().unwrap();
+        let analysis = AgingAnalysis::new(&config, &circuit).unwrap();
+        let set = search_mlv_set(&analysis, &MlvSearchConfig::default()).unwrap();
+        let co = co_optimize(&analysis, &set).unwrap();
+        let best = co.best().degradation;
+        for e in &co.evaluations {
+            assert!(e.degradation >= best - 1e-15);
+        }
+        assert!(co.nominal_delay_ps > 0.0);
+        assert!(co.degradation_spread() >= 0.0);
+    }
+
+    #[test]
+    fn degradation_spread_is_small_at_cool_standby() {
+        // The paper's headline: at T_standby = 330 K the MLV-to-MLV
+        // difference is a fraction of a percent of the circuit delay.
+        let circuit = iscas::circuit("c432").unwrap();
+        let config = FlowConfig::paper_defaults().unwrap();
+        let analysis = AgingAnalysis::new(&config, &circuit).unwrap();
+        let set = search_mlv_set(
+            &analysis,
+            &MlvSearchConfig {
+                vectors_per_round: 48,
+                max_rounds: 6,
+                max_set_size: 6,
+                ..MlvSearchConfig::default()
+            },
+        )
+        .unwrap();
+        let co = co_optimize(&analysis, &set).unwrap();
+        assert!(
+            co.degradation_spread() < 0.01,
+            "spread {} should be well under 1%",
+            co.degradation_spread()
+        );
+    }
+}

@@ -1,0 +1,89 @@
+//! The internal-node-control (INC) potential (the paper's Table 4).
+//!
+//! IVC can only set internal nodes indirectly through the primary inputs;
+//! control-point insertion (Lin et al.) can drive internal nodes directly.
+//! The *potential* of such a technique is bounded by the gap between the
+//! all-'0' worst case and the all-'1' best case: `(worst − best)/worst`.
+
+use relia_flow::{AgingAnalysis, FlowError, StandbyPolicy};
+
+/// The INC potential of one circuit under one schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IncPotential {
+    /// Relative delay degradation with every internal node at '0'.
+    pub worst_degradation: f64,
+    /// Relative delay degradation with every internal node at '1'.
+    pub best_degradation: f64,
+    /// The circuit's nominal delay in picoseconds.
+    pub nominal_delay_ps: f64,
+}
+
+impl IncPotential {
+    /// `(worst − best)/worst`: the fraction of the worst-case degradation
+    /// that internal node control could recover.
+    pub fn potential(&self) -> f64 {
+        if self.worst_degradation <= 0.0 {
+            return 0.0;
+        }
+        (self.worst_degradation - self.best_degradation) / self.worst_degradation
+    }
+}
+
+/// Computes the INC potential for the prepared analysis.
+///
+/// # Errors
+///
+/// Returns [`FlowError`] if an evaluation fails.
+pub fn internal_node_potential(analysis: &AgingAnalysis<'_>) -> Result<IncPotential, FlowError> {
+    let worst = analysis.run(&StandbyPolicy::AllInternalZero)?;
+    let best = analysis.run(&StandbyPolicy::AllInternalOne)?;
+    Ok(IncPotential {
+        worst_degradation: worst.degradation_fraction(),
+        best_degradation: best.degradation_fraction(),
+        nominal_delay_ps: worst.nominal.max_delay_ps(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relia_core::{Kelvin, Ras};
+    use relia_flow::FlowConfig;
+    use relia_netlist::iscas;
+
+    fn potential_at(temp_standby: f64) -> IncPotential {
+        let circuit = iscas::circuit("c432").unwrap();
+        let config =
+            FlowConfig::with_schedule(Ras::new(1.0, 9.0).unwrap(), Kelvin(temp_standby)).unwrap();
+        let analysis = AgingAnalysis::new(&config, &circuit).unwrap();
+        internal_node_potential(&analysis).unwrap()
+    }
+
+    #[test]
+    fn potential_grows_with_standby_temperature() {
+        // The paper's Table 4 trend: 18.1% at 330 K up to 54.9% at 400 K.
+        let cool = potential_at(330.0);
+        let hot = potential_at(400.0);
+        assert!(hot.potential() > cool.potential());
+        assert!(cool.potential() > 0.05, "cool potential {}", cool.potential());
+        assert!(hot.potential() < 0.9, "hot potential {}", hot.potential());
+    }
+
+    #[test]
+    fn best_case_is_temperature_insensitive() {
+        // With all internal nodes at '1' the standby phase only relaxes, and
+        // relaxation is temperature-insensitive in the model.
+        let cool = potential_at(330.0);
+        let hot = potential_at(400.0);
+        let rel = (cool.best_degradation - hot.best_degradation).abs()
+            / cool.best_degradation;
+        assert!(rel < 1e-9, "best-case spread {rel}");
+    }
+
+    #[test]
+    fn worst_exceeds_best() {
+        let p = potential_at(350.0);
+        assert!(p.worst_degradation > p.best_degradation);
+        assert!(p.potential() > 0.0 && p.potential() < 1.0);
+    }
+}

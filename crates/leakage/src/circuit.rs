@@ -1,0 +1,123 @@
+//! Whole-netlist leakage.
+
+use relia_cells::Vector;
+use relia_netlist::Circuit;
+use relia_sim::{logic, SignalProbs, SimError};
+
+use crate::table::LeakageTable;
+
+/// Total leakage of the circuit frozen at the primary-input vector
+/// `stimulus` (the standby state), in amperes.
+///
+/// The circuit is logic-simulated to resolve every gate's input state, then
+/// each gate's leakage is looked up in `table`.
+///
+/// # Errors
+///
+/// Returns [`SimError::StimulusWidthMismatch`] for a wrong stimulus width.
+///
+/// ```
+/// use relia_cells::Library;
+/// use relia_core::Kelvin;
+/// use relia_leakage::{circuit_leakage, DeviceModels, LeakageTable};
+/// use relia_netlist::iscas;
+///
+/// let c = iscas::c17();
+/// let table = LeakageTable::build(c.library(), &DeviceModels::ptm90(), Kelvin(400.0));
+/// let i = circuit_leakage(&c, &[false; 5], &table)?;
+/// assert!(i > 0.0);
+/// # Ok::<(), relia_sim::SimError>(())
+/// ```
+pub fn circuit_leakage(
+    circuit: &Circuit,
+    stimulus: &[bool],
+    table: &LeakageTable,
+) -> Result<f64, SimError> {
+    let values = logic::simulate(circuit, stimulus)?;
+    let mut total = 0.0;
+    for gate in circuit.gates() {
+        let inputs: Vec<bool> = gate.inputs().iter().map(|&n| values.of(n)).collect();
+        total += table.of(gate.cell(), Vector::from_bits(&inputs)).total();
+    }
+    Ok(total)
+}
+
+/// Expected leakage of the circuit under per-net signal probabilities
+/// (eq. 24 applied gate by gate with the independence assumption) — the
+/// *active-mode* leakage expectation.
+pub fn expected_circuit_leakage(
+    circuit: &Circuit,
+    probs: &SignalProbs,
+    table: &LeakageTable,
+) -> f64 {
+    circuit
+        .gates()
+        .iter()
+        .map(|gate| {
+            let pin_probs: Vec<f64> = gate.inputs().iter().map(|&n| probs.of(n)).collect();
+            table.expected(gate.cell(), &pin_probs)
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::DeviceModels;
+    use relia_core::units::Kelvin;
+    use relia_netlist::iscas;
+    use relia_sim::prob;
+
+    fn setup() -> (Circuit, LeakageTable) {
+        let c = iscas::c17();
+        let t = LeakageTable::build(c.library(), &DeviceModels::ptm90(), Kelvin(400.0));
+        (c, t)
+    }
+
+    #[test]
+    fn leakage_depends_on_vector() {
+        let (c, t) = setup();
+        let mut values: Vec<f64> = (0..32u32)
+            .map(|bits| {
+                let stim: Vec<bool> = (0..5).map(|i| bits >> i & 1 == 1).collect();
+                circuit_leakage(&c, &stim, &t).unwrap()
+            })
+            .collect();
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!(values[0] > 0.0);
+        assert!(
+            values[31] / values[0] > 1.2,
+            "vector dependence too flat: {} .. {}",
+            values[0],
+            values[31]
+        );
+    }
+
+    #[test]
+    fn expected_leakage_sits_inside_vector_range() {
+        let (c, t) = setup();
+        let sp = prob::propagate_uniform(&c).unwrap();
+        let expected = expected_circuit_leakage(&c, &sp, &t);
+        let (mut lo, mut hi) = (f64::MAX, 0.0f64);
+        for bits in 0..32u32 {
+            let stim: Vec<bool> = (0..5).map(|i| bits >> i & 1 == 1).collect();
+            let v = circuit_leakage(&c, &stim, &t).unwrap();
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        assert!(expected > lo && expected < hi, "{lo} <= {expected} <= {hi}");
+    }
+
+    #[test]
+    fn larger_circuits_leak_more() {
+        let t400 = Kelvin(400.0);
+        let m = DeviceModels::ptm90();
+        let small = iscas::c17();
+        let big = iscas::circuit("c432").unwrap();
+        let ts = LeakageTable::build(small.library(), &m, t400);
+        let tb = LeakageTable::build(big.library(), &m, t400);
+        let is = circuit_leakage(&small, &[false; 5], &ts).unwrap();
+        let ib = circuit_leakage(&big, &[false; 36], &tb).unwrap();
+        assert!(ib > 10.0 * is);
+    }
+}

@@ -1,0 +1,237 @@
+//! Recursive series/parallel network current solver.
+//!
+//! Works in *normalized coordinates*: the network hangs between a high node
+//! at `v` and a low node at `0`, all voltages measured relative to the rail
+//! that the OFF devices' gates sit at. A PMOS pull-up network maps onto this
+//! frame by mirroring (`u = V_dd − v`), so one solver serves both
+//! polarities.
+//!
+//! * OFF device: exponential subthreshold with source-voltage suppression
+//!   (the stacking effect).
+//! * ON device: linear conductance (small drop).
+//! * Series: the intermediate node voltage is found by bisection on current
+//!   continuity — both branch currents are monotone in the node voltage.
+//! * Parallel: currents add at equal terminal voltages.
+
+use relia_cells::{MosType, Network};
+use relia_core::units::Kelvin;
+
+use crate::models::DeviceModels;
+
+/// Per-evaluation context: polarity, device widths, ON/OFF states.
+#[derive(Debug, Clone)]
+pub struct NetworkState<'a> {
+    /// Device polarity of the whole network.
+    pub mos: MosType,
+    /// Gate level of each stage input (true = logic 1), indexing the
+    /// network's device pins.
+    pub inputs: &'a [bool],
+    /// Evaluation temperature.
+    pub temp: Kelvin,
+    /// Device-width multiplier (drive strength of the owning cell).
+    pub width_scale: f64,
+}
+
+impl NetworkState<'_> {
+    fn device_on(&self, pin: usize) -> bool {
+        self.mos.conducts(self.inputs[pin])
+    }
+}
+
+/// Current through `net` with `v_hi` volts across it (normalized frame).
+///
+/// For a fully conducting network this returns the (large) ON-conductance
+/// current; callers interested in leakage evaluate only non-conducting
+/// networks.
+pub fn network_current(
+    net: &Network,
+    state: &NetworkState<'_>,
+    models: &DeviceModels,
+    v_hi: f64,
+    v_lo: f64,
+) -> f64 {
+    match net {
+        Network::Device(pin) => {
+            let width = state.mos.default_width() * state.width_scale;
+            if state.device_on(*pin) {
+                models.on_current(width, v_hi, v_lo)
+            } else {
+                models.off_current(state.mos, width, v_hi, v_lo, state.temp)
+            }
+        }
+        Network::Parallel(children) => children
+            .iter()
+            .map(|c| network_current(c, state, models, v_hi, v_lo))
+            .sum(),
+        Network::Series(children) => series_current(children, state, models, v_hi, v_lo),
+    }
+}
+
+/// Current through a series chain, solving each intermediate node by
+/// bisection. The chain is folded head/tail: `I(head, v_hi, v_mid) =
+/// I(tail, v_mid, v_lo)`.
+fn series_current(
+    children: &[Network],
+    state: &NetworkState<'_>,
+    models: &DeviceModels,
+    v_hi: f64,
+    v_lo: f64,
+) -> f64 {
+    match children.len() {
+        0 => 0.0,
+        1 => network_current(&children[0], state, models, v_hi, v_lo),
+        _ => {
+            let head = &children[0];
+            let tail = &children[1..];
+            // g(v) = I_head(v_hi, v) − I_tail(v, v_lo) is monotone
+            // decreasing in v, with g(v_lo) ≥ 0 ≥ g(v_hi).
+            let mut lo = v_lo;
+            let mut hi = v_hi;
+            for _ in 0..40 {
+                let mid = 0.5 * (lo + hi);
+                let i_head = network_current(head, state, models, v_hi, mid);
+                let i_tail = series_current(tail, state, models, mid, v_lo);
+                if i_head > i_tail {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+            let v_mid = 0.5 * (lo + hi);
+            // Return the average of the two branch currents to split the
+            // residual bisection error symmetrically.
+            0.5 * (network_current(head, state, models, v_hi, v_mid)
+                + series_current(tail, state, models, v_mid, v_lo))
+        }
+    }
+}
+
+/// Stack suppression factor: leakage of a single OFF device divided by the
+/// leakage of `depth` identical OFF devices in series, at `temp`.
+///
+/// ```
+/// use relia_cells::MosType;
+/// use relia_core::Kelvin;
+/// use relia_leakage::models::DeviceModels;
+/// use relia_leakage::solver::stack_factor;
+///
+/// let f2 = stack_factor(&DeviceModels::ptm90(), MosType::Nmos, 2, Kelvin(300.0));
+/// assert!(f2 > 3.0 && f2 < 50.0); // classic ~10x two-stack suppression
+/// ```
+pub fn stack_factor(models: &DeviceModels, mos: MosType, depth: usize, temp: Kelvin) -> f64 {
+    assert!(depth >= 1, "stack depth must be at least 1");
+    // All devices OFF: for NMOS that means all gates low; for PMOS all high.
+    let off_level = match mos {
+        MosType::Nmos => false,
+        MosType::Pmos => true,
+    };
+    let inputs: Vec<bool> = vec![off_level; depth];
+    let state = NetworkState {
+        mos,
+        inputs: &inputs,
+        temp,
+        width_scale: 1.0,
+    };
+    let single = network_current(
+        &Network::Device(0),
+        &state,
+        models,
+        models.vdd,
+        0.0,
+    );
+    let chain = Network::Series((0..depth).map(Network::Device).collect());
+    let stacked = network_current(&chain, &state, models, models.vdd, 0.0);
+    single / stacked.max(1e-30)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn models() -> DeviceModels {
+        DeviceModels::ptm90()
+    }
+
+    fn state<'a>(mos: MosType, inputs: &'a [bool]) -> NetworkState<'a> {
+        NetworkState {
+            mos,
+            inputs,
+            temp: Kelvin(300.0),
+            width_scale: 1.0,
+        }
+    }
+
+    #[test]
+    fn two_stack_suppression_is_large() {
+        let f = stack_factor(&models(), MosType::Nmos, 2, Kelvin(300.0));
+        assert!(f > 3.0, "factor {f}");
+        let f3 = stack_factor(&models(), MosType::Nmos, 3, Kelvin(300.0));
+        assert!(f3 > f, "3-stack {f3} <= 2-stack {f}");
+    }
+
+    #[test]
+    fn suppression_weakens_at_high_temperature() {
+        let cold = stack_factor(&models(), MosType::Nmos, 2, Kelvin(300.0));
+        let hot = stack_factor(&models(), MosType::Nmos, 2, Kelvin(400.0));
+        assert!(hot < cold, "hot {hot} cold {cold}");
+    }
+
+    #[test]
+    fn parallel_currents_add() {
+        let m = models();
+        let inputs = [false, false];
+        let st = state(MosType::Nmos, &inputs);
+        let single = network_current(&Network::Device(0), &st, &m, 1.0, 0.0);
+        let double = network_current(&Network::parallel_bank(2), &st, &m, 1.0, 0.0);
+        assert!((double / single - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn on_device_in_series_barely_drops() {
+        // Series [ON, OFF] should leak nearly as much as the OFF device
+        // alone: the ON device is a near-short.
+        let m = models();
+        let on_off = [true, false]; // NMOS: first on, second off
+        let st = state(MosType::Nmos, &on_off);
+        let chain = Network::series_chain(2);
+        let mixed = network_current(&chain, &st, &m, 1.0, 0.0);
+        let off_only = {
+            let inputs = [false];
+            let st1 = state(MosType::Nmos, &inputs);
+            network_current(&Network::Device(0), &st1, &m, 1.0, 0.0)
+        };
+        assert!((mixed - off_only).abs() / off_only < 0.1, "mixed {mixed} vs {off_only}");
+    }
+
+    #[test]
+    fn current_monotone_in_applied_voltage() {
+        let m = models();
+        let inputs = [false, false];
+        let st = state(MosType::Nmos, &inputs);
+        let chain = Network::series_chain(2);
+        let low = network_current(&chain, &st, &m, 0.5, 0.0);
+        let high = network_current(&chain, &st, &m, 1.0, 0.0);
+        assert!(high > low);
+    }
+
+    #[test]
+    fn pmos_network_with_high_gates_is_off() {
+        let m = models();
+        let inputs = [true, true];
+        let st = state(MosType::Pmos, &inputs);
+        let i = network_current(&Network::series_chain(2), &st, &m, 1.0, 0.0);
+        // Stacked OFF PMOS: small but positive.
+        assert!(i > 0.0 && i < 1.0e-7, "I = {i}");
+    }
+
+    #[test]
+    fn empty_series_conducts_nothing() {
+        let m = models();
+        let inputs: [bool; 0] = [];
+        let st = state(MosType::Nmos, &inputs);
+        assert_eq!(
+            network_current(&Network::Series(vec![]), &st, &m, 1.0, 0.0),
+            0.0
+        );
+    }
+}

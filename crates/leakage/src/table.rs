@@ -1,0 +1,128 @@
+//! The per-cell, per-vector leakage lookup table (the paper's Fig. 6
+//! "leakage LUT", built by characterizing every cell under every input
+//! pattern).
+
+use relia_cells::{CellId, Library, Vector};
+use relia_core::units::Kelvin;
+
+use crate::cell::{cell_leakage, LeakageBreakdown};
+use crate::models::DeviceModels;
+
+/// A leakage lookup table for one library at one temperature.
+#[derive(Debug, Clone)]
+pub struct LeakageTable {
+    temp: Kelvin,
+    /// `entries[cell][vector_bits]`.
+    entries: Vec<Vec<LeakageBreakdown>>,
+}
+
+impl LeakageTable {
+    /// Characterizes every cell of `library` under all input patterns at
+    /// `temp`.
+    ///
+    /// ```
+    /// use relia_cells::{Library, Vector};
+    /// use relia_core::Kelvin;
+    /// use relia_leakage::{DeviceModels, LeakageTable};
+    ///
+    /// let lib = Library::ptm90();
+    /// let t = LeakageTable::build(&lib, &DeviceModels::ptm90(), Kelvin(400.0));
+    /// let inv = lib.find("INV").expect("in catalog");
+    /// assert!(t.of(inv, Vector::zeros(1)).total() > 0.0);
+    /// ```
+    pub fn build(library: &Library, models: &DeviceModels, temp: Kelvin) -> Self {
+        let entries = library
+            .iter()
+            .map(|(_, cell)| {
+                Vector::all(cell.num_pins())
+                    .map(|v| cell_leakage(cell, &v.to_bools(), models, temp))
+                    .collect()
+            })
+            .collect();
+        LeakageTable { temp, entries }
+    }
+
+    /// The characterization temperature.
+    pub fn temp(&self) -> Kelvin {
+        self.temp
+    }
+
+    /// Leakage of `cell` under `vector`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the id or vector width does not match the library the
+    /// table was built from.
+    pub fn of(&self, cell: CellId, vector: Vector) -> LeakageBreakdown {
+        self.entries[cell.index()][vector.bits() as usize]
+    }
+
+    /// Expected leakage of `cell` under independent per-pin probabilities of
+    /// being high (eq. 24: `Σ_IN I(IN)·P(IN)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `pin_probs` has the wrong width.
+    pub fn expected(&self, cell: CellId, pin_probs: &[f64]) -> f64 {
+        let width = pin_probs.len();
+        Vector::all(width)
+            .map(|v| self.of(cell, v).total() * v.probability(pin_probs))
+            .sum()
+    }
+
+    /// The minimum-leakage vector of `cell` and its leakage.
+    pub fn min_vector(&self, cell: CellId, width: usize) -> (Vector, f64) {
+        Vector::all(width)
+            .map(|v| (v, self.of(cell, v).total()))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("leakage is finite"))
+            .expect("at least one vector")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relia_cells::Library;
+
+    fn table() -> (Library, LeakageTable) {
+        let lib = Library::ptm90();
+        let t = LeakageTable::build(&lib, &DeviceModels::ptm90(), Kelvin(400.0));
+        (lib, t)
+    }
+
+    #[test]
+    fn table_matches_direct_evaluation() {
+        let (lib, t) = table();
+        let id = lib.find("NOR3").unwrap();
+        let cell = lib.cell(id);
+        for v in Vector::all(3) {
+            let direct = cell_leakage(cell, &v.to_bools(), &DeviceModels::ptm90(), Kelvin(400.0));
+            assert_eq!(t.of(id, v), direct);
+        }
+    }
+
+    #[test]
+    fn expected_interpolates_corners() {
+        let (lib, t) = table();
+        let id = lib.find("NAND2").unwrap();
+        // At deterministic corners the expectation equals the table entry.
+        for v in Vector::all(2) {
+            let corner: Vec<f64> = v.to_bools().iter().map(|&b| if b { 1.0 } else { 0.0 }).collect();
+            assert!((t.expected(id, &corner) - t.of(id, v).total()).abs() < 1e-18);
+        }
+        // And the uniform expectation is the plain average.
+        let avg: f64 = Vector::all(2).map(|v| t.of(id, v).total()).sum::<f64>() / 4.0;
+        assert!((t.expected(id, &[0.5, 0.5]) - avg).abs() < 1e-18);
+    }
+
+    #[test]
+    fn min_vector_agrees_with_scan() {
+        let (lib, t) = table();
+        let id = lib.find("NAND3").unwrap();
+        let (v, i) = t.min_vector(id, 3);
+        assert_eq!(v.bits(), 0b000);
+        for w in Vector::all(3) {
+            assert!(t.of(id, w).total() >= i);
+        }
+    }
+}

@@ -1,0 +1,483 @@
+//! ISCAS85 `.bench` format: parser and writer.
+//!
+//! The format:
+//!
+//! ```text
+//! # comment
+//! INPUT(G1)
+//! OUTPUT(G22)
+//! G10 = NAND(G1, G3)
+//! G11 = NOT(G3)
+//! ```
+//!
+//! Supported functions: `AND`, `NAND`, `OR`, `NOR`, `NOT`/`INV`,
+//! `BUF`/`BUFF`, `XOR`, `XNOR`, at any arity. Gates wider than the library's
+//! 4-input cells are decomposed into balanced trees; `AOI21`/`OAI21` cells
+//! are decomposed into `AND`+`NOR` / `OR`+`NAND` pairs on export, so every
+//! written file is readable by standard tools.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use relia_cells::Library;
+
+use crate::builder::CircuitBuilder;
+use crate::circuit::{Circuit, NetId};
+use crate::error::NetlistError;
+
+/// One parsed gate definition before elaboration.
+#[derive(Debug, Clone)]
+struct GateDef {
+    line: usize,
+    func: String,
+    inputs: Vec<String>,
+}
+
+/// Parses `.bench` text into a [`Circuit`] over `library`.
+///
+/// Gate definitions may appear in any order; wide gates are decomposed onto
+/// the library's 1–4-input cells.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::ParseError`] for malformed lines, plus the usual
+/// construction errors (undriven nets, cycles, missing outputs).
+///
+/// ```
+/// use relia_cells::Library;
+/// use relia_netlist::bench;
+///
+/// # fn main() -> Result<(), relia_netlist::NetlistError> {
+/// let text = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NAND(a, b)\n";
+/// let c = bench::parse(text, Library::ptm90())?;
+/// assert_eq!(c.gates().len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse(text: &str, library: Library) -> Result<Circuit, NetlistError> {
+    let mut inputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    let mut defs: HashMap<String, GateDef> = HashMap::new();
+    let mut def_order: Vec<String> = Vec::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = lineno + 1;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(name) = parse_io_decl(line, "INPUT") {
+            inputs.push(name.to_owned());
+        } else if let Some(name) = parse_io_decl(line, "OUTPUT") {
+            outputs.push(name.to_owned());
+        } else if let Some((out, func, ins)) = parse_gate_line(line) {
+            if defs.contains_key(&out) || inputs.contains(&out) {
+                return Err(NetlistError::DuplicateNet { name: out });
+            }
+            defs.insert(
+                out.clone(),
+                GateDef {
+                    line: lineno,
+                    func,
+                    inputs: ins,
+                },
+            );
+            def_order.push(out);
+        } else {
+            return Err(NetlistError::ParseError {
+                line: lineno,
+                message: format!("unrecognized line: {line}"),
+            });
+        }
+    }
+
+    let mut builder = CircuitBuilder::new("bench", library);
+    let mut resolved: HashMap<String, NetId> = HashMap::new();
+    for name in &inputs {
+        if resolved.contains_key(name) {
+            return Err(NetlistError::DuplicateNet { name: name.clone() });
+        }
+        let id = builder.add_input(name.clone());
+        resolved.insert(name.clone(), id);
+    }
+
+    // Iterative DFS elaboration so forward references and deep circuits work.
+    #[derive(Clone)]
+    enum Task {
+        Visit(String),
+        Emit(String),
+    }
+    let mut in_progress: HashMap<String, bool> = HashMap::new();
+    for root in &def_order {
+        if resolved.contains_key(root) {
+            continue;
+        }
+        let mut stack = vec![Task::Visit(root.clone())];
+        while let Some(task) = stack.pop() {
+            match task {
+                Task::Visit(name) => {
+                    if resolved.contains_key(&name) {
+                        continue;
+                    }
+                    if in_progress.get(&name).copied().unwrap_or(false) {
+                        return Err(NetlistError::CombinationalCycle { near: name });
+                    }
+                    in_progress.insert(name.clone(), true);
+                    let def = defs.get(&name).ok_or_else(|| NetlistError::UndrivenNet {
+                        name: name.clone(),
+                    })?;
+                    stack.push(Task::Emit(name.clone()));
+                    for dep in def.inputs.clone() {
+                        if !resolved.contains_key(&dep) {
+                            stack.push(Task::Visit(dep));
+                        }
+                    }
+                }
+                Task::Emit(name) => {
+                    let def = defs[&name].clone();
+                    let input_ids: Vec<NetId> = def
+                        .inputs
+                        .iter()
+                        .map(|dep| {
+                            resolved
+                                .get(dep)
+                                .copied()
+                                .ok_or_else(|| NetlistError::UndrivenNet { name: dep.clone() })
+                        })
+                        .collect::<Result<_, _>>()?;
+                    let out = emit_function(&mut builder, &def.func, &name, &input_ids)
+                        .map_err(|e| attach_line(e, def.line))?;
+                    in_progress.insert(name.clone(), false);
+                    resolved.insert(name, out);
+                }
+            }
+        }
+    }
+
+    for name in &outputs {
+        let id = resolved
+            .get(name)
+            .copied()
+            .ok_or_else(|| NetlistError::UndrivenNet { name: name.clone() })?;
+        builder.mark_output(id);
+    }
+    builder.build()
+}
+
+fn attach_line(e: NetlistError, line: usize) -> NetlistError {
+    match e {
+        NetlistError::ParseError { message, .. } => NetlistError::ParseError { line, message },
+        other => other,
+    }
+}
+
+fn parse_io_decl<'a>(line: &'a str, keyword: &str) -> Option<&'a str> {
+    let rest = line.strip_prefix(keyword)?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let rest = rest.strip_suffix(')')?;
+    let name = rest.trim();
+    (!name.is_empty()).then_some(name)
+}
+
+fn parse_gate_line(line: &str) -> Option<(String, String, Vec<String>)> {
+    let (out, rhs) = line.split_once('=')?;
+    let rhs = rhs.trim();
+    let open = rhs.find('(')?;
+    let close = rhs.rfind(')')?;
+    if close < open {
+        return None;
+    }
+    let func = rhs[..open].trim().to_ascii_uppercase();
+    let args: Vec<String> = rhs[open + 1..close]
+        .split(',')
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .collect();
+    if func.is_empty() || args.is_empty() {
+        return None;
+    }
+    Some((out.trim().to_owned(), func, args))
+}
+
+/// Emits the library realization of a (possibly wide) logic function; the
+/// final gate instance carries `name` so the output net matches the file.
+/// Shared with the Verilog front end.
+pub(crate) fn emit_function(
+    b: &mut CircuitBuilder,
+    func: &str,
+    name: &str,
+    inputs: &[NetId],
+) -> Result<NetId, NetlistError> {
+    let n = inputs.len();
+    let unsupported = |msg: String| NetlistError::ParseError {
+        line: 0,
+        message: msg,
+    };
+    match (func, n) {
+        ("NOT" | "INV", 1) => b.add_gate("INV", name, inputs),
+        ("BUF" | "BUFF", 1) => b.add_gate("BUF", name, inputs),
+        ("AND" | "NAND" | "OR" | "NOR" | "XOR" | "XNOR", 1) => {
+            // Degenerate single-input forms: AND/OR/XOR pass through,
+            // NAND/NOR/XNOR invert.
+            if matches!(func, "AND" | "OR" | "XOR") {
+                b.add_gate("BUF", name, inputs)
+            } else {
+                b.add_gate("INV", name, inputs)
+            }
+        }
+        ("AND", 2..=3) => b.add_gate(&format!("AND{n}"), name, inputs),
+        ("OR", 2..=3) => b.add_gate(&format!("OR{n}"), name, inputs),
+        ("NAND", 2..=4) => b.add_gate(&format!("NAND{n}"), name, inputs),
+        ("NOR", 2..=4) => b.add_gate(&format!("NOR{n}"), name, inputs),
+        ("XOR", 2) => b.add_gate("XOR2", name, inputs),
+        ("XNOR", 2) => b.add_gate("XNOR2", name, inputs),
+        ("AND", _) => {
+            let tree = reduce_tree(b, "AND", name, inputs, true)?;
+            Ok(tree)
+        }
+        ("OR", _) => {
+            let tree = reduce_tree(b, "OR", name, inputs, true)?;
+            Ok(tree)
+        }
+        ("NAND", _) => {
+            // NAND(x1..xn) = NAND2(AND(x1..x_{n-1}), xn).
+            let head = reduce_tree(b, "AND", &format!("{name}__h"), &inputs[..n - 1], false)?;
+            b.add_gate("NAND2", name, &[head, inputs[n - 1]])
+        }
+        ("NOR", _) => {
+            let head = reduce_tree(b, "OR", &format!("{name}__h"), &inputs[..n - 1], false)?;
+            b.add_gate("NOR2", name, &[head, inputs[n - 1]])
+        }
+        ("XOR", _) => {
+            let mut acc = inputs[0];
+            for (k, &next) in inputs[1..].iter().enumerate() {
+                let inst = if k == n - 2 {
+                    name.to_owned()
+                } else {
+                    format!("{name}__x{k}")
+                };
+                acc = b.add_gate("XOR2", inst, &[acc, next])?;
+            }
+            Ok(acc)
+        }
+        ("XNOR", _) => {
+            let mut acc = inputs[0];
+            for (k, &next) in inputs[1..].iter().take(n - 2).enumerate() {
+                acc = b.add_gate("XOR2", format!("{name}__x{k}"), &[acc, next])?;
+            }
+            b.add_gate("XNOR2", name, &[acc, inputs[n - 1]])
+        }
+        _ => Err(unsupported(format!("unsupported function {func}/{n}"))),
+    }
+}
+
+/// Builds a balanced AND/OR tree; when `final_named` the last gate carries
+/// the caller's instance name.
+fn reduce_tree(
+    b: &mut CircuitBuilder,
+    op: &str,
+    name: &str,
+    inputs: &[NetId],
+    final_named: bool,
+) -> Result<NetId, NetlistError> {
+    assert!(!inputs.is_empty());
+    let mut layer: Vec<NetId> = inputs.to_vec();
+    let mut temp = 0usize;
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len() / 2 + 1);
+        let mut i = 0;
+        while i < layer.len() {
+            let remaining = layer.len() - i;
+            let take = if remaining == 1 {
+                next.push(layer[i]);
+                break;
+            } else if remaining == 3 || remaining >= 5 {
+                3.min(remaining)
+            } else {
+                2
+            };
+            let chunk = &layer[i..i + take];
+            let is_last = remaining == take && next.is_empty();
+            let inst = if is_last && final_named {
+                name.to_owned()
+            } else {
+                temp += 1;
+                format!("{name}__t{temp}")
+            };
+            let out = b.add_gate(&format!("{op}{take}"), inst, chunk)?;
+            next.push(out);
+            i += take;
+        }
+        layer = next;
+    }
+    Ok(layer[0])
+}
+
+/// Serializes a circuit to `.bench` text. `AOI21`/`OAI21` instances are
+/// decomposed into two standard gates so the output stays portable; all
+/// other cells map directly.
+pub fn write(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {}", circuit.name());
+    for &pi in circuit.primary_inputs() {
+        let _ = writeln!(out, "INPUT({})", circuit.net(pi).name());
+    }
+    for &po in circuit.primary_outputs() {
+        let _ = writeln!(out, "OUTPUT({})", circuit.net(po).name());
+    }
+    for &gid in circuit.topo_order() {
+        let gate = circuit.gate(gid);
+        let cell = circuit.library().cell(gate.cell());
+        let ins: Vec<&str> = gate
+            .inputs()
+            .iter()
+            .map(|&n| circuit.net(n).name())
+            .collect();
+        let out_name = circuit.net(gate.output()).name();
+        match cell.name() {
+            "INV" => {
+                let _ = writeln!(out, "{out_name} = NOT({})", ins[0]);
+            }
+            "BUF" => {
+                let _ = writeln!(out, "{out_name} = BUFF({})", ins[0]);
+            }
+            "AOI21" => {
+                let _ = writeln!(out, "{out_name}__a = AND({}, {})", ins[0], ins[1]);
+                let _ = writeln!(out, "{out_name} = NOR({out_name}__a, {})", ins[2]);
+            }
+            "OAI21" => {
+                let _ = writeln!(out, "{out_name}__o = OR({}, {})", ins[0], ins[1]);
+                let _ = writeln!(out, "{out_name} = NAND({out_name}__o, {})", ins[2]);
+            }
+            name => {
+                let func: String = name.trim_end_matches(char::is_numeric).to_owned();
+                let _ = writeln!(out, "{out_name} = {func}({})", ins.join(", "));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relia_cells::Library;
+
+    fn lib() -> Library {
+        Library::ptm90()
+    }
+
+    /// Evaluates a circuit's POs for given PI levels (test helper).
+    fn eval(c: &Circuit, pi_values: &[bool]) -> Vec<bool> {
+        let mut values = vec![false; c.nets().len()];
+        for (i, &pi) in c.primary_inputs().iter().enumerate() {
+            values[pi.index()] = pi_values[i];
+        }
+        for &gid in c.topo_order() {
+            let g = c.gate(gid);
+            let ins: Vec<bool> = g.inputs().iter().map(|n| values[n.index()]).collect();
+            values[g.output().index()] = c.library().cell(g.cell()).eval(&ins);
+        }
+        c.primary_outputs()
+            .iter()
+            .map(|po| values[po.index()])
+            .collect()
+    }
+
+    #[test]
+    fn simple_parse() {
+        let text = "# demo\nINPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NAND(a, b)\n";
+        let c = parse(text, lib()).unwrap();
+        assert_eq!(c.stats(), (2, 1, 1, 1));
+        assert_eq!(eval(&c, &[true, true]), vec![false]);
+        assert_eq!(eval(&c, &[true, false]), vec![true]);
+    }
+
+    #[test]
+    fn forward_references_resolve() {
+        let text = "INPUT(a)\nOUTPUT(y)\ny = NOT(x)\nx = NOT(a)\n";
+        let c = parse(text, lib()).unwrap();
+        assert_eq!(eval(&c, &[true]), vec![true]);
+    }
+
+    #[test]
+    fn wide_gates_decompose_correctly() {
+        for (func, k, f) in [
+            ("AND", 6, (|v: &[bool]| v.iter().all(|&x| x)) as fn(&[bool]) -> bool),
+            ("OR", 6, |v: &[bool]| v.iter().any(|&x| x)),
+            ("NAND", 6, |v: &[bool]| !v.iter().all(|&x| x)),
+            ("NOR", 6, |v: &[bool]| !v.iter().any(|&x| x)),
+            ("XOR", 5, |v: &[bool]| v.iter().filter(|&&x| x).count() % 2 == 1),
+            ("XNOR", 5, |v: &[bool]| v.iter().filter(|&&x| x).count() % 2 == 0),
+        ] {
+            let mut text = String::new();
+            for i in 0..k {
+                text.push_str(&format!("INPUT(i{i})\n"));
+            }
+            text.push_str("OUTPUT(y)\n");
+            let args: Vec<String> = (0..k).map(|i| format!("i{i}")).collect();
+            text.push_str(&format!("y = {func}({})\n", args.join(", ")));
+            let c = parse(&text, lib()).unwrap();
+            for bits in 0..(1u32 << k) {
+                let v: Vec<bool> = (0..k).map(|i| bits >> i & 1 == 1).collect();
+                assert_eq!(eval(&c, &v)[0], f(&v), "{func}{k} on {v:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_is_detected() {
+        let text = "INPUT(a)\nOUTPUT(y)\ny = NAND(a, z)\nz = NOT(y)\n";
+        assert!(matches!(
+            parse(text, lib()),
+            Err(NetlistError::CombinationalCycle { .. })
+        ));
+    }
+
+    #[test]
+    fn undriven_net_is_detected() {
+        let text = "INPUT(a)\nOUTPUT(y)\ny = NAND(a, ghost)\n";
+        assert!(matches!(
+            parse(text, lib()),
+            Err(NetlistError::UndrivenNet { .. })
+        ));
+    }
+
+    #[test]
+    fn malformed_line_is_reported_with_number() {
+        let text = "INPUT(a)\nOUTPUT(y)\nthis is not a gate\n";
+        match parse(text, lib()) {
+            Err(NetlistError::ParseError { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_function() {
+        let text = "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nOUTPUT(z)\n\
+                    t1 = NAND(a, b)\nt2 = NOR(b, c)\ny = XOR(t1, t2)\nz = NOT(t1)\n";
+        let c1 = parse(text, lib()).unwrap();
+        let written = write(&c1);
+        let c2 = parse(&written, lib()).unwrap();
+        for bits in 0..8u32 {
+            let v: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
+            assert_eq!(eval(&c1, &v), eval(&c2, &v), "inputs {v:?}");
+        }
+    }
+
+    #[test]
+    fn aoi_writes_portable_decomposition() {
+        let mut b = CircuitBuilder::new("t", lib());
+        let a = b.add_input("a");
+        let c_in = b.add_input("b");
+        let d = b.add_input("c");
+        let y = b.add_gate("AOI21", "y", &[a, c_in, d]).unwrap();
+        b.mark_output(y);
+        let c1 = b.build().unwrap();
+        let c2 = parse(&write(&c1), lib()).unwrap();
+        for bits in 0..8u32 {
+            let v: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
+            assert_eq!(eval(&c1, &v), eval(&c2, &v), "inputs {v:?}");
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! The combinational circuit DAG.
+
+use relia_cells::{CellId, Library};
+
+/// Identifier of a net within a [`Circuit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetId(pub(crate) usize);
+
+impl NetId {
+    /// Raw index into the circuit's net list.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Identifier of a gate instance within a [`Circuit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GateId(pub(crate) usize);
+
+impl GateId {
+    /// Raw index into the circuit's gate list.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// What drives a net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetDriver {
+    /// The net is a primary input.
+    PrimaryInput,
+    /// The net is driven by a gate's output.
+    Gate(GateId),
+}
+
+/// A net: a named wire with exactly one driver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Net {
+    pub(crate) name: String,
+    pub(crate) driver: NetDriver,
+}
+
+impl Net {
+    /// Net name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// What drives the net.
+    pub fn driver(&self) -> NetDriver {
+        self.driver
+    }
+}
+
+/// A gate instance: a library cell with connected input and output nets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Gate {
+    pub(crate) name: String,
+    pub(crate) cell: CellId,
+    pub(crate) inputs: Vec<NetId>,
+    pub(crate) output: NetId,
+}
+
+impl Gate {
+    /// Instance name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The library cell this instance realizes.
+    pub fn cell(&self) -> CellId {
+        self.cell
+    }
+
+    /// Input nets, in pin order.
+    pub fn inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// Output net.
+    pub fn output(&self) -> NetId {
+        self.output
+    }
+}
+
+/// A validated combinational circuit: an acyclic gate DAG over a cell
+/// library, with primary inputs/outputs and precomputed topological order,
+/// logic levels, and fan-out maps.
+///
+/// Construct circuits through [`crate::CircuitBuilder`] or the
+/// [`crate::bench`] parser.
+#[derive(Debug, Clone)]
+pub struct Circuit {
+    pub(crate) name: String,
+    pub(crate) library: Library,
+    pub(crate) nets: Vec<Net>,
+    pub(crate) gates: Vec<Gate>,
+    pub(crate) primary_inputs: Vec<NetId>,
+    pub(crate) primary_outputs: Vec<NetId>,
+    pub(crate) topo: Vec<GateId>,
+    pub(crate) levels: Vec<usize>,
+    pub(crate) fanout: Vec<Vec<GateId>>,
+    pub(crate) is_po: Vec<bool>,
+}
+
+impl Circuit {
+    /// Circuit name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The cell library the circuit is mapped to.
+    pub fn library(&self) -> &Library {
+        &self.library
+    }
+
+    /// All nets.
+    pub fn nets(&self) -> &[Net] {
+        &self.nets
+    }
+
+    /// All gate instances.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Fetches a net by id.
+    pub fn net(&self, id: NetId) -> &Net {
+        &self.nets[id.0]
+    }
+
+    /// Fetches a gate by id.
+    pub fn gate(&self, id: GateId) -> &Gate {
+        &self.gates[id.0]
+    }
+
+    /// Primary input nets, in declaration order.
+    pub fn primary_inputs(&self) -> &[NetId] {
+        &self.primary_inputs
+    }
+
+    /// Primary output nets, in declaration order.
+    pub fn primary_outputs(&self) -> &[NetId] {
+        &self.primary_outputs
+    }
+
+    /// Gates in topological (fan-in before fan-out) order.
+    pub fn topo_order(&self) -> &[GateId] {
+        &self.topo
+    }
+
+    /// Logic level of each gate (indexed by `GateId::index`): 1 + the
+    /// maximum level of its fan-in gates, with primary inputs at level 0.
+    pub fn gate_level(&self, id: GateId) -> usize {
+        self.levels[id.0]
+    }
+
+    /// Maximum logic depth of the circuit.
+    pub fn depth(&self) -> usize {
+        self.levels.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Gates whose inputs include `net` (the net's fan-out).
+    pub fn fanout(&self, net: NetId) -> &[GateId] {
+        &self.fanout[net.0]
+    }
+
+    /// Whether `net` is a primary output.
+    pub fn is_primary_output(&self, net: NetId) -> bool {
+        self.is_po[net.0]
+    }
+
+    /// Capacitive load on `net` in unit input capacitances: the sum of the
+    /// fan-out pins' input capacitances, plus one unit for a primary output
+    /// pad.
+    pub fn load_of(&self, net: NetId) -> f64 {
+        let mut load = 0.0;
+        for &g in self.fanout(net) {
+            load += self.library.cell(self.gates[g.0].cell).timing().input_cap;
+        }
+        if self.is_po[net.0] {
+            load += 1.0;
+        }
+        load
+    }
+
+    /// Looks up a net by name (linear scan; intended for tests and I/O).
+    pub fn find_net(&self, name: &str) -> Option<NetId> {
+        self.nets
+            .iter()
+            .position(|n| n.name == name)
+            .map(NetId)
+    }
+
+    /// Summary statistics: `(inputs, outputs, gates, depth)`.
+    pub fn stats(&self) -> (usize, usize, usize, usize) {
+        (
+            self.primary_inputs.len(),
+            self.primary_outputs.len(),
+            self.gates.len(),
+            self.depth(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::CircuitBuilder;
+    use relia_cells::Library;
+
+    #[test]
+    fn load_accounts_for_fanout_and_po() {
+        let mut b = CircuitBuilder::new("t", Library::ptm90());
+        let a = b.add_input("a");
+        let n1 = b.add_gate("INV", "g1", &[a]).unwrap();
+        let n2 = b.add_gate("NAND2", "g2", &[a, n1]).unwrap();
+        let n3 = b.add_gate("INV", "g3", &[n1]).unwrap();
+        b.mark_output(n2);
+        b.mark_output(n3);
+        let c = b.build().unwrap();
+
+        // n1 feeds a NAND2 pin (1.2) and an INV pin (1.0).
+        let n1_id = c.find_net("g1").unwrap();
+        assert!((c.load_of(n1_id) - 2.2).abs() < 1e-12);
+        // n2 is a PO with no gate fan-out.
+        let n2_id = c.find_net("g2").unwrap();
+        assert!((c.load_of(n2_id) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn levels_and_depth() {
+        let mut b = CircuitBuilder::new("t", Library::ptm90());
+        let a = b.add_input("a");
+        let x = b.add_gate("INV", "g1", &[a]).unwrap();
+        let y = b.add_gate("INV", "g2", &[x]).unwrap();
+        let z = b.add_gate("NAND2", "g3", &[a, y]).unwrap();
+        b.mark_output(z);
+        let c = b.build().unwrap();
+        assert_eq!(c.depth(), 3);
+        let g3 = c.gates().iter().position(|g| g.name() == "g3").unwrap();
+        assert_eq!(c.gate_level(crate::GateId(g3)), 3);
+    }
+}

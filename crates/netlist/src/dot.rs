@@ -1,0 +1,150 @@
+//! Graphviz DOT export for circuit visualization and debugging.
+
+use std::fmt::Write as _;
+
+use crate::circuit::Circuit;
+
+/// Options for DOT rendering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DotOptions {
+    /// Rank gates left-to-right by logic level.
+    pub rank_by_level: bool,
+    /// Include net names on edges.
+    pub edge_labels: bool,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        DotOptions {
+            rank_by_level: true,
+            edge_labels: false,
+        }
+    }
+}
+
+/// Renders the circuit as a Graphviz `digraph`.
+///
+/// Primary inputs are plain ovals, gates are boxes labeled
+/// `instance\ncell`, primary outputs are double ovals.
+///
+/// ```
+/// use relia_netlist::{dot, iscas};
+///
+/// let text = dot::to_dot(&iscas::c17(), &dot::DotOptions::default());
+/// assert!(text.starts_with("digraph"));
+/// assert!(text.contains("NAND2"));
+/// ```
+pub fn to_dot(circuit: &Circuit, options: &DotOptions) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", circuit.name());
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [fontname=\"monospace\"];");
+
+    for &pi in circuit.primary_inputs() {
+        let _ = writeln!(
+            out,
+            "  \"n{}\" [label=\"{}\", shape=oval];",
+            pi.index(),
+            escape(circuit.net(pi).name())
+        );
+    }
+    for (gi, gate) in circuit.gates().iter().enumerate() {
+        let cell = circuit.library().cell(gate.cell());
+        let shape = if circuit.is_primary_output(gate.output()) {
+            "doubleoctagon"
+        } else {
+            "box"
+        };
+        let _ = writeln!(
+            out,
+            "  \"g{gi}\" [label=\"{}\\n{}\", shape={shape}];",
+            escape(gate.name()),
+            cell.name()
+        );
+    }
+
+    // Edges: driver -> consumer.
+    for (gi, gate) in circuit.gates().iter().enumerate() {
+        for &input in gate.inputs() {
+            let src = match circuit.net(input).driver() {
+                crate::circuit::NetDriver::PrimaryInput => format!("n{}", input.index()),
+                crate::circuit::NetDriver::Gate(g) => format!("g{}", g.index()),
+            };
+            if options.edge_labels {
+                let _ = writeln!(
+                    out,
+                    "  \"{src}\" -> \"g{gi}\" [label=\"{}\"];",
+                    escape(circuit.net(input).name())
+                );
+            } else {
+                let _ = writeln!(out, "  \"{src}\" -> \"g{gi}\";");
+            }
+        }
+    }
+
+    if options.rank_by_level {
+        let max_level = circuit.depth();
+        for level in 1..=max_level {
+            let members: Vec<String> = circuit
+                .topo_order()
+                .iter()
+                .filter(|g| circuit.gate_level(**g) == level)
+                .map(|g| format!("\"g{}\"", g.index()))
+                .collect();
+            if !members.is_empty() {
+                let _ = writeln!(out, "  {{ rank=same; {} }}", members.join("; "));
+            }
+        }
+    }
+
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iscas;
+
+    #[test]
+    fn dot_contains_all_gates_and_inputs() {
+        let c = iscas::c17();
+        let text = to_dot(&c, &DotOptions::default());
+        for g in c.gates() {
+            assert!(text.contains(&format!("\"{}\\nNAND2\"", g.name())), "{}", g.name());
+        }
+        assert_eq!(text.matches(" -> ").count(), 12); // 6 gates x 2 inputs
+    }
+
+    #[test]
+    fn outputs_are_marked() {
+        let c = iscas::c17();
+        let text = to_dot(&c, &DotOptions::default());
+        assert_eq!(text.matches("doubleoctagon").count(), 2);
+    }
+
+    #[test]
+    fn edge_labels_optional() {
+        let c = iscas::c17();
+        let plain = to_dot(&c, &DotOptions::default());
+        let labeled = to_dot(
+            &c,
+            &DotOptions {
+                edge_labels: true,
+                ..DotOptions::default()
+            },
+        );
+        assert!(labeled.len() > plain.len());
+    }
+
+    #[test]
+    fn rank_groups_match_depth() {
+        let c = iscas::c17();
+        let text = to_dot(&c, &DotOptions::default());
+        assert_eq!(text.matches("rank=same").count(), c.depth());
+    }
+}

@@ -1,0 +1,94 @@
+//! Error type for netlist construction and parsing.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by circuit construction and `.bench` parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A net name was declared twice.
+    DuplicateNet {
+        /// The clashing name.
+        name: String,
+    },
+    /// A gate references a net that was never declared or driven.
+    UndrivenNet {
+        /// The offending net name.
+        name: String,
+    },
+    /// A gate's input count does not match its cell's pin count.
+    ArityMismatch {
+        /// Gate instance name.
+        gate: String,
+        /// Cell name.
+        cell: String,
+        /// Pins the cell expects.
+        expected: usize,
+        /// Inputs supplied.
+        got: usize,
+    },
+    /// The netlist contains a combinational cycle.
+    CombinationalCycle {
+        /// A net on the cycle.
+        near: String,
+    },
+    /// The library does not contain the requested cell.
+    UnknownCell {
+        /// The requested cell name.
+        name: String,
+    },
+    /// A `.bench` line could not be parsed.
+    ParseError {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// The circuit has no primary outputs.
+    NoOutputs,
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::DuplicateNet { name } => write!(f, "net {name} declared twice"),
+            NetlistError::UndrivenNet { name } => write!(f, "net {name} is never driven"),
+            NetlistError::ArityMismatch {
+                gate,
+                cell,
+                expected,
+                got,
+            } => write!(
+                f,
+                "gate {gate}: cell {cell} expects {expected} inputs, got {got}"
+            ),
+            NetlistError::CombinationalCycle { near } => {
+                write!(f, "combinational cycle near net {near}")
+            }
+            NetlistError::UnknownCell { name } => write!(f, "unknown cell {name}"),
+            NetlistError::ParseError { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            NetlistError::NoOutputs => write!(f, "circuit has no primary outputs"),
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_context() {
+        let e = NetlistError::ArityMismatch {
+            gate: "g1".into(),
+            cell: "NAND2".into(),
+            expected: 2,
+            got: 3,
+        };
+        let s = e.to_string();
+        assert!(s.contains("g1") && s.contains("NAND2"));
+    }
+}

@@ -1,0 +1,320 @@
+//! The benchmark suite: the genuine ISCAS85 `c17`, plus deterministic
+//! synthetic stand-ins for the larger ISCAS85 circuits.
+//!
+//! The original ISCAS85 netlist files are not redistributable within this
+//! repository, so for every benchmark beyond `c17` we generate a circuit
+//! with the *published* primary-input / primary-output / gate-count / depth
+//! statistics, a representative gate-type mix, and locality-biased wiring.
+//! The experiments the paper runs over these circuits aggregate hundreds of
+//! gates (critical-path degradation, total leakage), so matched statistics
+//! exercise the same code paths and reproduce the same trends. Genuine
+//! `.bench` files can be dropped in through [`crate::bench::parse`] at any
+//! time.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use relia_cells::Library;
+
+use crate::builder::CircuitBuilder;
+use crate::circuit::{Circuit, NetId};
+
+/// Published statistics of one ISCAS85 benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BenchmarkSpec {
+    /// Benchmark name (e.g. `"c432"`).
+    pub name: &'static str,
+    /// Primary inputs.
+    pub inputs: usize,
+    /// Primary outputs.
+    pub outputs: usize,
+    /// Gate count.
+    pub gates: usize,
+    /// Logic depth.
+    pub depth: usize,
+}
+
+/// The ISCAS85 suite statistics (inputs, outputs, gates, depth).
+pub const SPECS: [BenchmarkSpec; 10] = [
+    BenchmarkSpec { name: "c432", inputs: 36, outputs: 7, gates: 160, depth: 17 },
+    BenchmarkSpec { name: "c499", inputs: 41, outputs: 32, gates: 202, depth: 11 },
+    BenchmarkSpec { name: "c880", inputs: 60, outputs: 26, gates: 383, depth: 24 },
+    BenchmarkSpec { name: "c1355", inputs: 41, outputs: 32, gates: 546, depth: 24 },
+    BenchmarkSpec { name: "c1908", inputs: 33, outputs: 25, gates: 880, depth: 40 },
+    BenchmarkSpec { name: "c2670", inputs: 233, outputs: 140, gates: 1193, depth: 32 },
+    BenchmarkSpec { name: "c3540", inputs: 50, outputs: 22, gates: 1669, depth: 47 },
+    BenchmarkSpec { name: "c5315", inputs: 178, outputs: 123, gates: 2307, depth: 49 },
+    BenchmarkSpec { name: "c6288", inputs: 32, outputs: 32, gates: 2416, depth: 124 },
+    BenchmarkSpec { name: "c7552", inputs: 207, outputs: 108, gates: 3512, depth: 43 },
+];
+
+/// The genuine ISCAS85 `c17` circuit (6 NAND2 gates).
+///
+/// ```
+/// use relia_netlist::iscas;
+///
+/// let c = iscas::c17();
+/// assert_eq!(c.stats(), (5, 2, 6, 3));
+/// ```
+pub fn c17() -> Circuit {
+    let mut b = CircuitBuilder::new("c17", Library::ptm90());
+    let n1 = b.add_input("1");
+    let n2 = b.add_input("2");
+    let n3 = b.add_input("3");
+    let n6 = b.add_input("6");
+    let n7 = b.add_input("7");
+    let n10 = b.add_gate("NAND2", "10", &[n1, n3]).expect("valid");
+    let n11 = b.add_gate("NAND2", "11", &[n3, n6]).expect("valid");
+    let n16 = b.add_gate("NAND2", "16", &[n2, n11]).expect("valid");
+    let n19 = b.add_gate("NAND2", "19", &[n11, n7]).expect("valid");
+    let n22 = b.add_gate("NAND2", "22", &[n10, n16]).expect("valid");
+    let n23 = b.add_gate("NAND2", "23", &[n16, n19]).expect("valid");
+    let _ = n10;
+    b.mark_output(n22);
+    b.mark_output(n23);
+    b.build().expect("c17 is valid")
+}
+
+/// Gate-type mix used by the synthetic generator: `(cell, weight)`.
+const CELL_MIX: [(&str, u32); 12] = [
+    ("NAND2", 30),
+    ("NOR2", 14),
+    ("INV", 14),
+    ("NAND3", 8),
+    ("AND2", 8),
+    ("OR2", 6),
+    ("NOR3", 5),
+    ("AOI21", 4),
+    ("OAI21", 4),
+    ("XOR2", 3),
+    ("NAND4", 2),
+    ("BUF", 2),
+];
+
+fn name_seed(name: &str) -> u64 {
+    // FNV-1a, so each benchmark is deterministic but distinct.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Generates the synthetic stand-in for `spec` (deterministic per name).
+pub fn synthesize(spec: &BenchmarkSpec) -> Circuit {
+    let mut rng = StdRng::seed_from_u64(name_seed(spec.name));
+    let mut b = CircuitBuilder::new(spec.name, Library::ptm90());
+
+    let pis: Vec<NetId> = (0..spec.inputs)
+        .map(|i| b.add_input(format!("pi{i}")))
+        .collect();
+
+    // Distribute gates across `depth` levels, at least one per level, the
+    // rest spread randomly (middle-heavy).
+    let mut level_sizes = vec![1usize; spec.depth];
+    let mut remaining = spec.gates - spec.depth;
+    while remaining > 0 {
+        let idx = middle_biased_index(&mut rng, spec.depth);
+        level_sizes[idx] += 1;
+        remaining -= 1;
+    }
+
+    let total_weight: u32 = CELL_MIX.iter().map(|(_, w)| w).sum();
+    let mut levels: Vec<Vec<NetId>> = vec![pis.clone()];
+    let mut use_count: Vec<u32> = vec![0; spec.inputs];
+    let mut gate_no = 0usize;
+
+    for &size in &level_sizes {
+        let mut this_level = Vec::with_capacity(size);
+        for k in 0..size {
+            let cell = pick_cell(&mut rng, total_weight);
+            let arity = b
+                .library()
+                .find(cell)
+                .map(|id| b.library().cell(id).num_pins())
+                .expect("catalog cell");
+            let mut inputs = Vec::with_capacity(arity);
+            // The first gate of each level anchors the depth: its first
+            // input comes from the previous level.
+            let prev = levels.last().expect("level 0 exists");
+            let first = if k == 0 || rng.gen_bool(0.7) {
+                tournament_pick(&mut rng, prev, &use_count)
+            } else {
+                pick_from_history(&mut rng, &levels, &use_count)
+            };
+            inputs.push(first);
+            use_count[first.index()] += 1;
+            for _ in 1..arity {
+                let pick = pick_from_history(&mut rng, &levels, &use_count);
+                inputs.push(pick);
+                use_count[pick.index()] += 1;
+            }
+            gate_no += 1;
+            let out = b
+                .add_gate(cell, format!("g{gate_no}"), &inputs)
+                .expect("generated gates are valid");
+            debug_assert_eq!(out.index(), use_count.len());
+            use_count.push(0);
+            this_level.push(out);
+        }
+        levels.push(this_level);
+    }
+
+    // Primary outputs: every unconsumed gate output must escape somewhere,
+    // then top up from the deepest levels until the spec count is reached.
+    let mut pos: Vec<NetId> = use_count
+        .iter()
+        .enumerate()
+        .skip(spec.inputs)
+        .filter(|(_, &c)| c == 0)
+        .map(|(i, _)| NetId(i))
+        .collect();
+    'outer: for level in levels.iter().rev() {
+        for &net in level {
+            if pos.len() >= spec.outputs {
+                break 'outer;
+            }
+            if !pos.contains(&net) {
+                pos.push(net);
+            }
+        }
+    }
+    for po in pos {
+        b.mark_output(po);
+    }
+    b.build().expect("generated circuit is valid")
+}
+
+fn middle_biased_index(rng: &mut StdRng, depth: usize) -> usize {
+    // Average of two uniforms: triangular distribution peaking mid-depth.
+    let a = rng.gen_range(0..depth);
+    let b = rng.gen_range(0..depth);
+    (a + b) / 2
+}
+
+fn pick_cell(rng: &mut StdRng, total_weight: u32) -> &'static str {
+    let mut roll = rng.gen_range(0..total_weight);
+    for (cell, w) in CELL_MIX {
+        if roll < w {
+            return cell;
+        }
+        roll -= w;
+    }
+    unreachable!("weights cover the roll range")
+}
+
+/// Picks from `candidates`, preferring less-used nets (2-way tournament).
+fn tournament_pick(rng: &mut StdRng, candidates: &[NetId], use_count: &[u32]) -> NetId {
+    let a = candidates[rng.gen_range(0..candidates.len())];
+    let b = candidates[rng.gen_range(0..candidates.len())];
+    if use_count[a.index()] <= use_count[b.index()] {
+        a
+    } else {
+        b
+    }
+}
+
+/// Picks a net from any earlier level, biased toward recent levels.
+fn pick_from_history(rng: &mut StdRng, levels: &[Vec<NetId>], use_count: &[u32]) -> NetId {
+    // Geometric walk back from the latest level.
+    let mut li = levels.len() - 1;
+    while li > 0 && rng.gen_bool(0.45) {
+        li -= 1;
+    }
+    tournament_pick(rng, &levels[li], use_count)
+}
+
+/// Builds a benchmark by name: `"c17"` is the genuine circuit; the rest are
+/// synthesized from [`SPECS`]. Returns `None` for unknown names.
+///
+/// ```
+/// use relia_netlist::iscas;
+///
+/// let c432 = iscas::circuit("c432").expect("known benchmark");
+/// assert_eq!(c432.gates().len(), 160);
+/// assert_eq!(c432.depth(), 17);
+/// ```
+pub fn circuit(name: &str) -> Option<Circuit> {
+    if name == "c17" {
+        return Some(c17());
+    }
+    SPECS.iter().find(|s| s.name == name).map(synthesize)
+}
+
+/// The benchmark names the paper's tables iterate over, smallest first.
+pub fn names() -> Vec<&'static str> {
+    let mut v = vec!["c17"];
+    v.extend(SPECS.iter().map(|s| s.name));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn c17_truth_sample() {
+        let c = c17();
+        // Evaluate through the structural path: all-zero inputs.
+        let mut values = vec![false; c.nets().len()];
+        for &pi in c.primary_inputs() {
+            values[pi.index()] = false;
+        }
+        for &gid in c.topo_order() {
+            let g = c.gate(gid);
+            let ins: Vec<bool> = g.inputs().iter().map(|n| values[n.index()]).collect();
+            values[g.output().index()] = c.library().cell(g.cell()).eval(&ins);
+        }
+        // NAND trees on all-zero inputs: every first-level NAND is 1,
+        // 16 = NAND(0, 1) = 1, 22 = NAND(1,1) = 0, 23 = NAND(1,1) = 0.
+        let po: Vec<bool> = c
+            .primary_outputs()
+            .iter()
+            .map(|p| values[p.index()])
+            .collect();
+        assert_eq!(po, vec![false, false]);
+    }
+
+    #[test]
+    fn synthetic_matches_spec_exactly_where_promised() {
+        for spec in &SPECS[..4] {
+            let c = synthesize(spec);
+            let (pi, po, gates, depth) = c.stats();
+            assert_eq!(pi, spec.inputs, "{}", spec.name);
+            assert_eq!(gates, spec.gates, "{}", spec.name);
+            assert_eq!(depth, spec.depth, "{}", spec.name);
+            // PO count is at least the spec (unconsumed nets also escape).
+            assert!(po >= spec.outputs, "{}: po {po} < {}", spec.name, spec.outputs);
+            assert!(po <= spec.outputs + spec.gates / 4, "{}: po {po} inflated", spec.name);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = circuit("c432").unwrap();
+        let b = circuit("c432").unwrap();
+        assert_eq!(a.gates().len(), b.gates().len());
+        for (ga, gb) in a.gates().iter().zip(b.gates()) {
+            assert_eq!(ga.cell(), gb.cell());
+            assert_eq!(ga.inputs(), gb.inputs());
+        }
+    }
+
+    #[test]
+    fn different_benchmarks_differ() {
+        let a = circuit("c432").unwrap();
+        let b = circuit("c499").unwrap();
+        assert_ne!(a.gates().len(), b.gates().len());
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        assert!(circuit("c9000").is_none());
+    }
+
+    #[test]
+    fn names_cover_suite() {
+        assert_eq!(names().len(), 11);
+        assert_eq!(names()[0], "c17");
+    }
+}

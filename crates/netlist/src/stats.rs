@@ -1,0 +1,101 @@
+//! Summary statistics of a circuit (cell histogram, fan-out profile).
+
+use std::collections::BTreeMap;
+
+use crate::circuit::Circuit;
+
+/// Aggregate statistics of one circuit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CircuitStats {
+    /// Primary inputs.
+    pub inputs: usize,
+    /// Primary outputs.
+    pub outputs: usize,
+    /// Gate instances.
+    pub gates: usize,
+    /// Logic depth.
+    pub depth: usize,
+    /// Instances per cell type, sorted by name.
+    pub cell_histogram: BTreeMap<String, usize>,
+    /// Largest net fan-out.
+    pub max_fanout: usize,
+    /// Mean net fan-out over driven nets.
+    pub mean_fanout: f64,
+    /// Total PMOS devices (the NBTI-susceptible population).
+    pub pmos_devices: usize,
+}
+
+impl CircuitStats {
+    /// Computes statistics for `circuit`.
+    ///
+    /// ```
+    /// use relia_netlist::{iscas, stats::CircuitStats};
+    ///
+    /// let s = CircuitStats::of(&iscas::c17());
+    /// assert_eq!(s.gates, 6);
+    /// assert_eq!(s.cell_histogram["NAND2"], 6);
+    /// assert_eq!(s.pmos_devices, 12);
+    /// ```
+    pub fn of(circuit: &Circuit) -> Self {
+        let mut cell_histogram: BTreeMap<String, usize> = BTreeMap::new();
+        let mut pmos_devices = 0;
+        for gate in circuit.gates() {
+            let cell = circuit.library().cell(gate.cell());
+            *cell_histogram.entry(cell.name().to_owned()).or_insert(0) += 1;
+            pmos_devices += cell.pmos_count();
+        }
+        let fanouts: Vec<usize> = circuit
+            .gates()
+            .iter()
+            .map(|g| circuit.fanout(g.output()).len())
+            .collect();
+        let max_fanout = circuit
+            .nets()
+            .iter()
+            .enumerate()
+            .map(|(i, _)| circuit.fanout(crate::circuit::NetId(i)).len())
+            .max()
+            .unwrap_or(0);
+        let mean_fanout = if fanouts.is_empty() {
+            0.0
+        } else {
+            fanouts.iter().sum::<usize>() as f64 / fanouts.len() as f64
+        };
+        let (inputs, outputs, gates, depth) = circuit.stats();
+        CircuitStats {
+            inputs,
+            outputs,
+            gates,
+            depth,
+            cell_histogram,
+            max_fanout,
+            mean_fanout,
+            pmos_devices,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iscas;
+
+    #[test]
+    fn c17_stats() {
+        let s = CircuitStats::of(&iscas::c17());
+        assert_eq!(s.inputs, 5);
+        assert_eq!(s.outputs, 2);
+        assert_eq!(s.depth, 3);
+        assert_eq!(s.cell_histogram.len(), 1);
+        assert!(s.max_fanout >= 2);
+        assert!(s.mean_fanout > 0.0);
+    }
+
+    #[test]
+    fn synthetic_histogram_spans_families() {
+        let s = CircuitStats::of(&iscas::circuit("c880").expect("known"));
+        assert!(s.cell_histogram.len() >= 8, "only {:?}", s.cell_histogram.keys());
+        assert_eq!(s.cell_histogram.values().sum::<usize>(), s.gates);
+        assert!(s.pmos_devices > s.gates, "NOR/AOI stages carry multiple PMOS");
+    }
+}

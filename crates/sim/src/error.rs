@@ -1,0 +1,55 @@
+//! Error type for simulation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by simulation entry points.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The stimulus width does not match the circuit's primary inputs.
+    StimulusWidthMismatch {
+        /// Primary inputs the circuit has.
+        expected: usize,
+        /// Values supplied.
+        got: usize,
+    },
+    /// A probability is outside `[0, 1]`.
+    InvalidProbability {
+        /// Index of the offending entry.
+        index: usize,
+        /// The rejected value.
+        value: f64,
+    },
+    /// Zero samples were requested for a statistical estimate.
+    NoSamples,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::StimulusWidthMismatch { expected, got } => {
+                write!(f, "stimulus has {got} values but circuit has {expected} inputs")
+            }
+            SimError::InvalidProbability { index, value } => {
+                write!(f, "probability {value} at index {index} is outside [0, 1]")
+            }
+            SimError::NoSamples => write!(f, "at least one sample is required"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_has_counts() {
+        let e = SimError::StimulusWidthMismatch {
+            expected: 5,
+            got: 3,
+        };
+        assert!(e.to_string().contains('5') && e.to_string().contains('3'));
+    }
+}

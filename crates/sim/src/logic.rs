@@ -1,0 +1,132 @@
+//! Two-valued logic simulation.
+
+use relia_netlist::{Circuit, GateId, NetId};
+
+use crate::error::SimError;
+
+/// Net values resulting from one simulation: indexed by `NetId`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetValues {
+    values: Vec<bool>,
+}
+
+impl NetValues {
+    /// Value of one net.
+    pub fn of(&self, net: NetId) -> bool {
+        self.values[net.index()]
+    }
+
+    /// Values of the circuit's primary outputs, in declaration order.
+    pub fn outputs(&self, circuit: &Circuit) -> Vec<bool> {
+        circuit
+            .primary_outputs()
+            .iter()
+            .map(|&po| self.of(po))
+            .collect()
+    }
+
+    /// The input levels seen by one gate, in pin order.
+    pub fn gate_inputs(&self, circuit: &Circuit, gate: GateId) -> Vec<bool> {
+        circuit
+            .gate(gate)
+            .inputs()
+            .iter()
+            .map(|&n| self.of(n))
+            .collect()
+    }
+
+    /// All net values (indexed by `NetId::index`).
+    pub fn as_slice(&self) -> &[bool] {
+        &self.values
+    }
+}
+
+/// Simulates the circuit under a primary-input assignment (index i of
+/// `stimulus` drives `circuit.primary_inputs()[i]`).
+///
+/// # Errors
+///
+/// Returns [`SimError::StimulusWidthMismatch`] when the stimulus width is
+/// wrong.
+///
+/// ```
+/// use relia_netlist::iscas;
+/// use relia_sim::logic;
+///
+/// let c = iscas::c17();
+/// let v = logic::simulate(&c, &[true, true, true, true, true])?;
+/// assert_eq!(v.outputs(&c).len(), 2);
+/// # Ok::<(), relia_sim::SimError>(())
+/// ```
+pub fn simulate(circuit: &Circuit, stimulus: &[bool]) -> Result<NetValues, SimError> {
+    let pis = circuit.primary_inputs();
+    if stimulus.len() != pis.len() {
+        return Err(SimError::StimulusWidthMismatch {
+            expected: pis.len(),
+            got: stimulus.len(),
+        });
+    }
+    let mut values = vec![false; circuit.nets().len()];
+    for (&pi, &v) in pis.iter().zip(stimulus) {
+        values[pi.index()] = v;
+    }
+    for &gid in circuit.topo_order() {
+        let gate = circuit.gate(gid);
+        let inputs: Vec<bool> = gate.inputs().iter().map(|n| values[n.index()]).collect();
+        values[gate.output().index()] = circuit.library().cell(gate.cell()).eval(&inputs);
+    }
+    Ok(NetValues { values })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relia_cells::Library;
+    use relia_netlist::CircuitBuilder;
+
+    fn xor_circuit() -> Circuit {
+        let mut b = CircuitBuilder::new("x", Library::ptm90());
+        let a = b.add_input("a");
+        let c = b.add_input("b");
+        let y = b.add_gate("XOR2", "y", &[a, c]).unwrap();
+        b.mark_output(y);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn xor_simulation() {
+        let c = xor_circuit();
+        for (a, b, want) in [
+            (false, false, false),
+            (false, true, true),
+            (true, false, true),
+            (true, true, false),
+        ] {
+            let v = simulate(&c, &[a, b]).unwrap();
+            assert_eq!(v.outputs(&c), vec![want], "{a} {b}");
+        }
+    }
+
+    #[test]
+    fn gate_inputs_are_exposed() {
+        let c = xor_circuit();
+        let v = simulate(&c, &[true, false]).unwrap();
+        let gid = c.topo_order()[0];
+        assert_eq!(v.gate_inputs(&c, gid), vec![true, false]);
+    }
+
+    #[test]
+    fn width_mismatch_is_error() {
+        let c = xor_circuit();
+        assert!(simulate(&c, &[true]).is_err());
+    }
+
+    #[test]
+    fn c17_known_vector() {
+        let c = relia_netlist::iscas::c17();
+        // All-ones: 10 = NAND(1,1)=0, 11 = 0, 16 = NAND(1,0)=1,
+        // 19 = NAND(0,1)=1, 22 = NAND(0,1)=1, 23 = NAND(1,1)=0.
+        let v = simulate(&c, &[true; 5]).unwrap();
+        assert_eq!(v.outputs(&c), vec![true, false]);
+    }
+}

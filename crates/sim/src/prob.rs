@@ -1,0 +1,149 @@
+//! Signal-probability propagation.
+//!
+//! Each net's probability of being logic-1 is propagated through the gate
+//! DAG using each cell's exact input-enumeration
+//! ([`relia_cells::Cell::output_probability`]), under the usual independence
+//! assumption across gate inputs. Reconvergent fan-out introduces
+//! correlation this model ignores; the Monte-Carlo estimator in
+//! [`crate::monte_carlo`] provides the unbiased reference.
+
+use relia_netlist::{Circuit, GateId, NetId};
+
+use crate::error::SimError;
+
+/// Per-net signal probabilities (probability of logic 1), indexed by
+/// `NetId`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SignalProbs {
+    probs: Vec<f64>,
+}
+
+impl SignalProbs {
+    pub(crate) fn from_vec(probs: Vec<f64>) -> Self {
+        SignalProbs { probs }
+    }
+
+    /// Probability that `net` is logic 1.
+    pub fn of(&self, net: NetId) -> f64 {
+        self.probs[net.index()]
+    }
+
+    /// The probabilities seen by a gate's pins, in pin order.
+    pub fn gate_inputs(&self, circuit: &Circuit, gate: GateId) -> Vec<f64> {
+        circuit
+            .gate(gate)
+            .inputs()
+            .iter()
+            .map(|&n| self.of(n))
+            .collect()
+    }
+
+    /// All probabilities (indexed by `NetId::index`).
+    pub fn as_slice(&self) -> &[f64] {
+        &self.probs
+    }
+}
+
+/// Propagates primary-input probabilities through the circuit.
+///
+/// # Errors
+///
+/// Returns [`SimError`] for a width mismatch or out-of-range probability.
+///
+/// ```
+/// use relia_netlist::iscas;
+/// use relia_sim::prob;
+///
+/// let c = iscas::c17();
+/// let sp = prob::propagate(&c, &[0.5; 5])?;
+/// // NAND of two independent 0.5 inputs is 1 with probability 0.75.
+/// let first_nand = c.gates()[0].output();
+/// assert!((sp.of(first_nand) - 0.75).abs() < 1e-12);
+/// # Ok::<(), relia_sim::SimError>(())
+/// ```
+pub fn propagate(circuit: &Circuit, pi_probs: &[f64]) -> Result<SignalProbs, SimError> {
+    let pis = circuit.primary_inputs();
+    if pi_probs.len() != pis.len() {
+        return Err(SimError::StimulusWidthMismatch {
+            expected: pis.len(),
+            got: pi_probs.len(),
+        });
+    }
+    for (i, &p) in pi_probs.iter().enumerate() {
+        if !(0.0..=1.0).contains(&p) || p.is_nan() {
+            return Err(SimError::InvalidProbability { index: i, value: p });
+        }
+    }
+    let mut probs = vec![0.0; circuit.nets().len()];
+    for (&pi, &p) in pis.iter().zip(pi_probs) {
+        probs[pi.index()] = p;
+    }
+    for &gid in circuit.topo_order() {
+        let gate = circuit.gate(gid);
+        let inputs: Vec<f64> = gate.inputs().iter().map(|n| probs[n.index()]).collect();
+        probs[gate.output().index()] = circuit
+            .library()
+            .cell(gate.cell())
+            .output_probability(&inputs);
+    }
+    Ok(SignalProbs::from_vec(probs))
+}
+
+/// Convenience: uniform 0.5 probability on every primary input — the
+/// paper's active-mode assumption.
+///
+/// # Errors
+///
+/// Never fails for a valid circuit; mirrors [`propagate`].
+pub fn propagate_uniform(circuit: &Circuit) -> Result<SignalProbs, SimError> {
+    propagate(circuit, &vec![0.5; circuit.primary_inputs().len()])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relia_cells::Library;
+    use relia_netlist::CircuitBuilder;
+
+    #[test]
+    fn inverter_flips_probability() {
+        let mut b = CircuitBuilder::new("t", Library::ptm90());
+        let a = b.add_input("a");
+        let y = b.add_gate("INV", "y", &[a]).unwrap();
+        b.mark_output(y);
+        let c = b.build().unwrap();
+        let sp = propagate(&c, &[0.3]).unwrap();
+        assert!((sp.of(c.primary_outputs()[0]) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn corner_probabilities_match_logic() {
+        let c = relia_netlist::iscas::c17();
+        for bits in 0..32u32 {
+            let stim: Vec<bool> = (0..5).map(|i| bits >> i & 1 == 1).collect();
+            let corner: Vec<f64> = stim.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect();
+            let sp = propagate(&c, &corner).unwrap();
+            let lv = crate::logic::simulate(&c, &stim).unwrap();
+            for po in c.primary_outputs() {
+                let expected = if lv.of(*po) { 1.0 } else { 0.0 };
+                assert!((sp.of(*po) - expected).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn probabilities_stay_bounded() {
+        let c = relia_netlist::iscas::circuit("c432").unwrap();
+        let sp = propagate_uniform(&c).unwrap();
+        for p in sp.as_slice() {
+            assert!((0.0..=1.0).contains(p));
+        }
+    }
+
+    #[test]
+    fn invalid_probability_is_rejected() {
+        let c = relia_netlist::iscas::c17();
+        assert!(propagate(&c, &[0.5, 0.5, 1.5, 0.5, 0.5]).is_err());
+        assert!(propagate(&c, &[0.5; 4]).is_err());
+    }
+}

@@ -1,0 +1,261 @@
+//! Sleep-transistor sizing (eqs. 25–31 of the paper).
+//!
+//! The gate delay with an ST in the supply path rises from
+//! `D ∝ 1/(V_dd − V_thlow)^α` to `D ∝ 1/(V_dd − V_ST − V_thlow)^α`
+//! (eqs. 25–26); to first order the penalty is
+//! `ΔD/D = α·V_ST/(V_dd − V_thlow)` (eq. 27). Budgeting a penalty `β`
+//! bounds the virtual-rail drop (eq. 28), which with the ST's linear-region
+//! current (eq. 29) fixes the minimum `(W/L)` (eq. 30). NBTI raises the ST
+//! threshold over the lifetime, so a *safe* PMOS header must be oversized
+//! by `ΔV_th/(V_dd − V_thST − V_ST)` (eq. 31).
+
+use relia_core::{ModelError, ModeSchedule, NbtiModel, PmosStress, Seconds, Volts};
+
+/// Sleep-transistor sizing parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StSizing {
+    /// Supply voltage in volts.
+    pub vdd: f64,
+    /// Threshold of the (low-V_th) logic devices, in volts.
+    pub vth_low: f64,
+    /// Initial threshold magnitude of the sleep transistor, in volts.
+    pub vth_st: f64,
+    /// Allowed relative delay penalty at time zero (`ΔD/D < β`).
+    pub beta: f64,
+    /// Velocity saturation index of the logic devices.
+    pub alpha: f64,
+    /// `μ_p·C_ox` proxy of the ST's linear-region transconductance, in
+    /// A/V² per unit `(W/L)`.
+    pub mobility_cox: f64,
+}
+
+impl StSizing {
+    /// The paper's operating point with a chosen penalty budget `beta` and
+    /// initial ST threshold `vth_st`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] for out-of-range values.
+    pub fn paper_defaults(beta: f64, vth_st: f64) -> Result<Self, ModelError> {
+        let s = StSizing {
+            vdd: 1.0,
+            vth_low: 0.22,
+            vth_st,
+            beta,
+            alpha: 1.3,
+            mobility_cox: 1.0e-4,
+        };
+        s.validate()?;
+        Ok(s)
+    }
+
+    fn validate(&self) -> Result<(), ModelError> {
+        if !(self.beta > 0.0 && self.beta < 0.5) {
+            return Err(ModelError::InvalidParameter {
+                name: "beta",
+                value: self.beta,
+                expected: "(0, 0.5)",
+            });
+        }
+        if self.vth_st <= 0.0 || self.vth_st >= self.vdd {
+            return Err(ModelError::InvalidParameter {
+                name: "vth_st",
+                value: self.vth_st,
+                expected: "(0, vdd)",
+            });
+        }
+        Ok(())
+    }
+
+    /// Maximum virtual-rail drop `V_ST` meeting the penalty budget
+    /// (eq. 28, with the α of eq. 27 retained):
+    /// `V_ST ≤ β (V_dd − V_thlow)/α`.
+    pub fn v_st_max(&self) -> f64 {
+        self.beta * (self.vdd - self.vth_low) / self.alpha
+    }
+
+    /// Time-zero delay penalty for a given virtual-rail drop (eq. 27).
+    pub fn delay_penalty(&self, v_st: f64) -> f64 {
+        self.alpha * v_st / (self.vdd - self.vth_low)
+    }
+
+    /// Minimum ST `(W/L)` that carries `i_on` amperes without exceeding
+    /// the rail-drop budget (eq. 30):
+    /// `(W/L) ≥ I_ON/(μC_ox (V_dd − V_thST) V_ST)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] for a non-positive current.
+    pub fn min_size(&self, i_on: f64) -> Result<f64, ModelError> {
+        if i_on <= 0.0 || !i_on.is_finite() {
+            return Err(ModelError::InvalidParameter {
+                name: "i_on",
+                value: i_on,
+                expected: "positive amperes",
+            });
+        }
+        Ok(i_on / (self.mobility_cox * (self.vdd - self.vth_st) * self.v_st_max()))
+    }
+
+    /// NBTI-aware relative size margin (eq. 31): the extra `(W/L)` fraction
+    /// that keeps the rail drop within budget after the ST threshold has
+    /// shifted by `delta_vth` volts:
+    /// `Δ(W/L)/(W/L) = ΔV_th/(V_dd − V_thST − V_ST)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] for a negative shift or one
+    /// that exhausts the ST overdrive.
+    pub fn nbti_size_margin(&self, delta_vth: f64) -> Result<f64, ModelError> {
+        let headroom = self.vdd - self.vth_st - self.v_st_max();
+        if !(0.0..1.0).contains(&delta_vth) || delta_vth >= headroom {
+            return Err(ModelError::InvalidParameter {
+                name: "delta_vth",
+                value: delta_vth,
+                expected: "[0, ST headroom)",
+            });
+        }
+        Ok(delta_vth / headroom)
+    }
+
+    /// Lifetime threshold shift of the PMOS header ST itself.
+    ///
+    /// While the circuit is *active* the ST's gate is low (`V_gs = −V_dd`,
+    /// stressed); in standby the gate is high (relaxed) — the exact
+    /// opposite of the logic's stress pattern, so the shift depends on RAS
+    /// but not on the standby temperature.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] for invalid model inputs.
+    pub fn st_delta_vth(
+        &self,
+        model: &NbtiModel,
+        schedule: &ModeSchedule,
+        lifetime: Seconds,
+    ) -> Result<f64, ModelError> {
+        let stress = PmosStress::new(1.0, 0.0)?;
+        model.delta_vth_with_vth0(lifetime, schedule, &stress, Volts(self.vth_st))
+    }
+
+    /// Rail drop after aging: with the threshold shifted by `delta_vth`
+    /// and the size fixed at the time-zero minimum, the linear-region
+    /// current constraint (eq. 29) gives
+    /// `V_ST(t) = V_ST(0)·(V_dd − V_thST)/(V_dd − V_thST − ΔV_th)`.
+    pub fn aged_rail_drop(&self, delta_vth: f64) -> f64 {
+        let od0 = self.vdd - self.vth_st;
+        self.v_st_max() * od0 / (od0 - delta_vth).max(1e-6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relia_core::{Kelvin, Ras};
+
+    fn sizing(beta: f64, vth_st: f64) -> StSizing {
+        StSizing::paper_defaults(beta, vth_st).unwrap()
+    }
+
+    fn schedule(active: f64, standby: f64) -> ModeSchedule {
+        ModeSchedule::new(
+            Ras::new(active, standby).unwrap(),
+            Seconds(1000.0),
+            Kelvin(400.0),
+            Kelvin(330.0),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn rail_budget_matches_penalty() {
+        let s = sizing(0.05, 0.30);
+        assert!((s.delay_penalty(s.v_st_max()) - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smaller_beta_needs_bigger_st() {
+        let tight = sizing(0.01, 0.30).min_size(1.0e-3).unwrap();
+        let loose = sizing(0.05, 0.30).min_size(1.0e-3).unwrap();
+        assert!(tight > loose);
+    }
+
+    #[test]
+    fn size_margin_range_matches_fig9() {
+        // Paper Fig. 9: Δ(W/L) spans ~1.1% (V_th = 0.40, RAS = 1:9) to
+        // ~3.9% (V_th = 0.20, RAS = 9:1).
+        let model = NbtiModel::ptm90().unwrap();
+        let life = Seconds(1.0e8);
+
+        let busy = sizing(0.05, 0.20);
+        let dv_busy = busy
+            .st_delta_vth(&model, &schedule(9.0, 1.0), life)
+            .unwrap();
+        let hi = busy.nbti_size_margin(dv_busy).unwrap();
+
+        let idle = sizing(0.05, 0.40);
+        let dv_idle = idle
+            .st_delta_vth(&model, &schedule(1.0, 9.0), life)
+            .unwrap();
+        let lo = idle.nbti_size_margin(dv_idle).unwrap();
+
+        assert!(hi > lo, "margin must grow with stress and low V_th");
+        assert!(lo > 0.005 && lo < 0.025, "low corner {lo}");
+        assert!(hi > 0.025 && hi < 0.08, "high corner {hi}");
+    }
+
+    #[test]
+    fn st_shift_range_matches_fig8() {
+        // Paper Fig. 8: ΔV_th spans ~6.7 mV to ~30.3 mV across the corners.
+        let model = NbtiModel::ptm90().unwrap();
+        let life = Seconds(1.0e8);
+        let hi = sizing(0.05, 0.20)
+            .st_delta_vth(&model, &schedule(9.0, 1.0), life)
+            .unwrap();
+        let lo = sizing(0.05, 0.40)
+            .st_delta_vth(&model, &schedule(1.0, 9.0), life)
+            .unwrap();
+        assert!(hi > lo);
+        assert!(lo * 1e3 > 3.0 && lo * 1e3 < 12.0, "low corner {} mV", lo * 1e3);
+        assert!(hi * 1e3 > 24.0 && hi * 1e3 < 42.0, "high corner {} mV", hi * 1e3);
+    }
+
+    #[test]
+    fn st_shift_is_standby_temperature_insensitive() {
+        // The header relaxes during standby, so T_standby must not matter.
+        let model = NbtiModel::ptm90().unwrap();
+        let s = sizing(0.05, 0.30);
+        let cool = ModeSchedule::new(
+            Ras::new(1.0, 9.0).unwrap(),
+            Seconds(1000.0),
+            Kelvin(400.0),
+            Kelvin(330.0),
+        )
+        .unwrap();
+        let hot = ModeSchedule::new(
+            Ras::new(1.0, 9.0).unwrap(),
+            Seconds(1000.0),
+            Kelvin(400.0),
+            Kelvin(400.0),
+        )
+        .unwrap();
+        let a = s.st_delta_vth(&model, &cool, Seconds(1.0e8)).unwrap();
+        let b = s.st_delta_vth(&model, &hot, Seconds(1.0e8)).unwrap();
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aged_rail_drop_grows() {
+        let s = sizing(0.05, 0.30);
+        assert!(s.aged_rail_drop(0.030) > s.v_st_max());
+        assert!((s.aged_rail_drop(0.0) - s.v_st_max()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn validation_rejects_nonsense() {
+        assert!(StSizing::paper_defaults(0.0, 0.3).is_err());
+        assert!(StSizing::paper_defaults(0.05, 1.5).is_err());
+        assert!(sizing(0.05, 0.3).min_size(-1.0).is_err());
+        assert!(sizing(0.05, 0.3).nbti_size_margin(-0.01).is_err());
+    }
+}

@@ -1,0 +1,117 @@
+//! Per-gate delay computation: nominal and NBTI-degraded.
+
+use relia_core::{DelayDegradation, NbtiParams};
+use relia_netlist::Circuit;
+
+use crate::error::StaError;
+
+/// Nominal (time-zero) delay of every gate in picoseconds, indexed by
+/// `GateId::index`: the cell's intrinsic delay plus its load-dependent term
+/// over the fan-out it drives.
+pub fn nominal_gate_delays(circuit: &Circuit) -> Vec<f64> {
+    circuit
+        .gates()
+        .iter()
+        .map(|gate| {
+            let timing = circuit.library().cell(gate.cell()).timing();
+            timing.delay_ps(circuit.load_of(gate.output()))
+        })
+        .collect()
+}
+
+/// NBTI-degraded delay of every gate: the nominal delay scaled by
+/// `1 + α·ΔV_th/(V_g − V_th0)` (eq. 22), where `delta_vth[g]` is the
+/// worst-case PMOS threshold shift of gate `g` in volts.
+///
+/// # Errors
+///
+/// Returns [`StaError`] when the shift vector has the wrong length or an
+/// entry is negative, non-finite, or at least the overdrive.
+///
+/// ```
+/// use relia_core::NbtiParams;
+/// use relia_netlist::iscas;
+/// use relia_sta::{degraded_gate_delays, nominal_gate_delays};
+///
+/// let c = iscas::c17();
+/// let params = NbtiParams::ptm90().unwrap();
+/// let aged = degraded_gate_delays(&c, &vec![0.030; 6], &params)?;
+/// let fresh = nominal_gate_delays(&c);
+/// assert!(aged.iter().zip(&fresh).all(|(a, f)| a > f));
+/// # Ok::<(), relia_sta::StaError>(())
+/// ```
+pub fn degraded_gate_delays(
+    circuit: &Circuit,
+    delta_vth: &[f64],
+    params: &NbtiParams,
+) -> Result<Vec<f64>, StaError> {
+    let n = circuit.gates().len();
+    if delta_vth.len() != n {
+        return Err(StaError::GateVectorMismatch {
+            expected: n,
+            got: delta_vth.len(),
+        });
+    }
+    let dd = DelayDegradation::new(params);
+    nominal_gate_delays(circuit)
+        .into_iter()
+        .zip(delta_vth.iter().enumerate())
+        .map(|(nominal, (gi, &dv))| {
+            let frac = dd
+                .linear(dv)
+                .map_err(|_| StaError::InvalidShift { gate: gi, value: dv })?;
+            Ok(nominal * (1.0 + frac))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relia_netlist::iscas;
+
+    #[test]
+    fn nominal_delays_are_positive() {
+        let c = iscas::c17();
+        for d in nominal_gate_delays(&c) {
+            assert!(d > 0.0);
+        }
+    }
+
+    #[test]
+    fn higher_fanout_means_longer_delay() {
+        let c = iscas::c17();
+        // Net 11 feeds two NAND gates; net 10 feeds one.
+        let delays = nominal_gate_delays(&c);
+        let g10 = c.gates().iter().position(|g| g.name() == "10").unwrap();
+        let g11 = c.gates().iter().position(|g| g.name() == "11").unwrap();
+        assert!(delays[g11] > delays[g10]);
+    }
+
+    #[test]
+    fn zero_shift_is_identity() {
+        let c = iscas::c17();
+        let p = NbtiParams::ptm90().unwrap();
+        let aged = degraded_gate_delays(&c, &[0.0; 6], &p).unwrap();
+        assert_eq!(aged, nominal_gate_delays(&c));
+    }
+
+    #[test]
+    fn wrong_length_is_error() {
+        let c = iscas::c17();
+        let p = NbtiParams::ptm90().unwrap();
+        assert!(degraded_gate_delays(&c, &[0.0; 3], &p).is_err());
+    }
+
+    #[test]
+    fn negative_shift_is_error() {
+        let c = iscas::c17();
+        let p = NbtiParams::ptm90().unwrap();
+        let mut dv = vec![0.0; 6];
+        dv[2] = -0.01;
+        assert!(matches!(
+            degraded_gate_delays(&c, &dv, &p),
+            Err(StaError::InvalidShift { gate: 2, .. })
+        ));
+    }
+}

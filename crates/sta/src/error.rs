@@ -1,0 +1,53 @@
+//! Error type for timing analysis.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by timing entry points.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StaError {
+    /// A per-gate quantity has the wrong length.
+    GateVectorMismatch {
+        /// Gates in the circuit.
+        expected: usize,
+        /// Entries supplied.
+        got: usize,
+    },
+    /// A threshold shift was negative or non-finite, or exceeded the
+    /// overdrive.
+    InvalidShift {
+        /// Index of the offending gate.
+        gate: usize,
+        /// The rejected value in volts.
+        value: f64,
+    },
+}
+
+impl fmt::Display for StaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StaError::GateVectorMismatch { expected, got } => {
+                write!(f, "per-gate vector has {got} entries but circuit has {expected} gates")
+            }
+            StaError::InvalidShift { gate, value } => {
+                write!(f, "invalid threshold shift {value} V at gate {gate}")
+            }
+        }
+    }
+}
+
+impl Error for StaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_has_counts() {
+        let e = StaError::GateVectorMismatch {
+            expected: 4,
+            got: 2,
+        };
+        assert!(e.to_string().contains('4'));
+    }
+}

@@ -1,0 +1,207 @@
+//! K-most-critical path enumeration.
+//!
+//! The internal-node-control analyses target "critical and near-critical
+//! paths"; this module enumerates complete input-to-output paths in
+//! decreasing delay order, using best-first search over partial paths
+//! guided by the exact longest-continuation bound (so the search never
+//! expands a partial path that cannot reach the top K).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use relia_netlist::{Circuit, GateId, NetDriver, NetId};
+
+use crate::analysis::TimingReport;
+
+/// One enumerated path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingPath {
+    /// The primary input the path launches from.
+    pub start: NetId,
+    /// Gates from input side to the primary output.
+    pub gates: Vec<GateId>,
+    /// Total path delay in picoseconds.
+    pub delay_ps: f64,
+    /// The primary output the path terminates at.
+    pub endpoint: NetId,
+}
+
+/// A partial path under expansion (grows backwards from a PO).
+struct Partial {
+    /// Upper bound on the completed path delay (suffix delay + exact
+    /// longest prefix through the current net).
+    bound: f64,
+    /// Delay of the suffix accumulated so far.
+    suffix: f64,
+    /// Current net (the next gate to prepend drives this net).
+    net: NetId,
+    /// Gates accumulated so far, output side first.
+    gates: Vec<GateId>,
+    endpoint: NetId,
+}
+
+impl PartialEq for Partial {
+    fn eq(&self, other: &Self) -> bool {
+        self.bound == other.bound
+    }
+}
+impl Eq for Partial {}
+impl PartialOrd for Partial {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Partial {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.bound
+            .partial_cmp(&other.bound)
+            .expect("bounds are finite")
+    }
+}
+
+/// Enumerates the `k` longest complete paths of the analyzed circuit, in
+/// decreasing delay order.
+///
+/// The first returned path equals [`TimingReport::critical_path`] in delay.
+///
+/// ```
+/// use relia_netlist::iscas;
+/// use relia_sta::{paths::k_critical_paths, TimingAnalysis};
+///
+/// let c = iscas::c17();
+/// let report = TimingAnalysis::nominal(&c);
+/// let top = k_critical_paths(&c, &report, 3);
+/// assert_eq!(top.len(), 3);
+/// assert!((top[0].delay_ps - report.max_delay_ps()).abs() < 1e-9);
+/// assert!(top[0].delay_ps >= top[1].delay_ps);
+/// ```
+pub fn k_critical_paths(circuit: &Circuit, report: &TimingReport, k: usize) -> Vec<TimingPath> {
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut heap: BinaryHeap<Partial> = circuit
+        .primary_outputs()
+        .iter()
+        .map(|&po| Partial {
+            bound: report.arrival(po),
+            suffix: 0.0,
+            net: po,
+            gates: Vec::new(),
+            endpoint: po,
+        })
+        .collect();
+
+    let mut out = Vec::with_capacity(k);
+    while let Some(p) = heap.pop() {
+        match circuit.net(p.net).driver() {
+            NetDriver::PrimaryInput => {
+                let mut gates = p.gates.clone();
+                gates.reverse();
+                out.push(TimingPath {
+                    start: p.net,
+                    gates,
+                    delay_ps: p.suffix,
+                    endpoint: p.endpoint,
+                });
+                if out.len() == k {
+                    break;
+                }
+            }
+            NetDriver::Gate(gid) => {
+                let gate = circuit.gate(gid);
+                let suffix = p.suffix + report.gate_delays()[gid.index()];
+                for &input in gate.inputs() {
+                    let mut gates = p.gates.clone();
+                    gates.push(gid);
+                    heap.push(Partial {
+                        bound: suffix + report.arrival(input),
+                        suffix,
+                        net: input,
+                        gates,
+                        endpoint: p.endpoint,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::TimingAnalysis;
+    use relia_netlist::iscas;
+
+    #[test]
+    fn paths_come_out_sorted_and_connected() {
+        let c = iscas::circuit("c432").unwrap();
+        let report = TimingAnalysis::nominal(&c);
+        let top = k_critical_paths(&c, &report, 10);
+        assert_eq!(top.len(), 10);
+        for w in top.windows(2) {
+            assert!(w[0].delay_ps >= w[1].delay_ps - 1e-9);
+        }
+        for path in &top {
+            // Delays sum correctly.
+            let sum: f64 = path
+                .gates
+                .iter()
+                .map(|g| report.gate_delays()[g.index()])
+                .sum();
+            assert!((sum - path.delay_ps).abs() < 1e-6);
+            // Connectivity: each gate feeds the next; the last drives the PO.
+            for pair in path.gates.windows(2) {
+                let out = c.gate(pair[0]).output();
+                assert!(c.gate(pair[1]).inputs().contains(&out));
+            }
+            assert_eq!(c.gate(*path.gates.last().unwrap()).output(), path.endpoint);
+            // The first gate is driven at the launching pin.
+            let first = c.gate(path.gates[0]);
+            assert!(first.inputs().contains(&path.start));
+            assert!(matches!(c.net(path.start).driver(), NetDriver::PrimaryInput));
+        }
+    }
+
+    #[test]
+    fn first_path_is_the_critical_path() {
+        let c = iscas::circuit("c880").unwrap();
+        let report = TimingAnalysis::nominal(&c);
+        let top = k_critical_paths(&c, &report, 1);
+        assert_eq!(top.len(), 1);
+        assert!((top[0].delay_ps - report.max_delay_ps()).abs() < 1e-9);
+        assert_eq!(top[0].gates.len(), report.critical_path().len());
+    }
+
+    #[test]
+    fn paths_are_distinct() {
+        let c = iscas::c17();
+        let report = TimingAnalysis::nominal(&c);
+        let top = k_critical_paths(&c, &report, 8);
+        for i in 0..top.len() {
+            for j in i + 1..top.len() {
+                let same = top[i].gates == top[j].gates
+                    && top[i].endpoint == top[j].endpoint
+                    && top[i].start == top[j].start;
+                assert!(!same, "paths {i} and {j} identical");
+            }
+        }
+    }
+
+    #[test]
+    fn k_zero_is_empty() {
+        let c = iscas::c17();
+        let report = TimingAnalysis::nominal(&c);
+        assert!(k_critical_paths(&c, &report, 0).is_empty());
+    }
+
+    #[test]
+    fn exhausts_small_circuits_gracefully() {
+        // c17 has a bounded number of paths; ask for far more.
+        let c = iscas::c17();
+        let report = TimingAnalysis::nominal(&c);
+        let all = k_critical_paths(&c, &report, 1000);
+        assert!(all.len() < 1000);
+        assert!(all.len() >= 6);
+    }
+}

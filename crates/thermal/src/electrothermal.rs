@@ -1,0 +1,135 @@
+//! Electrothermal equilibrium: leakage heats the die, heat raises leakage.
+//!
+//! Standby leakage is exponentially temperature-dependent, and the leakage
+//! power itself heats the die — a positive feedback loop that converges for
+//! healthy designs and *runs away* when the loop gain exceeds unity. The
+//! fixed point matters for the paper's standby analyses: the `T_standby`
+//! the NBTI model consumes is itself set by the leakage being optimized.
+
+use relia_core::units::Kelvin;
+
+use crate::rc_model::RcThermalModel;
+
+/// Outcome of the fixed-point iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Equilibrium {
+    /// The loop converged to this temperature and total power.
+    Stable {
+        /// Converged die temperature.
+        temp: Kelvin,
+        /// Total power (baseline + leakage) at equilibrium, in watts.
+        power: f64,
+        /// Fixed-point iterations used.
+        iterations: usize,
+    },
+    /// The loop diverged past the runaway guard temperature.
+    ThermalRunaway {
+        /// Temperature at which the iteration was abandoned.
+        reached: Kelvin,
+    },
+}
+
+/// Guard temperature above which the iteration is declared a runaway.
+const RUNAWAY_KELVIN: f64 = 500.0;
+
+/// Finds the electrothermal equilibrium: the die temperature where
+/// `T = T_ss(P_base + P_leak(T))`, with `leakage_watts` supplying the
+/// temperature-dependent leakage power.
+///
+/// `leakage_watts` is typically a closure over a
+/// `relia_leakage::LeakageTable`-style evaluation times `V_dd`.
+///
+/// ```
+/// use relia_core::Kelvin;
+/// use relia_thermal::{electrothermal::{find_equilibrium, Equilibrium}, RcThermalModel};
+///
+/// let model = RcThermalModel::air_cooled();
+/// // A mild exponential leakage: converges.
+/// let leak = |t: Kelvin| 0.5 * ((t.0 - 300.0) / 50.0).exp();
+/// match find_equilibrium(&model, 20.0, leak) {
+///     Equilibrium::Stable { temp, .. } => assert!(temp.0 > model.steady_state(20.0).0),
+///     other => panic!("expected stability, got {other:?}"),
+/// }
+/// ```
+pub fn find_equilibrium(
+    model: &RcThermalModel,
+    baseline_watts: f64,
+    leakage_watts: impl Fn(Kelvin) -> f64,
+) -> Equilibrium {
+    let mut temp = model.steady_state(baseline_watts);
+    for iterations in 1..=200 {
+        let power = baseline_watts + leakage_watts(temp).max(0.0);
+        let next = model.steady_state(power);
+        if next.0 > RUNAWAY_KELVIN {
+            return Equilibrium::ThermalRunaway { reached: next };
+        }
+        // Damped update for robust convergence near the stability edge.
+        let updated = Kelvin(0.5 * (temp.0 + next.0));
+        if (updated.0 - temp.0).abs() < 1e-6 {
+            return Equilibrium::Stable {
+                temp: updated,
+                power,
+                iterations,
+            };
+        }
+        temp = updated;
+    }
+    Equilibrium::ThermalRunaway { reached: temp }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> RcThermalModel {
+        RcThermalModel::air_cooled()
+    }
+
+    #[test]
+    fn zero_leakage_is_the_plain_steady_state() {
+        let m = model();
+        match find_equilibrium(&m, 50.0, |_| 0.0) {
+            Equilibrium::Stable { temp, power, .. } => {
+                assert!((temp.0 - m.steady_state(50.0).0).abs() < 1e-3);
+                assert!((power - 50.0).abs() < 1e-9);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn leakage_raises_the_operating_point() {
+        let m = model();
+        let leak = |t: Kelvin| 0.2 * ((t.0 - 300.0) / 40.0).exp();
+        match find_equilibrium(&m, 40.0, leak) {
+            Equilibrium::Stable { temp, power, .. } => {
+                assert!(temp > m.steady_state(40.0));
+                assert!(power > 40.0);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn aggressive_leakage_runs_away() {
+        let m = model();
+        // Loop gain far above unity: doubles every 10 K.
+        let leak = |t: Kelvin| 5.0 * ((t.0 - 300.0) / 14.0).exp();
+        assert!(matches!(
+            find_equilibrium(&m, 100.0, leak),
+            Equilibrium::ThermalRunaway { .. }
+        ));
+    }
+
+    #[test]
+    fn equilibrium_is_a_fixed_point() {
+        let m = model();
+        let leak = |t: Kelvin| 0.1 * ((t.0 - 300.0) / 30.0).exp();
+        if let Equilibrium::Stable { temp, power, .. } = find_equilibrium(&m, 60.0, leak) {
+            let recomputed = m.steady_state(power);
+            assert!((recomputed.0 - temp.0).abs() < 1e-3);
+        } else {
+            panic!("expected stability");
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! The lumped-RC die thermal model.
+
+use relia_core::units::Kelvin;
+
+use crate::profile::PowerPhase;
+
+/// One sample of a simulated temperature trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TracePoint {
+    /// Elapsed time in seconds.
+    pub time: f64,
+    /// Instantaneous power in watts.
+    pub power: f64,
+    /// Die temperature.
+    pub temp: Kelvin,
+}
+
+/// First-order lumped-RC thermal model:
+/// `C·dT/dt = P − (T − T_amb)/R`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RcThermalModel {
+    /// Junction-to-ambient thermal resistance in K/W.
+    pub r_th: f64,
+    /// Lumped thermal capacitance in J/K.
+    pub c_th: f64,
+    /// Ambient (enclosure) temperature.
+    pub ambient: Kelvin,
+}
+
+impl RcThermalModel {
+    /// A typical air-cooled calibration: 40 °C enclosure, 0.55 K/W to
+    /// ambient, ~10 ms thermal time constant — reproducing the paper's
+    /// 10–130 W → ~45–110 °C mapping and its "temperature converges in
+    /// milliseconds" assumption.
+    pub fn air_cooled() -> Self {
+        RcThermalModel {
+            r_th: 0.55,
+            c_th: 0.0182,
+            ambient: Kelvin::from_celsius(40.0),
+        }
+    }
+
+    /// Thermal time constant `τ = R·C` in seconds.
+    pub fn time_constant(&self) -> f64 {
+        self.r_th * self.c_th
+    }
+
+    /// Steady-state die temperature at constant power `watts`.
+    pub fn steady_state(&self, watts: f64) -> Kelvin {
+        Kelvin(self.ambient.0 + self.r_th * watts.max(0.0))
+    }
+
+    /// Advances the die temperature by `dt` seconds at constant power
+    /// (exact exponential update of the first-order ODE).
+    pub fn step(&self, temp: Kelvin, watts: f64, dt: f64) -> Kelvin {
+        let t_ss = self.steady_state(watts).0;
+        Kelvin(t_ss + (temp.0 - t_ss) * (-dt / self.time_constant()).exp())
+    }
+
+    /// Simulates a power profile, sampling every `dt` seconds. The die
+    /// starts at the steady state of the first phase's power, matching a
+    /// processor that has been running the first task for a while.
+    pub fn simulate(&self, profile: &[PowerPhase], dt: f64) -> Vec<TracePoint> {
+        assert!(dt > 0.0, "sampling step must be positive");
+        let mut trace = Vec::new();
+        let Some(first) = profile.first() else {
+            return trace;
+        };
+        let mut temp = self.steady_state(first.watts);
+        let mut now = 0.0;
+        for phase in profile {
+            let steps = (phase.duration / dt).ceil() as usize;
+            for _ in 0..steps.max(1) {
+                temp = self.step(temp, phase.watts, dt);
+                now += dt;
+                trace.push(TracePoint {
+                    time: now,
+                    power: phase.watts,
+                    temp,
+                });
+            }
+        }
+        trace
+    }
+
+    /// Steady-state active/standby temperature pair for the given mode
+    /// powers — the `T_active`/`T_standby` inputs of the NBTI model.
+    pub fn mode_temperatures(&self, active_watts: f64, standby_watts: f64) -> (Kelvin, Kelvin) {
+        (
+            self.steady_state(active_watts),
+            self.steady_state(standby_watts),
+        )
+    }
+}
+
+impl Default for RcThermalModel {
+    fn default() -> Self {
+        RcThermalModel::air_cooled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_state_range_matches_paper() {
+        let m = RcThermalModel::air_cooled();
+        let lo = m.steady_state(10.0).to_celsius();
+        let hi = m.steady_state(130.0).to_celsius();
+        assert!(lo > 40.0 && lo < 60.0, "low-power temp {lo} C");
+        assert!(hi > 100.0 && hi < 120.0, "high-power temp {hi} C");
+    }
+
+    #[test]
+    fn convergence_is_milliseconds() {
+        let m = RcThermalModel::air_cooled();
+        assert!(m.time_constant() > 1e-3 && m.time_constant() < 0.1);
+        // After 5 time constants the die is within 1% of steady state.
+        let t0 = m.steady_state(10.0);
+        let t = m.step(t0, 130.0, 5.0 * m.time_constant());
+        let t_ss = m.steady_state(130.0);
+        assert!((t.0 - t_ss.0).abs() / (t_ss.0 - t0.0) < 0.01);
+    }
+
+    #[test]
+    fn step_moves_toward_steady_state() {
+        let m = RcThermalModel::air_cooled();
+        let cold = m.steady_state(10.0);
+        let warmer = m.step(cold, 100.0, 1e-3);
+        assert!(warmer > cold);
+        let hot = m.steady_state(130.0);
+        let cooler = m.step(hot, 10.0, 1e-3);
+        assert!(cooler < hot);
+    }
+
+    #[test]
+    fn zero_power_rests_at_ambient() {
+        let m = RcThermalModel::air_cooled();
+        assert_eq!(m.steady_state(0.0), m.ambient);
+        assert_eq!(m.steady_state(-5.0), m.ambient);
+    }
+
+    #[test]
+    fn simulate_tracks_phases() {
+        let m = RcThermalModel::air_cooled();
+        let profile = [
+            PowerPhase { watts: 20.0, duration: 0.2 },
+            PowerPhase { watts: 120.0, duration: 0.2 },
+        ];
+        let trace = m.simulate(&profile, 1e-3);
+        let first = trace.first().unwrap();
+        let last = trace.last().unwrap();
+        assert!(last.temp > first.temp);
+        // End of the hot phase is near its steady state.
+        assert!((last.temp.0 - m.steady_state(120.0).0).abs() < 0.5);
+    }
+
+    #[test]
+    fn empty_profile_is_empty_trace() {
+        let m = RcThermalModel::air_cooled();
+        assert!(m.simulate(&[], 1e-3).is_empty());
+    }
+
+    #[test]
+    fn mode_temperatures_are_ordered() {
+        let m = RcThermalModel::air_cooled();
+        let (a, s) = m.mode_temperatures(110.0, 15.0);
+        assert!(a > s);
+    }
+}

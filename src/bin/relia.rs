@@ -1,0 +1,347 @@
+//! `relia` — command-line front end for the aging/leakage toolkit.
+//!
+//! ```text
+//! relia info   <netlist.bench | builtin:NAME>
+//! relia timing <netlist>
+//! relia aging  <netlist> [--ras A:S] [--tstandby K] [--years Y]
+//!                        [--standby worst|best|footer|BITSTRING]
+//! relia mlv    <netlist> [--ras A:S] [--tstandby K]
+//! relia dot    <netlist>
+//! relia list                     # built-in benchmarks
+//! ```
+//!
+//! Netlists are ISCAS85 `.bench` files; `builtin:c432` names a bundled
+//! benchmark.
+
+use std::fmt::Display;
+use std::process::ExitCode;
+
+use relia::cells::Library;
+use relia::core::{Kelvin, Ras, Seconds};
+use relia::flow::{AgingAnalysis, FlowConfig, StandbyPolicy};
+use relia::ivc::{co_optimize, search_mlv_set, MlvSearchConfig};
+use relia::netlist::stats::CircuitStats;
+use relia::netlist::{bench, dot, iscas, Circuit};
+use relia::sta::TimingAnalysis;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("relia: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  relia info   <netlist.bench | builtin:NAME>
+  relia timing <netlist>
+  relia paths  <netlist> [K]
+  relia aging  <netlist> [--ras A:S] [--tstandby K] [--years Y] [--standby worst|best|footer|BITS]
+  relia mlv    <netlist> [--ras A:S] [--tstandby K]
+  relia dot    <netlist>
+  relia verilog <netlist>                (emit structural Verilog)
+  relia csv    <netlist> [aging flags]   (per-gate aging report)
+  relia liberty                          (characterized library export)
+  relia lib
+  relia list";
+
+fn run(args: &[String]) -> Result<(), String> {
+    let cmd = args.first().ok_or("missing command")?;
+    match cmd.as_str() {
+        "list" => {
+            for name in iscas::names() {
+                let c = iscas::circuit(name).expect("known name");
+                let (pi, po, gates, depth) = c.stats();
+                println!("{name:>8}: {pi:>4} in, {po:>4} out, {gates:>5} gates, depth {depth}");
+            }
+            Ok(())
+        }
+        "info" => {
+            let circuit = load(args.get(1).ok_or("missing netlist")?)?;
+            let s = CircuitStats::of(&circuit);
+            println!("circuit {}", circuit.name());
+            println!("  inputs  : {}", s.inputs);
+            println!("  outputs : {}", s.outputs);
+            println!("  gates   : {}", s.gates);
+            println!("  depth   : {}", s.depth);
+            println!("  pmos    : {}", s.pmos_devices);
+            println!("  fanout  : mean {:.2}, max {}", s.mean_fanout, s.max_fanout);
+            println!("  cells   :");
+            for (name, count) in &s.cell_histogram {
+                println!("    {name:>10} x {count}");
+            }
+            Ok(())
+        }
+        "timing" => {
+            let circuit = load(args.get(1).ok_or("missing netlist")?)?;
+            let report = TimingAnalysis::nominal(&circuit);
+            println!("max delay: {:.1} ps", report.max_delay_ps());
+            println!("critical path ({} gates):", report.critical_path().len());
+            for g in report.critical_path() {
+                let gate = circuit.gate(*g);
+                println!(
+                    "  {:>12} {:<8} arrival {:>8.1} ps",
+                    gate.name(),
+                    circuit.library().cell(gate.cell()).name(),
+                    report.arrival(gate.output())
+                );
+            }
+            Ok(())
+        }
+        "aging" => {
+            let circuit = load(args.get(1).ok_or("missing netlist")?)?;
+            let opts = Options::parse(&args[2..])?;
+            let config = opts.config()?;
+            let analysis = AgingAnalysis::new(&config, &circuit).map_err(stringify)?;
+            let policy = opts.policy(&circuit)?;
+            let report = analysis.run(&policy).map_err(stringify)?;
+            println!(
+                "schedule: active {:.1} s @ {}, standby {:.1} s @ {}; lifetime {:.2} years",
+                config.schedule.t_active().0,
+                config.schedule.temp_active(),
+                config.schedule.t_standby().0,
+                config.schedule.temp_standby(),
+                config.lifetime.to_years()
+            );
+            println!("nominal delay : {:.1} ps", report.nominal.max_delay_ps());
+            println!("aged delay    : {:.1} ps", report.degraded.max_delay_ps());
+            println!(
+                "degradation   : {:.2}%",
+                report.degradation_fraction() * 100.0
+            );
+            println!(
+                "worst dVth    : {:.1} mV",
+                report.worst_delta_vth() * 1e3
+            );
+            if let Some(leak) = report.standby_leakage {
+                println!("standby leak  : {:.2} uA", leak * 1e6);
+            }
+            println!(
+                "active leak   : {:.2} uA",
+                report.active_leakage * 1e6
+            );
+            Ok(())
+        }
+        "mlv" => {
+            let circuit = load(args.get(1).ok_or("missing netlist")?)?;
+            let opts = Options::parse(&args[2..])?;
+            let config = opts.config()?;
+            let analysis = AgingAnalysis::new(&config, &circuit).map_err(stringify)?;
+            let set =
+                search_mlv_set(&analysis, &MlvSearchConfig::default()).map_err(stringify)?;
+            let co = co_optimize(&analysis, &set).map_err(stringify)?;
+            println!(
+                "{} MLVs within 4% of minimum leakage {:.3} uA",
+                set.vectors().len(),
+                set.min_leakage() * 1e6
+            );
+            for (i, e) in co.evaluations.iter().enumerate() {
+                let marker = if i == co.best_for_nbti { " <= co-optimal" } else { "" };
+                let bits: String = e
+                    .vector
+                    .iter()
+                    .map(|&b| if b { '1' } else { '0' })
+                    .collect();
+                println!(
+                    "  {bits}  leak {:.3} uA  aging +{:.3}%{marker}",
+                    e.leakage * 1e6,
+                    e.degradation * 100.0
+                );
+            }
+            Ok(())
+        }
+        "paths" => {
+            let circuit = load(args.get(1).ok_or("missing netlist")?)?;
+            let k: usize = args
+                .get(2)
+                .map(|v| v.parse().map_err(|_| format!("bad path count {v}")))
+                .transpose()?
+                .unwrap_or(5);
+            let report = TimingAnalysis::nominal(&circuit);
+            let top = relia::sta::k_critical_paths(&circuit, &report, k);
+            for (i, path) in top.iter().enumerate() {
+                let names: Vec<&str> = path
+                    .gates
+                    .iter()
+                    .map(|g| circuit.gate(*g).name())
+                    .collect();
+                println!(
+                    "#{:<2} {:>8.1} ps  {} -> {}  [{}]",
+                    i + 1,
+                    path.delay_ps,
+                    circuit.net(path.start).name(),
+                    circuit.net(path.endpoint).name(),
+                    names.join(" ")
+                );
+            }
+            Ok(())
+        }
+        "lib" => {
+            use relia::cells::Vector;
+            use relia::core::Kelvin as K;
+            use relia::leakage::{DeviceModels, LeakageTable};
+            let lib = Library::ptm90();
+            let table = LeakageTable::build(&lib, &DeviceModels::ptm90(), K(400.0));
+            println!(
+                "{:>10} {:>5} {:>6} {:>10} {:>12} {:>12} {:>14}",
+                "cell", "pins", "pmos", "MLV", "min leak", "max leak", "MLV stress"
+            );
+            for (id, cell) in lib.iter() {
+                let n = cell.num_pins();
+                let (mlv, min_leak) = table.min_vector(id, n);
+                let max_leak = Vector::all(n)
+                    .map(|v| table.of(id, v).total())
+                    .fold(0.0f64, f64::max);
+                let stressed = cell
+                    .stressed_pmos(&mlv.to_bools())
+                    .iter()
+                    .filter(|&&s| s)
+                    .count();
+                println!(
+                    "{:>10} {:>5} {:>6} {:>10} {:>9.1} nA {:>9.1} nA {:>10}/{}",
+                    cell.name(),
+                    n,
+                    cell.pmos_count(),
+                    mlv.to_string(),
+                    min_leak * 1e9,
+                    max_leak * 1e9,
+                    stressed,
+                    cell.pmos_count()
+                );
+            }
+            Ok(())
+        }
+        "dot" => {
+            let circuit = load(args.get(1).ok_or("missing netlist")?)?;
+            print!("{}", dot::to_dot(&circuit, &dot::DotOptions::default()));
+            Ok(())
+        }
+        "verilog" => {
+            let circuit = load(args.get(1).ok_or("missing netlist")?)?;
+            print!("{}", relia::netlist::verilog::write(&circuit));
+            Ok(())
+        }
+        "csv" => {
+            let circuit = load(args.get(1).ok_or("missing netlist")?)?;
+            let opts = Options::parse(&args[2..])?;
+            let config = opts.config()?;
+            let analysis = AgingAnalysis::new(&config, &circuit).map_err(stringify)?;
+            let report = analysis.run(&opts.policy(&circuit)?).map_err(stringify)?;
+            print!("{}", relia::flow::report::to_csv(&circuit, &report));
+            Ok(())
+        }
+        "liberty" => {
+            print!(
+                "{}",
+                relia::leakage::liberty::export(&Library::ptm90(), relia::core::Kelvin(400.0))
+            );
+            Ok(())
+        }
+        other => Err(format!("unknown command {other}")),
+    }
+}
+
+fn stringify(e: impl Display) -> String {
+    e.to_string()
+}
+
+fn load(source: &str) -> Result<Circuit, String> {
+    if let Some(name) = source.strip_prefix("builtin:") {
+        return iscas::circuit(name).ok_or_else(|| format!("unknown builtin {name}"));
+    }
+    let text = std::fs::read_to_string(source)
+        .map_err(|e| format!("cannot read {source}: {e}"))?;
+    if source.ends_with(".v") || source.ends_with(".sv") {
+        relia::netlist::verilog::parse(&text, Library::ptm90()).map_err(stringify)
+    } else {
+        bench::parse(&text, Library::ptm90()).map_err(stringify)
+    }
+}
+
+/// Parsed `--flag value` options.
+struct Options {
+    ras: (f64, f64),
+    tstandby: f64,
+    years: f64,
+    standby: String,
+}
+
+impl Options {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut opts = Options {
+            ras: (1.0, 9.0),
+            tstandby: 330.0,
+            years: Seconds(1.0e8).to_years(),
+            standby: "worst".to_owned(),
+        };
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let value = it
+                .next()
+                .ok_or_else(|| format!("flag {flag} needs a value"))?;
+            match flag.as_str() {
+                "--ras" => {
+                    let (a, s) = value
+                        .split_once(':')
+                        .ok_or_else(|| format!("--ras expects A:S, got {value}"))?;
+                    opts.ras = (
+                        a.parse().map_err(|_| format!("bad ratio {a}"))?,
+                        s.parse().map_err(|_| format!("bad ratio {s}"))?,
+                    );
+                }
+                "--tstandby" => {
+                    opts.tstandby = value.parse().map_err(|_| format!("bad kelvin {value}"))?;
+                }
+                "--years" => {
+                    opts.years = value.parse().map_err(|_| format!("bad years {value}"))?;
+                }
+                "--standby" => {
+                    opts.standby = value.clone();
+                }
+                other => return Err(format!("unknown flag {other}")),
+            }
+        }
+        Ok(opts)
+    }
+
+    fn config(&self) -> Result<FlowConfig, String> {
+        let mut config = FlowConfig::with_schedule(
+            Ras::new(self.ras.0, self.ras.1).map_err(stringify)?,
+            Kelvin(self.tstandby),
+        )
+        .map_err(stringify)?;
+        config.lifetime = Seconds::from_years(self.years);
+        Ok(config)
+    }
+
+    fn policy(&self, circuit: &Circuit) -> Result<StandbyPolicy, String> {
+        match self.standby.as_str() {
+            "worst" => Ok(StandbyPolicy::AllInternalZero),
+            "best" => Ok(StandbyPolicy::AllInternalOne),
+            "footer" => Ok(StandbyPolicy::PowerGatedFooter),
+            bits => {
+                let v: Vec<bool> = bits
+                    .chars()
+                    .map(|c| match c {
+                        '0' => Ok(false),
+                        '1' => Ok(true),
+                        other => Err(format!("bad standby bit {other}")),
+                    })
+                    .collect::<Result<_, _>>()?;
+                if v.len() != circuit.primary_inputs().len() {
+                    return Err(format!(
+                        "standby vector has {} bits, circuit has {} inputs",
+                        v.len(),
+                        circuit.primary_inputs().len()
+                    ));
+                }
+                Ok(StandbyPolicy::InputVector(v))
+            }
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Integration tests for the `relia` command-line front end.
+
+use std::process::Command;
+
+fn relia(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_relia"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn list_shows_the_suite() {
+    let (ok, stdout, _) = relia(&["list"]);
+    assert!(ok);
+    for name in ["c17", "c432", "c7552"] {
+        assert!(stdout.contains(name), "{name} missing from:\n{stdout}");
+    }
+}
+
+#[test]
+fn info_on_builtin() {
+    let (ok, stdout, _) = relia(&["info", "builtin:c17"]);
+    assert!(ok);
+    assert!(stdout.contains("gates   : 6"));
+    assert!(stdout.contains("NAND2 x 6"));
+}
+
+#[test]
+fn timing_reports_critical_path() {
+    let (ok, stdout, _) = relia(&["timing", "builtin:c432"]);
+    assert!(ok);
+    assert!(stdout.contains("max delay"));
+    assert!(stdout.contains("critical path"));
+}
+
+#[test]
+fn aging_with_flags() {
+    let (ok, stdout, _) = relia(&[
+        "aging",
+        "builtin:c17",
+        "--ras",
+        "1:5",
+        "--tstandby",
+        "370",
+        "--standby",
+        "footer",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("degradation"));
+    assert!(stdout.contains("370 K"));
+}
+
+#[test]
+fn aging_with_explicit_vector() {
+    let (ok, stdout, _) = relia(&["aging", "builtin:c17", "--standby", "00110"]);
+    assert!(ok);
+    assert!(stdout.contains("standby leak"));
+}
+
+#[test]
+fn dot_emits_graphviz() {
+    let (ok, stdout, _) = relia(&["dot", "builtin:c17"]);
+    assert!(ok);
+    assert!(stdout.starts_with("digraph"));
+}
+
+#[test]
+fn parses_bench_file_from_disk() {
+    let dir = std::env::temp_dir().join("relia_cli_test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("tiny.bench");
+    std::fs::write(&path, "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NOR(a, b)\n").expect("write");
+    let (ok, stdout, _) = relia(&["info", path.to_str().expect("utf-8 path")]);
+    assert!(ok);
+    assert!(stdout.contains("gates   : 1"));
+}
+
+#[test]
+fn bad_command_fails_with_usage() {
+    let (ok, _, stderr) = relia(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("usage"));
+}
+
+#[test]
+fn bad_vector_width_is_reported() {
+    let (ok, _, stderr) = relia(&["aging", "builtin:c17", "--standby", "111"]);
+    assert!(!ok);
+    assert!(stderr.contains("5 inputs"), "{stderr}");
+}
+
+#[test]
+fn lib_report_covers_catalog() {
+    let (ok, stdout, _) = relia(&["lib"]);
+    assert!(ok);
+    for cell in ["INV", "NAND2", "NOR3", "AOI21", "NAND2_X2"] {
+        assert!(stdout.contains(cell), "{cell} missing");
+    }
+    // The co-optimization conflict is visible in the report: NOR2's MLV
+    // stresses nothing, NAND2's stresses everything.
+    assert!(stdout.lines().any(|l| l.contains("NOR2 ") && l.contains("0/2")));
+    assert!(stdout.lines().any(|l| l.contains("NAND2 ") && l.contains("2/2")));
+}
+
+#[test]
+fn paths_subcommand_enumerates() {
+    let (ok, stdout, _) = relia(&["paths", "builtin:c17", "3"]);
+    assert!(ok);
+    assert_eq!(stdout.lines().count(), 3);
+    assert!(stdout.contains("ps"));
+}
+
+#[test]
+fn csv_export_has_per_gate_rows() {
+    let (ok, stdout, _) = relia(&["csv", "builtin:c17"]);
+    assert!(ok);
+    assert_eq!(stdout.lines().count(), 7); // header + 6 gates
+    assert!(stdout.starts_with("gate,cell,level,"));
+}
+
+#[test]
+fn liberty_export_is_emitted() {
+    let (ok, stdout, _) = relia(&["liberty"]);
+    assert!(ok);
+    assert!(stdout.contains("library (relia_ptm90)"));
+    assert!(stdout.contains("leakage_power"));
+}
+
+#[test]
+fn verilog_round_trip_through_cli() {
+    let (ok, verilog, _) = relia(&["verilog", "builtin:c17"]);
+    assert!(ok);
+    assert!(verilog.starts_with("module c17"));
+    // Feed it back through a .v file.
+    let dir = std::env::temp_dir().join("relia_cli_test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("c17.v");
+    std::fs::write(&path, &verilog).expect("write");
+    let (ok, stdout, _) = relia(&["info", path.to_str().expect("utf-8 path")]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("gates   : 6"));
+}
