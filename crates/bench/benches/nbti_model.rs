@@ -23,7 +23,11 @@ fn bench_nbti(c: &mut Criterion) {
         })
     });
     c.bench_function("delta_vth_dc", |b| {
-        b.iter(|| model.delta_vth_dc(black_box(Seconds(1.0e8)), Kelvin(400.0)).unwrap())
+        b.iter(|| {
+            model
+                .delta_vth_dc(black_box(Seconds(1.0e8)), Kelvin(400.0))
+                .unwrap()
+        })
     });
     c.bench_function("s_n_exact_4096", |b| {
         b.iter(|| relia_core::ac::s_n_exact(black_box(0.5), 4096))

@@ -1,0 +1,94 @@
+//! Criterion bench: the `relia-jobs` sweep engine, cached vs uncached.
+//!
+//! The cached runs drive a full circuit-aging grid through the sharded
+//! memo table (warm after the first job touches each stress point); the
+//! uncached baseline is the same per-gate loop through `NoCache`, i.e. a
+//! fresh model evaluation per PMOS. The gap is what memoization buys a
+//! sweep whose jobs share quantized stress points.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use relia_core::Seconds;
+use relia_flow::{AgingAnalysis, FlowConfig, NoCache, StandbyPolicy};
+use relia_jobs::{
+    builtin_resolver, run_sweep, PolicySpec, ShardedCache, SweepOptions, SweepSpec, Workload,
+};
+use relia_netlist::iscas;
+
+fn aging_spec() -> SweepSpec {
+    SweepSpec {
+        workload: Workload::CircuitAging {
+            circuits: vec!["c432".into()],
+            policies: vec![PolicySpec::Worst, PolicySpec::Best],
+        },
+        ras: vec![(1.0, 1.0), (1.0, 5.0), (1.0, 9.0)],
+        t_standby: vec![330.0, 400.0],
+        lifetimes: vec![1.0e7, 1.0e8],
+    }
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep_engine");
+    group.sample_size(10);
+
+    // The whole grid through the engine: pool + sharded cache.
+    group.bench_function("c432_grid_cached_pool", |b| {
+        b.iter(|| {
+            run_sweep(
+                black_box(&aging_spec()),
+                &SweepOptions::default(),
+                builtin_resolver,
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("c432_grid_cached_1worker", |b| {
+        b.iter(|| {
+            run_sweep(
+                black_box(&aging_spec()),
+                &SweepOptions {
+                    workers: 1,
+                    ..SweepOptions::default()
+                },
+                builtin_resolver,
+            )
+            .unwrap()
+        })
+    });
+
+    // Single-analysis comparison: one run with a warm sharded cache vs the
+    // same run through NoCache (a model evaluation per PMOS).
+    let circuit = iscas::circuit("c432").unwrap();
+    let config = FlowConfig::paper_defaults().unwrap();
+    let analysis = AgingAnalysis::new(&config, &circuit).unwrap();
+    let lifetime = Seconds(1.0e8);
+    let warm = ShardedCache::default();
+    analysis
+        .gate_delta_vth_at_cached(&StandbyPolicy::AllInternalZero, lifetime, &warm)
+        .unwrap();
+    group.bench_function("c432_gate_dvth_warm_cache", |b| {
+        b.iter(|| {
+            analysis
+                .gate_delta_vth_at_cached(
+                    black_box(&StandbyPolicy::AllInternalZero),
+                    lifetime,
+                    &warm,
+                )
+                .unwrap()
+        })
+    });
+    group.bench_function("c432_gate_dvth_uncached", |b| {
+        b.iter(|| {
+            analysis
+                .gate_delta_vth_at_cached(
+                    black_box(&StandbyPolicy::AllInternalZero),
+                    lifetime,
+                    &NoCache,
+                )
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep);
+criterion_main!(benches);

@@ -28,9 +28,12 @@ fn main() {
             .expect("run")
             .degradation_fraction();
         let base = steps[0].degradation;
-        let at = |k: usize| steps.get(k).map(|s| s.degradation).unwrap_or_else(|| {
-            steps.last().expect("nonempty").degradation
-        });
+        let at = |k: usize| {
+            steps
+                .get(k)
+                .map(|s| s.degradation)
+                .unwrap_or_else(|| steps.last().expect("nonempty").degradation)
+        };
         let realized = if base - ideal > 0.0 {
             (base - at(16)) / (base - ideal)
         } else {

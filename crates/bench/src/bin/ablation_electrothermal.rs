@@ -62,11 +62,8 @@ fn main() {
                 iterations,
             } => {
                 // Re-run the aging flow at the self-consistent T_standby.
-                let cfg = FlowConfig::with_schedule(
-                    Ras::new(1.0, 9.0).expect("constant"),
-                    temp,
-                )
-                .expect("valid schedule");
+                let cfg = FlowConfig::with_schedule(Ras::new(1.0, 9.0).expect("constant"), temp)
+                    .expect("valid schedule");
                 let a = AgingAnalysis::new(&cfg, &circuit).expect("valid analysis");
                 let policy = if gated {
                     StandbyPolicy::PowerGatedFooter

@@ -22,7 +22,10 @@ fn main() {
     // Part 1: rotation vs fixed vectors.
     let set = search_mlv_set(&analysis, &MlvSearchConfig::default()).expect("search");
     let vectors: Vec<Vec<bool>> = set.vectors().iter().map(|(v, _)| v.clone()).collect();
-    println!("Part 1 — alternating IVC on c880 ({} MLVs in rotation)", vectors.len());
+    println!(
+        "Part 1 — alternating IVC on c880 ({} MLVs in rotation)",
+        vectors.len()
+    );
     let mut worst_single = 0.0f64;
     let mut best_single = f64::MAX;
     for v in &vectors {
@@ -55,20 +58,10 @@ fn main() {
     relia_bench::rule(56);
     for perm in [0.0, 0.25, 0.5, 1.0] {
         let stressed = model
-            .delta_vth_with_permanent(
-                Seconds(1.0e8),
-                &sched,
-                &PmosStress::worst_case(),
-                perm,
-            )
+            .delta_vth_with_permanent(Seconds(1.0e8), &sched, &PmosStress::worst_case(), perm)
             .expect("valid");
         let relaxed = model
-            .delta_vth_with_permanent(
-                Seconds(1.0e8),
-                &sched,
-                &PmosStress::best_case(),
-                perm,
-            )
+            .delta_vth_with_permanent(Seconds(1.0e8), &sched, &PmosStress::best_case(), perm)
             .expect("valid");
         println!(
             "{:>12.2} {:>12.1} m {:>12.1} m {:>11.1}m",

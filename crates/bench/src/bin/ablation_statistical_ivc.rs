@@ -29,7 +29,10 @@ fn main() {
     };
     let times = [Seconds(1.0e8)];
 
-    println!("Ablation: MLV robustness under Vth variation (c432, {} samples)", var.samples);
+    println!(
+        "Ablation: MLV robustness under Vth variation (c432, {} samples)",
+        var.samples
+    );
     println!(
         "{:>6} {:>12} {:>12} {:>10} {:>12}",
         "MLV#", "leak [uA]", "mean [ps]", "sigma", "mu+3s [ps]"

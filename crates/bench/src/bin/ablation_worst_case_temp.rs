@@ -40,8 +40,8 @@ fn main() {
                 .delta_vth(lifetime, &schedule(a, s, temp), &stress)
                 .expect("valid inputs");
             let over = worst_case / aware - 1.0;
-            let waste = dd.linear(worst_case).expect("bounded")
-                - dd.linear(aware).expect("bounded");
+            let waste =
+                dd.linear(worst_case).expect("bounded") - dd.linear(aware).expect("bounded");
             println!(
                 "{:>10.0} {:>8} {:>12} {:>13.0}% {:>16}",
                 temp,

@@ -13,7 +13,10 @@ fn main() {
     let ac = AcStress::new(0.5, 1.0e-3).expect("constant pattern");
 
     println!("Fig. 1: PMOS dVth under DC vs AC stress (T = 400 K, duty = 0.5)");
-    println!("{:>12} {:>14} {:>14} {:>9}", "time [s]", "DC dVth", "AC dVth", "AC/DC");
+    println!(
+        "{:>12} {:>14} {:>14} {:>9}",
+        "time [s]", "DC dVth", "AC dVth", "AC/DC"
+    );
     relia_bench::rule(54);
     for t in log_times(1.0e3, 1.0e8, 11) {
         let dc = model.delta_vth_dc(t, temp).expect("valid time");

@@ -4,14 +4,17 @@
 //! standby stress (PMOS gate low). The shift grows monotonically with the
 //! standby temperature, matching the temperature-variation data the paper
 //! cites.
+//!
+//! Driven by the `relia-jobs` sweep engine (see `fig03_ras_sweep` for the
+//! equivalence argument): one 8 x 9 [`SweepSpec`] grid, evaluated in
+//! parallel with memoization.
 
-use relia_bench::{log_times, schedule};
-use relia_core::{NbtiModel, PmosStress};
+use relia_bench::{log_times, model_sweep_grid, rule};
 
 fn main() {
-    let model = NbtiModel::ptm90().expect("built-in calibration");
-    let stress = PmosStress::worst_case();
     let temps = [330.0, 340.0, 350.0, 360.0, 370.0, 380.0, 390.0, 400.0];
+    let times = log_times(1.0e4, 1.0e8, 9);
+    let grid = model_sweep_grid(&[(1.0, 5.0)], &temps, &times);
 
     println!("Fig. 4: dVth vs time under different T_standby (RAS = 1:5)");
     print!("{:>12}", "time [s]");
@@ -19,14 +22,12 @@ fn main() {
         print!(" {:>8}", format!("{temp:.0}K"));
     }
     println!();
-    relia_bench::rule(86);
-    for t in log_times(1.0e4, 1.0e8, 9) {
+    rule(86);
+    for (i, t) in times.iter().enumerate() {
         print!("{:>12.3e}", t.0);
-        for temp in temps {
-            let dv = model
-                .delta_vth(t, &schedule(1.0, 5.0, temp), &stress)
-                .expect("valid inputs");
-            print!(" {:>7.2}m", dv * 1e3);
+        for ti in 0..temps.len() {
+            // Grid order is t_standby-major, lifetime-minor.
+            print!(" {:>7.2}m", grid[ti * times.len() + i] * 1e3);
         }
         println!();
     }

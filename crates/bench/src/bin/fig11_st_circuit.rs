@@ -61,12 +61,9 @@ fn main() {
             let dv = analysis
                 .gate_delta_vth_at(&StandbyPolicy::AllInternalZero, t)
                 .expect("valid policy");
-            let aged = relia_sta::TimingAnalysis::degraded(
-                &circuit,
-                &dv,
-                analysis.config().nbti.params(),
-            )
-            .expect("valid shifts");
+            let aged =
+                relia_sta::TimingAnalysis::degraded(&circuit, &dv, analysis.config().nbti.params())
+                    .expect("valid shifts");
             print!(" {:>10}", pct(aged.max_delay_ps() / nominal - 1.0));
         }
         for ins in &insertions {

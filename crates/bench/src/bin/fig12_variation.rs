@@ -25,7 +25,10 @@ fn main() {
         Seconds(1.0e8),
     ];
 
-    println!("Fig. 12: C880 delay distribution under variation + NBTI ({} samples)", var.samples);
+    println!(
+        "Fig. 12: C880 delay distribution under variation + NBTI ({} samples)",
+        var.samples
+    );
     println!(
         "{:>10} {:>12} {:>10} {:>12} {:>12}",
         "time [yr]", "mean [ps]", "sigma", "mu-3s [ps]", "mu+3s [ps]"
@@ -56,7 +59,6 @@ fn main() {
     );
     println!(
         "sigma compression: {:.3} -> {:.3} ps (aging narrows the spread)",
-        pts[0].delay.std_dev,
-        pts[3].delay.std_dev
+        pts[0].delay.std_dev, pts[3].delay.std_dev
     );
 }

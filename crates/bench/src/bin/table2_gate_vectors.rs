@@ -29,7 +29,10 @@ fn main() {
     for name in ["NOR2", "NOR3", "INV", "NAND2"] {
         let cell = lib.cell(lib.find(name).expect("catalog cell"));
         println!("{name}:");
-        println!("{:>8} {:>14} {:>12} {:>16}", "vector", "leakage", "dDelay", "stressed PMOS");
+        println!(
+            "{:>8} {:>14} {:>12} {:>16}",
+            "vector", "leakage", "dDelay", "stressed PMOS"
+        );
         relia_bench::rule(54);
         let sp = vec![0.5; cell.num_pins()];
         let active = cell.stress_probabilities(&sp);

@@ -27,11 +27,9 @@ fn main() {
     let mut bests = Vec::new();
     for name in table_suite() {
         let circuit = iscas::circuit(name).expect("known benchmark");
-        let config = FlowConfig::with_schedule(
-            Ras::new(1.0, 5.0).expect("constant"),
-            Kelvin(330.0),
-        )
-        .expect("valid schedule");
+        let config =
+            FlowConfig::with_schedule(Ras::new(1.0, 5.0).expect("constant"), Kelvin(330.0))
+                .expect("valid schedule");
         let analysis = AgingAnalysis::new(&config, &circuit).expect("valid analysis");
 
         let search = MlvSearchConfig {
@@ -63,6 +61,12 @@ fn main() {
     relia_bench::rule(86);
     let avg_best = bests.iter().sum::<f64>() / bests.len() as f64;
     let avg_spread = spreads.iter().sum::<f64>() / spreads.len() as f64;
-    println!("average best-MLV degradation: {} (paper: ~4.3%)", pct(avg_best));
-    println!("average MLV-to-MLV spread:    {} (paper: ~0.14%)", pct(avg_spread));
+    println!(
+        "average best-MLV degradation: {} (paper: ~4.3%)",
+        pct(avg_best)
+    );
+    println!(
+        "average MLV-to-MLV spread:    {} (paper: ~0.14%)",
+        pct(avg_spread)
+    );
 }

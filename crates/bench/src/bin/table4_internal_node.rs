@@ -34,11 +34,9 @@ fn main() {
         let circuit = iscas::circuit(name).expect("known benchmark");
         print!("{:>8} {:>7}", name, circuit.gates().len());
         for (ti, &temp) in temps.iter().enumerate() {
-            let config = FlowConfig::with_schedule(
-                Ras::new(1.0, 9.0).expect("constant"),
-                Kelvin(temp),
-            )
-            .expect("valid schedule");
+            let config =
+                FlowConfig::with_schedule(Ras::new(1.0, 9.0).expect("constant"), Kelvin(temp))
+                    .expect("valid schedule");
             let analysis = AgingAnalysis::new(&config, &circuit).expect("valid analysis");
             let p = internal_node_potential(&analysis).expect("valid policies");
             print!(

@@ -11,6 +11,9 @@
 //! ```
 
 use relia_core::{Kelvin, ModeSchedule, Ras, Seconds};
+use relia_jobs::{
+    builtin_resolver, run_sweep, JobResult, JobStatus, SweepOptions, SweepSpec, Workload,
+};
 
 /// Log-spaced time points from `lo` to `hi` seconds (inclusive).
 pub fn log_times(lo: f64, hi: f64, points: usize) -> Vec<Seconds> {
@@ -35,6 +38,39 @@ pub fn schedule(ras_active: f64, ras_standby: f64, temp_standby: f64) -> ModeSch
         Kelvin(temp_standby),
     )
     .expect("harness constants are valid")
+}
+
+/// Evaluates a worst-case-stress ΔV_th grid (`ras` x `temps` x `times`)
+/// through the `relia-jobs` sweep engine and returns the shifts in volts,
+/// ras-major / lifetime-minor (the engine's grid order).
+///
+/// Uses the paper's standard schedule (1000 s period, `T_active = 400 K`,
+/// SP 0.5 active / 1.0 standby) — the engine's own sweep constants.
+///
+/// # Panics
+///
+/// Panics if the engine rejects the grid or any point fails: the figure
+/// harness passes known-good constants.
+pub fn model_sweep_grid(ras: &[(f64, f64)], temps: &[f64], times: &[Seconds]) -> Vec<f64> {
+    let spec = SweepSpec {
+        workload: Workload::ModelDeltaVth {
+            p_active: 0.5,
+            p_standby: 1.0,
+        },
+        ras: ras.to_vec(),
+        t_standby: temps.to_vec(),
+        lifetimes: times.iter().map(|t| t.0).collect(),
+    };
+    let outcome = run_sweep(&spec, &SweepOptions::default(), builtin_resolver)
+        .expect("harness constants are valid");
+    outcome
+        .statuses
+        .into_iter()
+        .map(|status| match status {
+            JobStatus::Completed(JobResult::Model { delta_vth }) => delta_vth,
+            other => panic!("model sweep point did not complete: {other:?}"),
+        })
+        .collect()
 }
 
 /// The benchmark subset used by table experiments: small enough for a

@@ -1,0 +1,36 @@
+//! The fig03/fig04 binaries now run through the `relia-jobs` sweep engine;
+//! these tests pin their stdout byte-for-byte to the golden outputs captured
+//! from the pre-engine, direct-model versions. Any drift in the engine's
+//! quantized-key evaluation shows up here first.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn golden(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../results")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+fn stdout_of(bin: &str) -> String {
+    let out = Command::new(bin).output().expect("binary runs");
+    assert!(out.status.success(), "{bin} failed");
+    String::from_utf8(out.stdout).expect("utf-8 output")
+}
+
+#[test]
+fn fig03_matches_the_golden_output_exactly() {
+    assert_eq!(
+        stdout_of(env!("CARGO_BIN_EXE_fig03_ras_sweep")),
+        golden("fig03_ras_sweep.txt")
+    );
+}
+
+#[test]
+fn fig04_matches_the_golden_output_exactly() {
+    assert_eq!(
+        stdout_of(env!("CARGO_BIN_EXE_fig04_tstandby_sweep")),
+        golden("fig04_tstandby_sweep.txt")
+    );
+}

@@ -233,8 +233,8 @@ mod tests {
             .map(|c| c.name().to_owned())
             .collect();
         for expected in [
-            "INV", "BUF", "NAND2", "NAND3", "NAND4", "NOR2", "NOR3", "NOR4", "AND2", "AND3",
-            "OR2", "OR3", "XOR2", "XNOR2", "AOI21", "OAI21",
+            "INV", "BUF", "NAND2", "NAND3", "NAND4", "NOR2", "NOR3", "NOR4", "AND2", "AND3", "OR2",
+            "OR3", "XOR2", "XNOR2", "AOI21", "OAI21",
         ] {
             assert!(names.iter().any(|n| n == expected), "missing {expected}");
         }
@@ -249,10 +249,16 @@ mod tests {
             ("BUF", Box::new(|v: &[bool]| v[0])),
             ("NAND2", Box::new(|v: &[bool]| !(v[0] && v[1]))),
             ("NAND3", Box::new(|v: &[bool]| !(v[0] && v[1] && v[2]))),
-            ("NAND4", Box::new(|v: &[bool]| !(v[0] && v[1] && v[2] && v[3]))),
+            (
+                "NAND4",
+                Box::new(|v: &[bool]| !(v[0] && v[1] && v[2] && v[3])),
+            ),
             ("NOR2", Box::new(|v: &[bool]| !(v[0] || v[1]))),
             ("NOR3", Box::new(|v: &[bool]| !(v[0] || v[1] || v[2]))),
-            ("NOR4", Box::new(|v: &[bool]| !(v[0] || v[1] || v[2] || v[3]))),
+            (
+                "NOR4",
+                Box::new(|v: &[bool]| !(v[0] || v[1] || v[2] || v[3])),
+            ),
             ("AND2", Box::new(|v: &[bool]| v[0] && v[1])),
             ("AND3", Box::new(|v: &[bool]| v[0] && v[1] && v[2])),
             ("OR2", Box::new(|v: &[bool]| v[0] || v[1])),
@@ -310,7 +316,9 @@ mod drive_variant_tests {
             .iter()
             .map(|c| c.name().to_owned())
             .collect();
-        for expected in ["INV_X2", "BUF_X2", "NAND2_X2", "NOR2_X2", "AND2_X2", "OR2_X2"] {
+        for expected in [
+            "INV_X2", "BUF_X2", "NAND2_X2", "NOR2_X2", "AND2_X2", "OR2_X2",
+        ] {
             assert!(names.iter().any(|n| n == expected), "missing {expected}");
         }
     }

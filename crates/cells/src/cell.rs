@@ -156,7 +156,12 @@ impl Cell {
     /// Panics when `pins` has the wrong width; use [`Cell::check_width`]
     /// first for fallible validation.
     pub fn eval_stages(&self, pins: &[bool]) -> Vec<bool> {
-        assert_eq!(pins.len(), self.num_pins, "cell {}: bad input width", self.name);
+        assert_eq!(
+            pins.len(),
+            self.num_pins,
+            "cell {}: bad input width",
+            self.name
+        );
         let mut outs: Vec<bool> = Vec::with_capacity(self.stages.len());
         for stage in &self.stages {
             let stage_inputs = stage.resolve_inputs(pins, &outs);
@@ -229,7 +234,12 @@ impl Cell {
     /// Panics when `pin_probs` has the wrong width or the cell has more than
     /// 24 pins.
     pub fn stress_probabilities(&self, pin_probs: &[f64]) -> Vec<f64> {
-        assert_eq!(pin_probs.len(), self.num_pins, "cell {}: bad prob width", self.name);
+        assert_eq!(
+            pin_probs.len(),
+            self.num_pins,
+            "cell {}: bad prob width",
+            self.name
+        );
         let mut probs = vec![0.0; self.pmos_count()];
         for v in Vector::all(self.num_pins) {
             let p = v.probability(pin_probs);
@@ -252,7 +262,12 @@ impl Cell {
     ///
     /// Panics when `pin_probs` has the wrong width.
     pub fn output_probability(&self, pin_probs: &[f64]) -> f64 {
-        assert_eq!(pin_probs.len(), self.num_pins, "cell {}: bad prob width", self.name);
+        assert_eq!(
+            pin_probs.len(),
+            self.num_pins,
+            "cell {}: bad prob width",
+            self.name
+        );
         Vector::all(self.num_pins)
             .filter(|v| self.eval(&v.to_bools()))
             .map(|v| v.probability(pin_probs))

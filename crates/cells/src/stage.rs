@@ -117,7 +117,10 @@ mod tests {
 
     #[test]
     fn pull_down_is_dual() {
-        let s = Stage::new(Network::series_chain(2), vec![Source::Pin(0), Source::Pin(1)]);
+        let s = Stage::new(
+            Network::series_chain(2),
+            vec![Source::Pin(0), Source::Pin(1)],
+        );
         assert_eq!(s.pull_down(), Network::parallel_bank(2));
     }
 }

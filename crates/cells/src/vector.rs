@@ -69,7 +69,11 @@ impl Vector {
     ///
     /// Panics if `i >= width`.
     pub fn bit(&self, i: usize) -> bool {
-        assert!(i < self.width, "pin {i} out of range for width {}", self.width);
+        assert!(
+            i < self.width,
+            "pin {i} out of range for width {}",
+            self.width
+        );
         self.bits >> i & 1 == 1
     }
 
@@ -79,7 +83,11 @@ impl Vector {
     ///
     /// Panics if `i >= width`.
     pub fn with_bit(&self, i: usize, level: bool) -> Self {
-        assert!(i < self.width, "pin {i} out of range for width {}", self.width);
+        assert!(
+            i < self.width,
+            "pin {i} out of range for width {}",
+            self.width
+        );
         let bits = if level {
             self.bits | (1 << i)
         } else {
@@ -122,7 +130,13 @@ impl Vector {
     pub fn probability(&self, probs: &[f64]) -> f64 {
         assert_eq!(probs.len(), self.width, "probability width mismatch");
         (0..self.width)
-            .map(|i| if self.bit(i) { probs[i] } else { 1.0 - probs[i] })
+            .map(|i| {
+                if self.bit(i) {
+                    probs[i]
+                } else {
+                    1.0 - probs[i]
+                }
+            })
             .product()
     }
 }

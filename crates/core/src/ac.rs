@@ -41,7 +41,13 @@ impl AcStress {
     /// `[0, 1]` or a non-positive period.
     pub fn new(duty_cycle: f64, period: f64) -> Result<Self, ModelError> {
         check_range("duty_cycle", duty_cycle, 0.0, 1.0, "[0, 1]")?;
-        check_range("period", period, f64::MIN_POSITIVE, f64::MAX, "positive seconds")?;
+        check_range(
+            "period",
+            period,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            "positive seconds",
+        )?;
         Ok(AcStress { duty_cycle, period })
     }
 

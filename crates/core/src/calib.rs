@@ -84,7 +84,12 @@ pub fn fit_dc_measurements(
         });
     }
     for m in measurements {
-        if m.time <= 0.0 || !m.time.is_finite() || !m.temp.is_physical() || m.delta_vth <= 0.0 || !m.delta_vth.is_finite() {
+        if m.time <= 0.0
+            || !m.time.is_finite()
+            || !m.temp.is_physical()
+            || m.delta_vth <= 0.0
+            || !m.delta_vth.is_finite()
+        {
             return Err(ModelError::InvalidParameter {
                 name: "measurement",
                 value: m.delta_vth,
@@ -131,8 +136,7 @@ pub fn fit_dc_measurements(
     // Relative residuals against the fitted model.
     let mut ss = 0.0;
     for m in measurements {
-        let factor =
-            (-(e_d / (4.0 * BOLTZMANN_EV)) * (1.0 / m.temp.0 - 1.0 / t_ref)).exp();
+        let factor = (-(e_d / (4.0 * BOLTZMANN_EV)) * (1.0 / m.temp.0 - 1.0 / t_ref)).exp();
         let predicted = params.kv_ref * factor * m.time.powf(0.25);
         let rel = (predicted - m.delta_vth) / m.delta_vth;
         ss += rel * rel;
@@ -185,7 +189,11 @@ mod tests {
             "kv {}",
             fit.params.kv_ref
         );
-        assert!((fit.params.e_d.0 - 0.295).abs() < 0.08, "e_d {}", fit.params.e_d.0);
+        assert!(
+            (fit.params.e_d.0 - 0.295).abs() < 0.08,
+            "e_d {}",
+            fit.params.e_d.0
+        );
         assert!(fit.rms_residual > 0.0 && fit.rms_residual < 0.1);
     }
 

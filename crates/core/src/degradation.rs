@@ -44,7 +44,13 @@ impl DelayDegradation {
     /// Returns [`ModelError::InvalidParameter`] when `vth0 ≥ V_dd`.
     pub fn with_vth0(params: &NbtiParams, vth0: f64) -> Result<Self, ModelError> {
         let overdrive = params.vdd.0 - vth0;
-        check_range("overdrive", overdrive, f64::MIN_POSITIVE, 10.0, "positive volts")?;
+        check_range(
+            "overdrive",
+            overdrive,
+            f64::MIN_POSITIVE,
+            10.0,
+            "positive volts",
+        )?;
         Ok(DelayDegradation {
             alpha: params.alpha,
             overdrive,
@@ -59,7 +65,13 @@ impl DelayDegradation {
     /// Returns [`ModelError::InvalidParameter`] for a negative shift or a
     /// shift exceeding the overdrive.
     pub fn linear(&self, delta_vth: f64) -> Result<f64, ModelError> {
-        check_range("delta_vth", delta_vth, 0.0, self.overdrive, "[0, overdrive]")?;
+        check_range(
+            "delta_vth",
+            delta_vth,
+            0.0,
+            self.overdrive,
+            "[0, overdrive]",
+        )?;
         Ok(self.alpha * delta_vth / self.overdrive)
     }
 

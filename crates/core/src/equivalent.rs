@@ -18,8 +18,8 @@
 //! Recovery is treated as temperature-insensitive, as the paper observes
 //! ("the temperature has negligible effect on NBTI relaxation phase").
 
-use crate::arrhenius::diffusion_ratio;
 use crate::ac::AcStress;
+use crate::arrhenius::diffusion_ratio;
 use crate::error::{check_range, check_temp, ModelError};
 use crate::params::NbtiParams;
 use crate::units::{Kelvin, Seconds};
@@ -114,7 +114,13 @@ impl ModeSchedule {
         temp_active: Kelvin,
         temp_standby: Kelvin,
     ) -> Result<Self, ModelError> {
-        check_range("period", period.0, f64::MIN_POSITIVE, f64::MAX, "positive seconds")?;
+        check_range(
+            "period",
+            period.0,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            "positive seconds",
+        )?;
         check_temp("temp_active", temp_active)?;
         check_temp("temp_standby", temp_standby)?;
         Ok(ModeSchedule {
@@ -184,7 +190,13 @@ impl PmosStress {
     /// probabilities.
     pub fn new(active_stress_prob: f64, standby_stress_prob: f64) -> Result<Self, ModelError> {
         check_range("active_stress_prob", active_stress_prob, 0.0, 1.0, "[0, 1]")?;
-        check_range("standby_stress_prob", standby_stress_prob, 0.0, 1.0, "[0, 1]")?;
+        check_range(
+            "standby_stress_prob",
+            standby_stress_prob,
+            0.0,
+            1.0,
+            "[0, 1]",
+        )?;
         Ok(PmosStress {
             active_stress_prob,
             standby_stress_prob,
@@ -302,7 +314,13 @@ impl StressInterval {
     /// Returns [`ModelError`] for a non-positive duration, non-physical
     /// temperature, or stress fraction outside `[0, 1]`.
     pub fn validated(self) -> Result<Self, ModelError> {
-        check_range("duration", self.duration, f64::MIN_POSITIVE, f64::MAX, "positive seconds")?;
+        check_range(
+            "duration",
+            self.duration,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            "positive seconds",
+        )?;
         check_temp("temp", self.temp)?;
         check_range("stress_fraction", self.stress_fraction, 0.0, 1.0, "[0, 1]")?;
         Ok(self)
@@ -399,12 +417,9 @@ mod tests {
     fn equal_temperature_worst_case_is_mostly_stress() {
         // T_standby = T_active, full standby stress, SP 0.5, RAS 1:9:
         // duty = (0.5*0.1 + 0.9) / 1.0 = 0.95.
-        let eq = EquivalentCycle::build(
-            &params(),
-            &schedule(9.0, 400.0),
-            &PmosStress::worst_case(),
-        )
-        .unwrap();
+        let eq =
+            EquivalentCycle::build(&params(), &schedule(9.0, 400.0), &PmosStress::worst_case())
+                .unwrap();
         assert!((eq.stress.duty_cycle() - 0.95).abs() < 1e-12);
         assert!((eq.stress.period() - 1000.0).abs() < 1e-9);
         assert!((eq.diffusion_ratio - 1.0).abs() < 1e-12);
@@ -412,18 +427,12 @@ mod tests {
 
     #[test]
     fn cooler_standby_shrinks_equivalent_stress() {
-        let hot = EquivalentCycle::build(
-            &params(),
-            &schedule(9.0, 400.0),
-            &PmosStress::worst_case(),
-        )
-        .unwrap();
-        let cool = EquivalentCycle::build(
-            &params(),
-            &schedule(9.0, 330.0),
-            &PmosStress::worst_case(),
-        )
-        .unwrap();
+        let hot =
+            EquivalentCycle::build(&params(), &schedule(9.0, 400.0), &PmosStress::worst_case())
+                .unwrap();
+        let cool =
+            EquivalentCycle::build(&params(), &schedule(9.0, 330.0), &PmosStress::worst_case())
+                .unwrap();
         assert!(cool.t_eq_stress < hot.t_eq_stress);
         assert!(cool.stress.period() < hot.stress.period());
         // Recovery time is temperature-insensitive.
@@ -432,12 +441,8 @@ mod tests {
 
     #[test]
     fn relaxed_standby_counts_fully_as_recovery() {
-        let eq = EquivalentCycle::build(
-            &params(),
-            &schedule(9.0, 330.0),
-            &PmosStress::best_case(),
-        )
-        .unwrap();
+        let eq = EquivalentCycle::build(&params(), &schedule(9.0, 330.0), &PmosStress::best_case())
+            .unwrap();
         // stress = 0.5 * 100 = 50; recovery = 0.5*100 + 900 = 950.
         assert!((eq.t_eq_stress - 50.0).abs() < 1e-9);
         assert!((eq.t_eq_recovery - 950.0).abs() < 1e-9);
@@ -468,8 +473,7 @@ mod tests {
         // the ModeSchedule-based transform exactly.
         let p = params();
         let sched = schedule(9.0, 330.0);
-        let two_mode =
-            EquivalentCycle::build(&p, &sched, &PmosStress::worst_case()).unwrap();
+        let two_mode = EquivalentCycle::build(&p, &sched, &PmosStress::worst_case()).unwrap();
         let trace = [
             StressInterval {
                 duration: 100.0,

@@ -25,6 +25,8 @@
 //!   shifts for arbitrary stress schedules.
 //! * [`degradation`] — alpha-power-law gate-delay degradation from a
 //!   threshold-voltage shift.
+//! * [`stress_key`] — quantized stress-point keys ([`StressKey`]) for
+//!   memoizing model evaluations in batch sweeps.
 //! * [`variation`] — process-variation hooks (gate-overdrive dependence of the
 //!   degradation rate).
 //!
@@ -62,16 +64,18 @@ pub mod model;
 pub mod params;
 pub mod rd;
 pub mod rd_numeric;
+pub mod stress_key;
 pub mod units;
 pub mod variation;
 
 pub use ac::AcStress;
-pub use calib::{fit_dc_measurements, CalibrationFit, Measurement};
 pub use arrhenius::diffusion_ratio;
+pub use calib::{fit_dc_measurements, CalibrationFit, Measurement};
 pub use degradation::DelayDegradation;
 pub use equivalent::{EquivalentCycle, ModeSchedule, PmosStress, Ras, StressInterval};
 pub use error::ModelError;
 pub use model::NbtiModel;
 pub use params::NbtiParams;
+pub use stress_key::StressKey;
 pub use units::{ElectronVolts, Kelvin, Seconds, Volts};
 pub use variation::VthDistribution;

@@ -86,7 +86,13 @@ impl NbtiModel {
         temp: Kelvin,
         stress: &AcStress,
     ) -> Result<f64, ModelError> {
-        check_range("total_time", total_time.0, 0.0, f64::MAX, "non-negative seconds")?;
+        check_range(
+            "total_time",
+            total_time.0,
+            0.0,
+            f64::MAX,
+            "non-negative seconds",
+        )?;
         check_temp("temp", temp)?;
         if total_time.0 == 0.0 {
             return Ok(0.0);
@@ -108,7 +114,13 @@ impl NbtiModel {
         schedule: &ModeSchedule,
         stress: &PmosStress,
     ) -> Result<f64, ModelError> {
-        check_range("total_time", total_time.0, 0.0, f64::MAX, "non-negative seconds")?;
+        check_range(
+            "total_time",
+            total_time.0,
+            0.0,
+            f64::MAX,
+            "non-negative seconds",
+        )?;
         if total_time.0 == 0.0 {
             return Ok(0.0);
         }
@@ -139,8 +151,20 @@ impl NbtiModel {
         t_recovery: Seconds,
         temp: Kelvin,
     ) -> Result<(f64, f64), ModelError> {
-        check_range("t_stress", t_stress.0, f64::MIN_POSITIVE, f64::MAX, "positive seconds")?;
-        check_range("t_recovery", t_recovery.0, 0.0, f64::MAX, "non-negative seconds")?;
+        check_range(
+            "t_stress",
+            t_stress.0,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            "positive seconds",
+        )?;
+        check_range(
+            "t_recovery",
+            t_recovery.0,
+            0.0,
+            f64::MAX,
+            "non-negative seconds",
+        )?;
         let peak = self.delta_vth_dc(t_stress, temp)?;
         let frac = crate::rd::recovery_fraction(t_recovery.0, t_stress.0)?;
         Ok((peak, peak * frac))
@@ -162,7 +186,13 @@ impl NbtiModel {
         trace: &[crate::equivalent::StressInterval],
         temp_ref: Kelvin,
     ) -> Result<f64, ModelError> {
-        check_range("total_time", total_time.0, 0.0, f64::MAX, "non-negative seconds")?;
+        check_range(
+            "total_time",
+            total_time.0,
+            0.0,
+            f64::MAX,
+            "non-negative seconds",
+        )?;
         if total_time.0 == 0.0 {
             return Ok(0.0);
         }
@@ -485,10 +515,7 @@ mod tests {
         let traced = m
             .delta_vth_trace(Seconds(1.0e8), &trace, Kelvin(400.0))
             .unwrap();
-        assert!(
-            (two_mode - traced).abs() < 1e-12,
-            "{two_mode} vs {traced}"
-        );
+        assert!((two_mode - traced).abs() < 1e-12, "{two_mode} vs {traced}");
     }
 
     #[test]

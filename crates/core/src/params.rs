@@ -79,13 +79,7 @@ impl NbtiParams {
         check_range("kv_ref", self.kv_ref, 0.0, 1.0, "[0, 1] V/s^1/4")?;
         check_temp("temp_ref", self.temp_ref)?;
         check_range("e_d", self.e_d.0, 0.0, 5.0, "[0, 5] eV")?;
-        check_range(
-            "field_scale",
-            self.field_scale.0,
-            1e-3,
-            10.0,
-            "(0, 10] V",
-        )?;
+        check_range("field_scale", self.field_scale.0, 1e-3, 10.0, "(0, 10] V")?;
         Ok(self)
     }
 

@@ -43,7 +43,13 @@ pub fn dc_stress(a: f64, t: f64) -> f64 {
 /// ```
 pub fn recovery_fraction(t: f64, t_stress: f64) -> Result<f64, ModelError> {
     check_range("t", t, 0.0, f64::MAX, "non-negative seconds")?;
-    check_range("t_stress", t_stress, f64::MIN_POSITIVE, f64::MAX, "positive seconds")?;
+    check_range(
+        "t_stress",
+        t_stress,
+        f64::MIN_POSITIVE,
+        f64::MAX,
+        "positive seconds",
+    )?;
     Ok(1.0 / (1.0 + (t / t_stress).sqrt()))
 }
 

@@ -177,7 +177,8 @@ pub fn integrate_dc(
         for i in 1..grid_points - 1 {
             c_new[i] = c[i] + lam * (c[i + 1] - 2.0 * c[i] + c[i - 1]);
         }
-        c_new[grid_points - 1] = c[grid_points - 1] + lam * (c[grid_points - 2] - c[grid_points - 1]);
+        c_new[grid_points - 1] =
+            c[grid_points - 1] + lam * (c[grid_points - 2] - c[grid_points - 1]);
         // Interface cell diffuses toward the bulk only; the trap-generation
         // source is added after the reaction step below.
         c_new[0] = c[0] + lam * (c[1] - c[0]);
@@ -231,7 +232,14 @@ pub fn integrate_stress_recovery(
     grid_points: usize,
     dx: f64,
 ) -> Result<(f64, f64), ModelError> {
-    if grid_points < 8 || dx <= 0.0 || dx.is_nan() || t_stress <= 0.0 || t_stress.is_nan() || t_recovery < 0.0 || t_recovery.is_nan() {
+    if grid_points < 8
+        || dx <= 0.0
+        || dx.is_nan()
+        || t_stress <= 0.0
+        || t_stress.is_nan()
+        || t_recovery < 0.0
+        || t_recovery.is_nan()
+    {
         return Err(ModelError::SolverDiverged {
             stage: "grid setup",
         });
@@ -442,7 +450,10 @@ mod tests {
         let dc = integrate_ac(&sys, 1.0, period, cycles, 200, 0.2).unwrap();
         let ratio = ac.last().unwrap() / dc.last().unwrap();
         let analytic = crate::ac::ac_to_dc_ratio(0.5);
-        assert!(ratio < 0.85, "AC must be clearly below the stress-time bound");
+        assert!(
+            ratio < 0.85,
+            "AC must be clearly below the stress-time bound"
+        );
         assert!(
             (ratio - analytic).abs() < 0.2,
             "numeric {ratio} vs analytic {analytic}"

@@ -33,7 +33,13 @@ impl VthDistribution {
     /// Returns [`ModelError::InvalidParameter`] for a non-positive mean or a
     /// negative sigma.
     pub fn new(mean: Volts, sigma: Volts) -> Result<Self, ModelError> {
-        check_range("vth mean", mean.0, f64::MIN_POSITIVE, 10.0, "positive volts")?;
+        check_range(
+            "vth mean",
+            mean.0,
+            f64::MIN_POSITIVE,
+            10.0,
+            "positive volts",
+        )?;
         check_range("vth sigma", sigma.0, 0.0, mean.0, "[0, mean] volts")?;
         Ok(VthDistribution {
             mean: mean.0,
@@ -204,7 +210,11 @@ mod tests {
         }
         let stats = SampleStats::from_values(&vals).unwrap();
         assert!((stats.mean - 0.22).abs() < 5e-4, "mean {}", stats.mean);
-        assert!((stats.std_dev - 0.01).abs() < 1e-3, "sigma {}", stats.std_dev);
+        assert!(
+            (stats.std_dev - 0.01).abs() < 1e-3,
+            "sigma {}",
+            stats.std_dev
+        );
     }
 
     #[test]

@@ -8,9 +8,31 @@ use relia_netlist::Circuit;
 use relia_sim::{logic, prob, SignalProbs};
 use relia_sta::{TimingAnalysis, TimingReport};
 
+use crate::cache::DeltaVthCache;
+#[cfg(doc)]
+use crate::cache::NoCache;
 use crate::config::{FlowConfig, SpEstimator};
 use crate::error::FlowError;
 use crate::policy::StandbyPolicy;
+
+/// The schedule-independent half of an aging analysis: signal
+/// probabilities, per-PMOS active-mode stress duty cycles, and the leakage
+/// table.
+///
+/// These quantities depend on the circuit and on the probability/leakage
+/// configuration (`input_probs`, `sp_estimator`, `devices`,
+/// `leakage_temp`) but **not** on the operating schedule or lifetime, so a
+/// batch sweep that varies only RAS, standby temperature, or lifetime can
+/// compute one `AnalysisPrep` per circuit and share it — cloning is cheap
+/// relative to rebuilding — across every job via
+/// [`AgingAnalysis::from_prep`].
+#[derive(Debug, Clone)]
+pub struct AnalysisPrep {
+    probs: SignalProbs,
+    /// Active-mode stress probability of every PMOS, grouped per gate.
+    active_stress: Vec<Vec<f64>>,
+    table: LeakageTable,
+}
 
 /// A prepared analysis over one circuit: signal probabilities and leakage
 /// tables are computed once and reused across standby policies (the
@@ -19,10 +41,7 @@ use crate::policy::StandbyPolicy;
 pub struct AgingAnalysis<'a> {
     config: &'a FlowConfig,
     circuit: &'a Circuit,
-    probs: SignalProbs,
-    /// Active-mode stress probability of every PMOS, grouped per gate.
-    active_stress: Vec<Vec<f64>>,
-    table: LeakageTable,
+    prep: AnalysisPrep,
 }
 
 impl<'a> AgingAnalysis<'a> {
@@ -34,6 +53,17 @@ impl<'a> AgingAnalysis<'a> {
     ///
     /// Returns [`FlowError`] for invalid input probabilities.
     pub fn new(config: &'a FlowConfig, circuit: &'a Circuit) -> Result<Self, FlowError> {
+        let prep = AgingAnalysis::prep(config, circuit)?;
+        Ok(AgingAnalysis::from_prep(config, circuit, prep))
+    }
+
+    /// Computes the schedule-independent preparation alone, for reuse
+    /// across configs that differ only in schedule and/or lifetime.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError`] for invalid input probabilities.
+    pub fn prep(config: &FlowConfig, circuit: &Circuit) -> Result<AnalysisPrep, FlowError> {
         let n = circuit.primary_inputs().len();
         if let Some(p) = &config.input_probs {
             if p.len() != n {
@@ -56,8 +86,7 @@ impl<'a> AgingAnalysis<'a> {
             .gates()
             .iter()
             .map(|gate| {
-                let pin_probs: Vec<f64> =
-                    gate.inputs().iter().map(|&net| probs.of(net)).collect();
+                let pin_probs: Vec<f64> = gate.inputs().iter().map(|&net| probs.of(net)).collect();
                 circuit
                     .library()
                     .cell(gate.cell())
@@ -65,23 +94,35 @@ impl<'a> AgingAnalysis<'a> {
             })
             .collect();
         let table = LeakageTable::build(circuit.library(), &config.devices, config.leakage_temp);
-        Ok(AgingAnalysis {
-            config,
-            circuit,
+        Ok(AnalysisPrep {
             probs,
             active_stress,
             table,
         })
     }
 
+    /// Assembles an analysis from a precomputed [`AnalysisPrep`].
+    ///
+    /// The prep must have been built for the same `circuit` and for a
+    /// config agreeing with this one on `input_probs`, `sp_estimator`,
+    /// `devices`, and `leakage_temp`; schedule and lifetime are free to
+    /// differ (they are exactly what batch sweeps vary per job).
+    pub fn from_prep(config: &'a FlowConfig, circuit: &'a Circuit, prep: AnalysisPrep) -> Self {
+        AgingAnalysis {
+            config,
+            circuit,
+            prep,
+        }
+    }
+
     /// The propagated active-mode signal probabilities.
     pub fn signal_probs(&self) -> &SignalProbs {
-        &self.probs
+        &self.prep.probs
     }
 
     /// The leakage lookup table in use.
     pub fn leakage_table(&self) -> &LeakageTable {
-        &self.table
+        &self.prep.table
     }
 
     /// Per-gate worst-case PMOS ΔV_th (volts) after the configured lifetime
@@ -107,7 +148,7 @@ impl<'a> AgingAnalysis<'a> {
     ) -> Result<Vec<f64>, FlowError> {
         let standby_flags = self.standby_stress_flags(policy)?;
         let mut out = Vec::with_capacity(self.circuit.gates().len());
-        for (gi, active) in self.active_stress.iter().enumerate() {
+        for (gi, active) in self.prep.active_stress.iter().enumerate() {
             let standby = &standby_flags[gi];
             let mut worst: f64 = 0.0;
             for (pi, &p_active) in active.iter().enumerate() {
@@ -117,6 +158,42 @@ impl<'a> AgingAnalysis<'a> {
                     .config
                     .nbti
                     .delta_vth(lifetime, &self.config.schedule, &stress)?;
+                worst = worst.max(dv);
+            }
+            out.push(worst);
+        }
+        Ok(out)
+    }
+
+    /// Like [`AgingAnalysis::gate_delta_vth_at`], but consulting a
+    /// [`DeltaVthCache`] so repeated stress points are evaluated once.
+    ///
+    /// Model evaluations go through [`relia_core::StressKey`]: each
+    /// (schedule, stress, lifetime) point is quantized and evaluated at the
+    /// key's canonical point, so results are a pure function of the key and
+    /// identical whether the cache is shared across threads, private, or
+    /// [`NoCache`]. The quantization perturbs ΔV_th by parts in 1e10
+    /// relative to the direct [`AgingAnalysis::gate_delta_vth_at`] path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError`] for a malformed standby vector.
+    pub fn gate_delta_vth_at_cached<C: DeltaVthCache>(
+        &self,
+        policy: &StandbyPolicy,
+        lifetime: relia_core::Seconds,
+        cache: &C,
+    ) -> Result<Vec<f64>, FlowError> {
+        let standby_flags = self.standby_stress_flags(policy)?;
+        let mut out = Vec::with_capacity(self.circuit.gates().len());
+        for (gi, active) in self.prep.active_stress.iter().enumerate() {
+            let standby = &standby_flags[gi];
+            let mut worst: f64 = 0.0;
+            for (pi, &p_active) in active.iter().enumerate() {
+                let p_standby = if standby[pi] { 1.0 } else { 0.0 };
+                let stress = PmosStress::new(p_active, p_standby)?;
+                let key = self.config.stress_key(&stress, lifetime);
+                let dv = cache.delta_vth(key, &self.config.nbti)?;
                 worst = worst.max(dv);
             }
             out.push(worst);
@@ -145,7 +222,7 @@ impl<'a> AgingAnalysis<'a> {
             });
         }
         let mut out = Vec::with_capacity(self.circuit.gates().len());
-        for (gi, active) in self.active_stress.iter().enumerate() {
+        for (gi, active) in self.prep.active_stress.iter().enumerate() {
             if standby_probs[gi].len() != active.len() {
                 return Err(FlowError::GateVectorWidth {
                     expected: active.len(),
@@ -174,10 +251,7 @@ impl<'a> AgingAnalysis<'a> {
     /// # Errors
     ///
     /// Returns [`FlowError`] for a malformed vector.
-    pub fn standby_stress_of_vector(
-        &self,
-        vector: &[bool],
-    ) -> Result<Vec<Vec<bool>>, FlowError> {
+    pub fn standby_stress_of_vector(&self, vector: &[bool]) -> Result<Vec<Vec<bool>>, FlowError> {
         self.standby_stress_flags(&StandbyPolicy::InputVector(vector.to_vec()))
     }
 
@@ -188,24 +262,49 @@ impl<'a> AgingAnalysis<'a> {
     /// Returns [`FlowError`] for malformed vectors or model failures.
     pub fn run(&self, policy: &StandbyPolicy) -> Result<AgingReport, FlowError> {
         let gate_delta_vth = self.gate_delta_vth(policy)?;
+        self.finish_report(policy, gate_delta_vth)
+    }
+
+    /// Runs the full analysis under `policy` with memoized model
+    /// evaluations (see [`AgingAnalysis::gate_delta_vth_at_cached`]).
+    /// `run_with_cache(policy, &NoCache)` is numerically identical to a
+    /// cached run with any other conforming cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError`] for malformed vectors or model failures.
+    pub fn run_with_cache<C: DeltaVthCache>(
+        &self,
+        policy: &StandbyPolicy,
+        cache: &C,
+    ) -> Result<AgingReport, FlowError> {
+        let gate_delta_vth = self.gate_delta_vth_at_cached(policy, self.config.lifetime, cache)?;
+        self.finish_report(policy, gate_delta_vth)
+    }
+
+    /// Timing + leakage from a per-gate ΔV_th vector (shared tail of the
+    /// cached and uncached run paths).
+    fn finish_report(
+        &self,
+        policy: &StandbyPolicy,
+        gate_delta_vth: Vec<f64>,
+    ) -> Result<AgingReport, FlowError> {
         let nominal = TimingAnalysis::nominal(self.circuit);
-        let degraded = TimingAnalysis::degraded(
-            self.circuit,
-            &gate_delta_vth,
-            self.config.nbti.params(),
-        )?;
+        let degraded =
+            TimingAnalysis::degraded(self.circuit, &gate_delta_vth, self.config.nbti.params())?;
         let standby_leakage = match policy {
             StandbyPolicy::InputVector(v) => {
-                Some(circuit_leakage(self.circuit, v, &self.table)?)
+                Some(circuit_leakage(self.circuit, v, &self.prep.table)?)
             }
             // Control points perturb the leakage of the forced gates only;
             // report the base vector's leakage as the (close) estimate.
             StandbyPolicy::ControlPoints { vector, .. } => {
-                Some(circuit_leakage(self.circuit, vector, &self.table)?)
+                Some(circuit_leakage(self.circuit, vector, &self.prep.table)?)
             }
             _ => None,
         };
-        let active_leakage = expected_circuit_leakage(self.circuit, &self.probs, &self.table);
+        let active_leakage =
+            expected_circuit_leakage(self.circuit, &self.prep.probs, &self.prep.table);
         Ok(AgingReport {
             nominal,
             degraded,
@@ -289,7 +388,7 @@ impl<'a> AgingAnalysis<'a> {
     ///
     /// Returns [`FlowError`] for a malformed vector.
     pub fn standby_leakage(&self, vector: &[bool]) -> Result<f64, FlowError> {
-        Ok(circuit_leakage(self.circuit, vector, &self.table)?)
+        Ok(circuit_leakage(self.circuit, vector, &self.prep.table)?)
     }
 
     /// The circuit under analysis.
@@ -344,10 +443,7 @@ mod tests {
     use relia_netlist::iscas;
 
     fn setup() -> (FlowConfig, Circuit) {
-        (
-            FlowConfig::paper_defaults().unwrap(),
-            iscas::c17(),
-        )
+        (FlowConfig::paper_defaults().unwrap(), iscas::c17())
     }
 
     #[test]
@@ -370,7 +466,12 @@ mod tests {
         let best = a.run(&StandbyPolicy::AllInternalOne).unwrap();
         let rel = (footer.degradation_fraction() - best.degradation_fraction()).abs()
             / best.degradation_fraction();
-        assert!(rel < 1e-9, "footer {} best {}", footer.degradation_fraction(), best.degradation_fraction());
+        assert!(
+            rel < 1e-9,
+            "footer {} best {}",
+            footer.degradation_fraction(),
+            best.degradation_fraction()
+        );
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! Flow configuration: the knobs of the paper's experiments.
 
-use relia_core::{Kelvin, ModeSchedule, ModelError, NbtiModel, Ras, Seconds};
+use relia_core::{
+    Kelvin, ModeSchedule, ModelError, NbtiModel, PmosStress, Ras, Seconds, StressKey,
+};
 use relia_leakage::DeviceModels;
 
 /// How active-mode signal probabilities are derived.
@@ -77,6 +79,13 @@ impl FlowConfig {
         let mut c = FlowConfig::paper_defaults()?;
         c.schedule = ModeSchedule::new(ras, Seconds(1000.0), Kelvin(400.0), temp_standby)?;
         Ok(c)
+    }
+
+    /// The quantized memoization key of one stress evaluation under this
+    /// config's schedule — the cache-key contract between the analysis loop
+    /// and sweep-level caches (see [`crate::cache::DeltaVthCache`]).
+    pub fn stress_key(&self, stress: &PmosStress, lifetime: Seconds) -> StressKey {
+        StressKey::quantize(&self.schedule, stress, lifetime)
     }
 
     /// Resolved per-input probabilities for a circuit with `n` inputs.

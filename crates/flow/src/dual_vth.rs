@@ -80,8 +80,7 @@ pub fn assign_dual_vth(
     let circuit = analysis.circuit();
     let alpha = params.alpha;
     // Alpha-power-law delay multiplier of the high-V_th variant.
-    let penalty =
-        ((params.vdd.0 - vth_low) / (params.vdd.0 - vth_high)).powf(alpha);
+    let penalty = ((params.vdd.0 - vth_low) / (params.vdd.0 - vth_high)).powf(alpha);
 
     let base_delays = relia_sta::nominal_gate_delays(circuit);
     let nominal = TimingAnalysis::with_delays(circuit, base_delays.clone())?;
@@ -118,8 +117,7 @@ pub fn assign_dual_vth(
     let base_shifts = analysis.gate_delta_vth(policy)?;
     let od_low = params.vdd.0 - vth_low;
     let od_high = params.vdd.0 - vth_high;
-    let high_scale =
-        (od_high / od_low).sqrt() * ((od_high - od_low) / params.field_scale.0).exp();
+    let high_scale = (od_high / od_low).sqrt() * ((od_high - od_low) / params.field_scale.0).exp();
     let aged_delay = |delays: &[f64], high: Option<&[bool]>| -> Result<f64, FlowError> {
         let aged: Vec<f64> = delays
             .iter()
@@ -143,8 +141,7 @@ pub fn assign_dual_vth(
     // drops by exp(−ΔV_th/(n·v_T)) at the table temperature.
     let table = analysis.leakage_table();
     let vt = thermal_voltage(table.temp());
-    let sub_factor =
-        (-(vth_high - vth_low) / (analysis.config().devices.swing_n * vt)).exp();
+    let sub_factor = (-(vth_high - vth_low) / (analysis.config().devices.swing_n * vt)).exp();
     let values = relia_sim::logic::simulate(circuit, standby_vector)?;
     let mut leak_before = 0.0;
     let mut leak_after = 0.0;
@@ -204,7 +201,11 @@ mod tests {
         // ...and leakage improves; at zero budget the critical path keeps
         // its low-V_th gates, so critical-path aging is unchanged (the
         // leakage win is "free", the aging win needs delay budget).
-        assert!(r.leakage_saving() > 0.1, "leakage saving {}", r.leakage_saving());
+        assert!(
+            r.leakage_saving() > 0.1,
+            "leakage saving {}",
+            r.leakage_saving()
+        );
         assert!(r.aging_saving() >= 0.0, "aging saving {}", r.aging_saving());
     }
 
@@ -232,9 +233,21 @@ mod tests {
         let config = FlowConfig::paper_defaults().unwrap();
         let analysis = AgingAnalysis::new(&config, &circuit).unwrap();
         let zeros = vec![false; 5];
-        assert!(assign_dual_vth(&analysis, &StandbyPolicy::AllInternalZero, &zeros, 0.10, 0.0)
-            .is_err());
-        assert!(assign_dual_vth(&analysis, &StandbyPolicy::AllInternalZero, &zeros, 0.30, -0.1)
-            .is_err());
+        assert!(assign_dual_vth(
+            &analysis,
+            &StandbyPolicy::AllInternalZero,
+            &zeros,
+            0.10,
+            0.0
+        )
+        .is_err());
+        assert!(assign_dual_vth(
+            &analysis,
+            &StandbyPolicy::AllInternalZero,
+            &zeros,
+            0.30,
+            -0.1
+        )
+        .is_err());
     }
 }

@@ -46,10 +46,16 @@ impl fmt::Display for FlowError {
             FlowError::Sim(e) => write!(f, "simulation: {e}"),
             FlowError::Sta(e) => write!(f, "timing: {e}"),
             FlowError::StandbyVectorWidth { expected, got } => {
-                write!(f, "standby vector has {got} bits but circuit has {expected} inputs")
+                write!(
+                    f,
+                    "standby vector has {got} bits but circuit has {expected} inputs"
+                )
             }
             FlowError::GateVectorWidth { expected, got } => {
-                write!(f, "per-gate array has {got} entries but circuit has {expected} gates")
+                write!(
+                    f,
+                    "per-gate array has {got} entries but circuit has {expected} gates"
+                )
             }
             FlowError::InvalidParameter { name, value } => {
                 write!(f, "invalid parameter {name} = {value}")

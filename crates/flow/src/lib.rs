@@ -28,6 +28,7 @@
 //! ```
 
 pub mod analysis;
+pub mod cache;
 pub mod config;
 pub mod dual_vth;
 pub mod error;
@@ -36,10 +37,11 @@ pub mod policy;
 pub mod report;
 pub mod variation;
 
-pub use analysis::{AgingAnalysis, AgingReport};
+pub use analysis::{AgingAnalysis, AgingReport, AnalysisPrep};
+pub use cache::{DeltaVthCache, NoCache};
 pub use config::{FlowConfig, SpEstimator};
 pub use dual_vth::{assign_dual_vth, DualVthResult};
 pub use error::FlowError;
-pub use policy::StandbyPolicy;
 pub use lifetime::{lifetime_to_budget, LifetimeBudget};
+pub use policy::StandbyPolicy;
 pub use variation::{VariationConfig, VariationStudy};

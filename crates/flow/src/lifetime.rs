@@ -120,12 +120,9 @@ mod tests {
                     let s = analysis
                         .gate_delta_vth_at(&policy, Seconds(t.0 * 0.8))
                         .unwrap();
-                    let aged = TimingAnalysis::degraded(
-                        &circuit,
-                        &s,
-                        analysis.config().nbti.params(),
-                    )
-                    .unwrap();
+                    let aged =
+                        TimingAnalysis::degraded(&circuit, &s, analysis.config().nbti.params())
+                            .unwrap();
                     aged.max_delay_ps() / TimingAnalysis::nominal(&circuit).max_delay_ps() - 1.0
                 };
                 assert!(before < budget, "before crossing: {before}");

@@ -146,8 +146,8 @@ mod tests {
             ..VariationConfig::paper_defaults().unwrap()
         };
         let times = [Seconds(0.0), Seconds(1.0e8)];
-        let pts = VariationStudy::run(&analysis, &StandbyPolicy::AllInternalZero, &var, &times)
-            .unwrap();
+        let pts =
+            VariationStudy::run(&analysis, &StandbyPolicy::AllInternalZero, &var, &times).unwrap();
         assert_eq!(pts.len(), 2);
         assert!(pts[1].delay.mean > pts[0].delay.mean, "mean must grow");
         assert!(
@@ -168,10 +168,10 @@ mod tests {
             ..VariationConfig::paper_defaults().unwrap()
         };
         let times = [Seconds(1.0e7)];
-        let a = VariationStudy::run(&analysis, &StandbyPolicy::AllInternalZero, &var, &times)
-            .unwrap();
-        let b = VariationStudy::run(&analysis, &StandbyPolicy::AllInternalZero, &var, &times)
-            .unwrap();
+        let a =
+            VariationStudy::run(&analysis, &StandbyPolicy::AllInternalZero, &var, &times).unwrap();
+        let b =
+            VariationStudy::run(&analysis, &StandbyPolicy::AllInternalZero, &var, &times).unwrap();
         assert_eq!(a, b);
     }
 }

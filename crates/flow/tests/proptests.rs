@@ -90,7 +90,7 @@ fn monte_carlo_sp_mode_tracks_propagation() {
         .expect("analysis")
         .run(&StandbyPolicy::AllInternalZero)
         .expect("run");
-    let rel = (a.degradation_fraction() - b.degradation_fraction()).abs()
-        / a.degradation_fraction();
+    let rel =
+        (a.degradation_fraction() - b.degradation_fraction()).abs() / a.degradation_fraction();
     assert!(rel < 0.05, "propagation vs MC disagree by {rel}");
 }

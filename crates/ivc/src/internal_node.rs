@@ -65,7 +65,11 @@ mod tests {
         let cool = potential_at(330.0);
         let hot = potential_at(400.0);
         assert!(hot.potential() > cool.potential());
-        assert!(cool.potential() > 0.05, "cool potential {}", cool.potential());
+        assert!(
+            cool.potential() > 0.05,
+            "cool potential {}",
+            cool.potential()
+        );
         assert!(hot.potential() < 0.9, "hot potential {}", hot.potential());
     }
 
@@ -75,8 +79,7 @@ mod tests {
         // relaxation is temperature-insensitive in the model.
         let cool = potential_at(330.0);
         let hot = potential_at(400.0);
-        let rel = (cool.best_degradation - hot.best_degradation).abs()
-            / cool.best_degradation;
+        let rel = (cool.best_degradation - hot.best_degradation).abs() / cool.best_degradation;
         assert!(rel < 1e-9, "best-case spread {rel}");
     }
 

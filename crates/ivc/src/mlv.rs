@@ -119,11 +119,7 @@ pub fn search_mlv_set(
 /// emit many twins of the best vector (differing only in don't-care
 /// inputs), which would crowd out genuinely different candidates. Each
 /// leakage micro-bucket keeps at most two representatives.
-fn diversify(
-    sorted: Vec<(Vec<bool>, f64)>,
-    min: f64,
-    cap: usize,
-) -> Vec<(Vec<bool>, f64)> {
+fn diversify(sorted: Vec<(Vec<bool>, f64)>, min: f64, cap: usize) -> Vec<(Vec<bool>, f64)> {
     let mut kept: Vec<(Vec<bool>, f64)> = Vec::with_capacity(cap);
     let mut bucket_counts: Vec<(i64, usize)> = Vec::new();
     for (v, l) in sorted {

@@ -49,10 +49,7 @@ pub fn evaluate_rotation(
     for (k, v) in vectors.iter().enumerate() {
         let flags = analysis.standby_stress_of_vector(v)?;
         if k == 0 {
-            freq = flags
-                .iter()
-                .map(|gate| vec![0.0; gate.len()])
-                .collect();
+            freq = flags.iter().map(|gate| vec![0.0; gate.len()]).collect();
         }
         for (gf, gv) in freq.iter_mut().zip(flags) {
             for (pf, pv) in gf.iter_mut().zip(gv) {

@@ -1,0 +1,183 @@
+//! A sharded, thread-safe memoization cache for NBTI model evaluations.
+//!
+//! Keys are [`StressKey`]s (quantized stress points); the stored value is
+//! the model's ΔV_th at the key's *canonical* point. Because
+//! [`StressKey::evaluate`] is a pure function of the key, two threads that
+//! race on the same missing key compute the identical value — insertion
+//! order cannot change any result, which is what keeps multi-worker sweeps
+//! byte-identical to single-worker ones.
+//!
+//! Sharding bounds contention: the key's FNV fingerprint picks one of `N`
+//! independently locked hash maps, so workers rarely serialize on the same
+//! mutex even under full cache pressure.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use relia_core::{ModelError, NbtiModel, StressKey};
+use relia_flow::DeltaVthCache;
+
+/// Default shard count: enough to keep a machine's worth of workers off
+/// each other's locks without wasting memory on tiny sweeps.
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// Hit/miss/occupancy snapshot of a [`ShardedCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the memo table.
+    pub hits: u64,
+    /// Lookups that had to evaluate the model.
+    pub misses: u64,
+    /// Distinct keys currently stored.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A sharded ΔV_th memo table shared by all sweep workers.
+#[derive(Debug)]
+pub struct ShardedCache {
+    shards: Vec<Mutex<HashMap<StressKey, f64>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for ShardedCache {
+    fn default() -> Self {
+        ShardedCache::new(DEFAULT_SHARDS)
+    }
+}
+
+impl ShardedCache {
+    /// A cache with `shards` independently locked segments (min 1).
+    pub fn new(shards: usize) -> Self {
+        ShardedCache {
+            shards: (0..shards.max(1))
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Counters and occupancy at this instant.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self
+                .shards
+                .iter()
+                .map(|s| s.lock().expect("cache shard poisoned").len())
+                .sum(),
+        }
+    }
+
+    fn shard(&self, key: &StressKey) -> &Mutex<HashMap<StressKey, f64>> {
+        &self.shards[key.fingerprint() as usize % self.shards.len()]
+    }
+}
+
+impl DeltaVthCache for ShardedCache {
+    fn delta_vth(&self, key: StressKey, model: &NbtiModel) -> Result<f64, ModelError> {
+        let shard = self.shard(&key);
+        if let Some(&v) = shard.lock().expect("cache shard poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(v);
+        }
+        // Evaluate outside the lock: a racing thread computes the identical
+        // value (evaluation is a pure function of the key), so double
+        // insertion is harmless and lock hold times stay tiny.
+        let v = key.evaluate(model)?;
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        shard.lock().expect("cache shard poisoned").insert(key, v);
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relia_core::{Kelvin, ModeSchedule, PmosStress, Ras, Seconds};
+
+    fn key(p_standby: f64) -> StressKey {
+        let schedule = ModeSchedule::new(
+            Ras::new(1.0, 9.0).unwrap(),
+            Seconds(1000.0),
+            Kelvin(400.0),
+            Kelvin(330.0),
+        )
+        .unwrap();
+        let stress = PmosStress::new(0.5, p_standby).unwrap();
+        StressKey::quantize(&schedule, &stress, Seconds(1.0e8))
+    }
+
+    #[test]
+    fn second_lookup_hits() {
+        let model = NbtiModel::ptm90().unwrap();
+        let cache = ShardedCache::default();
+        let a = cache.delta_vth(key(1.0), &model).unwrap();
+        let b = cache.delta_vth(key(1.0), &model).unwrap();
+        assert_eq!(a, b);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cached_value_is_canonical() {
+        let model = NbtiModel::ptm90().unwrap();
+        let cache = ShardedCache::new(4);
+        let k = key(0.25);
+        let via_cache = cache.delta_vth(k, &model).unwrap();
+        assert_eq!(via_cache, k.evaluate(&model).unwrap());
+    }
+
+    #[test]
+    fn distinct_keys_occupy_distinct_entries() {
+        let model = NbtiModel::ptm90().unwrap();
+        let cache = ShardedCache::new(2);
+        for i in 0..10 {
+            cache.delta_vth(key(i as f64 / 10.0), &model).unwrap();
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 10);
+        assert_eq!(stats.misses, 10);
+    }
+
+    #[test]
+    fn concurrent_lookups_agree() {
+        let model = NbtiModel::ptm90().unwrap();
+        let cache = ShardedCache::default();
+        let keys: Vec<StressKey> = (0..50).map(|i| key(i as f64 / 100.0)).collect();
+        let values = crate::pool::run_ordered(&keys, 8, |_, k| {
+            // Every thread looks up every key; all must agree.
+            keys.iter()
+                .map(|k2| cache.delta_vth(*k2, &model).unwrap())
+                .collect::<Vec<f64>>()[keys.iter().position(|k2| k2 == k).unwrap()]
+        });
+        let solo: Vec<f64> = keys.iter().map(|k| k.evaluate(&model).unwrap()).collect();
+        for (o, s) in values.iter().zip(&solo) {
+            assert_eq!(o.completed(), Some(s));
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 50);
+        // 50 jobs × 50 lookups each. Racing threads may each take the miss
+        // path for the same key before the first insert lands, so misses
+        // can exceed the entry count — but never one per (worker, key).
+        assert_eq!(stats.hits + stats.misses, 50 * 50);
+        assert!(stats.misses >= 50);
+        assert!(stats.misses <= 8 * 50, "misses={}", stats.misses);
+    }
+}

@@ -1,0 +1,523 @@
+//! JSONL checkpointing for interruptible sweeps.
+//!
+//! A checkpoint file is a header line followed by one JSON object per
+//! finished job, appended (and flushed) as results arrive:
+//!
+//! ```text
+//! {"header":"relia-sweep-checkpoint","version":1,"fingerprint":"9a3c…","total":40}
+//! {"index":7,"kind":"aging","worst_delta_vth":0.0312,…}
+//! {"index":3,"kind":"model","delta_vth":0.0287}
+//! {"index":5,"kind":"failed","reason":"panic: …"}
+//! ```
+//!
+//! Floats are serialized with Rust's shortest-round-trip `Display` and
+//! parsed back with `str::parse::<f64>`, so a resumed value is *bit-equal*
+//! to the original — resuming cannot perturb results. The header carries
+//! the [`SweepSpec`](crate::SweepSpec) fingerprint; resuming against a
+//! different spec is rejected rather than silently mixing grids. A torn
+//! final line (the process was killed mid-write) is ignored on load.
+//!
+//! The values are flat and self-describing, so the hand-rolled parser below
+//! only handles what the writer emits: one-level objects of strings,
+//! numbers, and `null`.
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use crate::spec::{JobResult, JobStatus};
+
+const HEADER_NAME: &str = "relia-sweep-checkpoint";
+const VERSION: u64 = 1;
+
+/// A loaded checkpoint: the header identity plus the last recorded status
+/// of every job index present in the file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Spec fingerprint recorded at creation.
+    pub fingerprint: u64,
+    /// Grid size recorded at creation.
+    pub total: usize,
+    /// Last-written status per job index.
+    pub statuses: BTreeMap<usize, JobStatus>,
+}
+
+impl Checkpoint {
+    /// Indices whose jobs completed (these are skipped on resume).
+    pub fn completed_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        self.statuses
+            .iter()
+            .filter(|(_, s)| matches!(s, JobStatus::Completed(_)))
+            .map(|(&i, _)| i)
+    }
+}
+
+/// Loads a checkpoint, or `Ok(None)` when `path` does not exist.
+///
+/// # Errors
+///
+/// Returns an error for unreadable files or a missing/corrupt header; torn
+/// or malformed *record* lines are skipped (only a prefix of the file is
+/// guaranteed intact after a kill).
+pub fn load(path: &Path) -> io::Result<Option<Checkpoint>> {
+    let file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    let mut lines = BufReader::new(file).lines();
+    let header_line = lines
+        .next()
+        .transpose()?
+        .ok_or_else(|| bad_data("checkpoint file is empty"))?;
+    let header = parse_object(&header_line)
+        .ok_or_else(|| bad_data("checkpoint header is not a JSON object"))?;
+    if header.str_field("header") != Some(HEADER_NAME) {
+        return Err(bad_data("not a relia sweep checkpoint"));
+    }
+    if header.num_field("version") != Some(VERSION as f64) {
+        return Err(bad_data("unsupported checkpoint version"));
+    }
+    let fingerprint = header
+        .str_field("fingerprint")
+        .and_then(|s| u64::from_str_radix(s, 16).ok())
+        .ok_or_else(|| bad_data("checkpoint header lacks a fingerprint"))?;
+    let total = header
+        .num_field("total")
+        .map(|n| n as usize)
+        .ok_or_else(|| bad_data("checkpoint header lacks a total"))?;
+
+    let mut statuses = BTreeMap::new();
+    for line in lines {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        // Torn/corrupt record lines are skipped, not fatal: everything up
+        // to the interruption point is still valid.
+        let Some(obj) = parse_object(&line) else {
+            continue;
+        };
+        let Some((index, status)) = record_from(&obj) else {
+            continue;
+        };
+        statuses.insert(index, status);
+    }
+    Ok(Some(Checkpoint {
+        fingerprint,
+        total,
+        statuses,
+    }))
+}
+
+/// An open checkpoint being appended to, one flushed line per result.
+#[derive(Debug)]
+pub struct CheckpointWriter {
+    out: BufWriter<File>,
+}
+
+impl CheckpointWriter {
+    /// Creates (truncating) a checkpoint with a fresh header.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors from creation or the header write.
+    pub fn create(path: &Path, fingerprint: u64, total: usize) -> io::Result<Self> {
+        let mut out = BufWriter::new(File::create(path)?);
+        writeln!(
+            out,
+            "{{\"header\":\"{HEADER_NAME}\",\"version\":{VERSION},\
+             \"fingerprint\":\"{fingerprint:016x}\",\"total\":{total}}}"
+        )?;
+        out.flush()?;
+        Ok(CheckpointWriter { out })
+    }
+
+    /// Reopens an existing checkpoint for appending (the header is already
+    /// on disk; the caller has verified it via [`load`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors from opening.
+    pub fn append(path: &Path) -> io::Result<Self> {
+        let file = OpenOptions::new().append(true).open(path)?;
+        Ok(CheckpointWriter {
+            out: BufWriter::new(file),
+        })
+    }
+
+    /// Appends one job's status and flushes, so a kill loses at most the
+    /// line being written.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors from the write.
+    pub fn record(&mut self, index: usize, status: &JobStatus) -> io::Result<()> {
+        match status {
+            JobStatus::Completed(JobResult::Aging {
+                worst_delta_vth,
+                degradation,
+                nominal_delay_ps,
+                degraded_delay_ps,
+                standby_leakage,
+                active_leakage,
+            }) => {
+                let standby = match standby_leakage {
+                    Some(v) => fmt_f64(*v),
+                    None => "null".to_owned(),
+                };
+                writeln!(
+                    self.out,
+                    "{{\"index\":{index},\"kind\":\"aging\",\
+                     \"worst_delta_vth\":{},\"degradation\":{},\
+                     \"nominal_delay_ps\":{},\"degraded_delay_ps\":{},\
+                     \"standby_leakage\":{standby},\"active_leakage\":{}}}",
+                    fmt_f64(*worst_delta_vth),
+                    fmt_f64(*degradation),
+                    fmt_f64(*nominal_delay_ps),
+                    fmt_f64(*degraded_delay_ps),
+                    fmt_f64(*active_leakage),
+                )?;
+            }
+            JobStatus::Completed(JobResult::Model { delta_vth }) => {
+                writeln!(
+                    self.out,
+                    "{{\"index\":{index},\"kind\":\"model\",\"delta_vth\":{}}}",
+                    fmt_f64(*delta_vth)
+                )?;
+            }
+            JobStatus::Failed { reason } => {
+                writeln!(
+                    self.out,
+                    "{{\"index\":{index},\"kind\":\"failed\",\"reason\":\"{}\"}}",
+                    escape(reason)
+                )?;
+            }
+        }
+        self.out.flush()
+    }
+}
+
+/// Shortest-round-trip float serialization; keeps non-finite values
+/// representable (JSON has no infinities, so they are quoted strings — the
+/// parser maps them back).
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // Ensure the token parses as a number even for integral values.
+        s
+    } else {
+        format!("\"{v}\"")
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn bad_data(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+// ---------------------------------------------------------------------------
+// A parser for exactly the JSON subset the writer emits: one flat object
+// per line, values limited to strings, numbers, and null.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Str(String),
+    Num(f64),
+    Null,
+}
+
+#[derive(Debug, Default)]
+struct FlatObject {
+    fields: Vec<(String, Value)>,
+}
+
+impl FlatObject {
+    fn field(&self, name: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+
+    fn str_field(&self, name: &str) -> Option<&str> {
+        match self.field(name) {
+            Some(Value::Str(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn num_field(&self, name: &str) -> Option<f64> {
+        match self.field(name) {
+            Some(Value::Num(n)) => Some(*n),
+            // Non-finite floats round-trip as quoted strings.
+            Some(Value::Str(s)) => s.parse().ok(),
+            _ => None,
+        }
+    }
+}
+
+fn parse_object(line: &str) -> Option<FlatObject> {
+    let mut chars = line.trim().chars().peekable();
+    if chars.next()? != '{' {
+        return None;
+    }
+    let mut obj = FlatObject::default();
+    loop {
+        skip_ws(&mut chars);
+        match chars.peek()? {
+            '}' => {
+                chars.next();
+                break;
+            }
+            ',' => {
+                chars.next();
+                continue;
+            }
+            '"' => {
+                let key = parse_string(&mut chars)?;
+                skip_ws(&mut chars);
+                if chars.next()? != ':' {
+                    return None;
+                }
+                skip_ws(&mut chars);
+                let value = parse_value(&mut chars)?;
+                obj.fields.push((key, value));
+            }
+            _ => return None,
+        }
+    }
+    Some(obj)
+}
+
+fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
+    while chars.peek().is_some_and(|c| c.is_whitespace()) {
+        chars.next();
+    }
+}
+
+fn parse_value(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Option<Value> {
+    match chars.peek()? {
+        '"' => parse_string(chars).map(Value::Str),
+        'n' => {
+            for expected in "null".chars() {
+                if chars.next()? != expected {
+                    return None;
+                }
+            }
+            Some(Value::Null)
+        }
+        _ => {
+            let mut token = String::new();
+            while chars
+                .peek()
+                .is_some_and(|&c| c != ',' && c != '}' && !c.is_whitespace())
+            {
+                token.push(chars.next()?);
+            }
+            token.parse().ok().map(Value::Num)
+        }
+    }
+}
+
+fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Option<String> {
+    if chars.next()? != '"' {
+        return None;
+    }
+    let mut out = String::new();
+    loop {
+        match chars.next()? {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let mut code = 0u32;
+                    for _ in 0..4 {
+                        code = code * 16 + chars.next()?.to_digit(16)?;
+                    }
+                    out.push(char::from_u32(code)?);
+                }
+                _ => return None,
+            },
+            c => out.push(c),
+        }
+    }
+}
+
+fn record_from(obj: &FlatObject) -> Option<(usize, JobStatus)> {
+    let index = obj.num_field("index")? as usize;
+    let status = match obj.str_field("kind")? {
+        "aging" => JobStatus::Completed(JobResult::Aging {
+            worst_delta_vth: obj.num_field("worst_delta_vth")?,
+            degradation: obj.num_field("degradation")?,
+            nominal_delay_ps: obj.num_field("nominal_delay_ps")?,
+            degraded_delay_ps: obj.num_field("degraded_delay_ps")?,
+            standby_leakage: match obj.field("standby_leakage")? {
+                Value::Null => None,
+                Value::Num(n) => Some(*n),
+                Value::Str(s) => Some(s.parse().ok()?),
+            },
+            active_leakage: obj.num_field("active_leakage")?,
+        }),
+        "model" => JobStatus::Completed(JobResult::Model {
+            delta_vth: obj.num_field("delta_vth")?,
+        }),
+        "failed" => JobStatus::Failed {
+            reason: obj.str_field("reason")?.to_owned(),
+        },
+        _ => return None,
+    };
+    Some((index, status))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("relia-ckpt-{}-{name}.jsonl", std::process::id()));
+        p
+    }
+
+    fn aging(v: f64) -> JobStatus {
+        JobStatus::Completed(JobResult::Aging {
+            worst_delta_vth: v,
+            degradation: 0.05 + v,
+            nominal_delay_ps: 123.456,
+            degraded_delay_ps: 130.0,
+            standby_leakage: Some(1.25e-6),
+            active_leakage: 2.5e-6,
+        })
+    }
+
+    #[test]
+    fn round_trips_bit_exactly() {
+        let path = tmp("roundtrip");
+        let mut w = CheckpointWriter::create(&path, 0xdead_beef, 5).unwrap();
+        let statuses = [
+            aging(0.031_234_567_890_123),
+            JobStatus::Completed(JobResult::Model {
+                delta_vth: 1.0 / 3.0,
+            }),
+            JobStatus::Failed {
+                reason: "panic: \"quoted\"\nand newline \t tab".into(),
+            },
+            JobStatus::Completed(JobResult::Aging {
+                worst_delta_vth: 0.0,
+                degradation: 0.0,
+                nominal_delay_ps: 100.0,
+                degraded_delay_ps: 100.0,
+                standby_leakage: None,
+                active_leakage: f64::MIN_POSITIVE,
+            }),
+        ];
+        for (i, s) in statuses.iter().enumerate() {
+            w.record(i, s).unwrap();
+        }
+        drop(w);
+
+        let ckpt = load(&path).unwrap().unwrap();
+        assert_eq!(ckpt.fingerprint, 0xdead_beef);
+        assert_eq!(ckpt.total, 5);
+        assert_eq!(ckpt.statuses.len(), 4);
+        for (i, s) in statuses.iter().enumerate() {
+            assert_eq!(ckpt.statuses.get(&i), Some(s), "index {i}");
+        }
+        assert_eq!(ckpt.completed_indices().collect::<Vec<_>>(), vec![0, 1, 3]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_none() {
+        assert_eq!(load(&tmp("missing-never-created")).unwrap(), None);
+    }
+
+    #[test]
+    fn torn_last_line_is_ignored() {
+        let path = tmp("torn");
+        let mut w = CheckpointWriter::create(&path, 7, 3).unwrap();
+        w.record(0, &aging(0.01)).unwrap();
+        drop(w);
+        // Simulate a kill mid-write: append half a record.
+        use std::io::Write as _;
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        write!(f, "{{\"index\":1,\"kind\":\"ag").unwrap();
+        drop(f);
+
+        let ckpt = load(&path).unwrap().unwrap();
+        assert_eq!(ckpt.statuses.len(), 1);
+        assert!(ckpt.statuses.contains_key(&0));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn appended_records_win_over_earlier_ones() {
+        let path = tmp("lastwins");
+        let mut w = CheckpointWriter::create(&path, 7, 3).unwrap();
+        w.record(
+            2,
+            &JobStatus::Failed {
+                reason: "first".into(),
+            },
+        )
+        .unwrap();
+        drop(w);
+        let mut w = CheckpointWriter::append(&path).unwrap();
+        w.record(2, &aging(0.02)).unwrap();
+        drop(w);
+        let ckpt = load(&path).unwrap().unwrap();
+        assert_eq!(ckpt.statuses.get(&2), Some(&aging(0.02)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wrong_header_is_an_error() {
+        let path = tmp("badheader");
+        std::fs::write(&path, "{\"header\":\"something-else\",\"version\":1}\n").unwrap();
+        assert!(load(&path).is_err());
+        std::fs::write(&path, "").unwrap();
+        assert!(load(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn non_finite_floats_survive() {
+        let path = tmp("nonfinite");
+        let mut w = CheckpointWriter::create(&path, 1, 1).unwrap();
+        w.record(
+            0,
+            &JobStatus::Completed(JobResult::Model {
+                delta_vth: f64::INFINITY,
+            }),
+        )
+        .unwrap();
+        drop(w);
+        let ckpt = load(&path).unwrap().unwrap();
+        assert_eq!(
+            ckpt.statuses.get(&0),
+            Some(&JobStatus::Completed(JobResult::Model {
+                delta_vth: f64::INFINITY
+            }))
+        );
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,321 @@
+//! The sweep engine: prepare once per circuit, fan out over workers, memoize
+//! model evaluations, checkpoint as results land.
+//!
+//! Determinism contract: for a given [`SweepSpec`] and circuit resolver,
+//! [`run_sweep`] produces an identical `statuses` vector for **any** worker
+//! count and **any** interruption/resume pattern. The three pieces that
+//! make this hold:
+//!
+//! 1. the grid enumeration is a pure function of the spec
+//!    ([`SweepSpec::points`]);
+//! 2. every model evaluation goes through a [`StressKey`]'s canonical
+//!    point, so a cache hit equals the miss-path computation bit-for-bit;
+//! 3. checkpointed floats round-trip exactly (shortest `Display` ↔
+//!    `parse`), so resumed values equal freshly computed ones.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use relia_core::{Kelvin, ModeSchedule, NbtiModel, PmosStress, Ras, Seconds, StressKey};
+use relia_flow::{AgingAnalysis, AnalysisPrep, DeltaVthCache, FlowConfig};
+use relia_netlist::Circuit;
+
+use crate::cache::ShardedCache;
+use crate::checkpoint::{self, CheckpointWriter};
+use crate::metrics::SweepMetrics;
+use crate::pool::{self, JobOutcome};
+use crate::spec::{JobPoint, JobResult, JobStatus, JobTask, SweepSpec, Workload};
+
+/// Mode-cycle period shared by every sweep point (the paper's baseline).
+pub const SWEEP_PERIOD_S: f64 = 1000.0;
+/// Active-mode temperature shared by every sweep point.
+pub const SWEEP_TEMP_ACTIVE_K: f64 = 400.0;
+
+/// Knobs of one engine run.
+#[derive(Debug, Clone, Default)]
+pub struct SweepOptions {
+    /// Worker threads; 0 means [`pool::default_workers`].
+    pub workers: usize,
+    /// Checkpoint file: created if absent, resumed from if present.
+    pub checkpoint: Option<PathBuf>,
+    /// Memo-cache shard count; 0 means [`crate::cache::DEFAULT_SHARDS`].
+    pub cache_shards: usize,
+}
+
+/// Why a sweep could not run (job-level failures do *not* land here — they
+/// become [`JobStatus::Failed`] entries so one bad point cannot sink a
+/// batch).
+#[derive(Debug)]
+pub enum SweepError {
+    /// The spec's grid has no points.
+    EmptySpec,
+    /// A checkpoint or filesystem operation failed.
+    Io(io::Error),
+    /// The circuit resolver rejected a name.
+    UnknownCircuit {
+        /// The name that failed to resolve.
+        name: String,
+        /// Resolver diagnostic.
+        detail: String,
+    },
+    /// Building a circuit's [`AnalysisPrep`] failed.
+    Prep {
+        /// The circuit being prepared.
+        name: String,
+        /// Flow-layer diagnostic.
+        detail: String,
+    },
+    /// The checkpoint belongs to a different spec.
+    CheckpointMismatch {
+        /// Fingerprint of the spec being run.
+        expected: u64,
+        /// Fingerprint recorded in the checkpoint.
+        found: u64,
+    },
+}
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepError::EmptySpec => write!(f, "sweep grid is empty (an axis has no values)"),
+            SweepError::Io(e) => write!(f, "checkpoint I/O failed: {e}"),
+            SweepError::UnknownCircuit { name, detail } => {
+                write!(f, "cannot load circuit {name:?}: {detail}")
+            }
+            SweepError::Prep { name, detail } => {
+                write!(f, "cannot prepare circuit {name:?}: {detail}")
+            }
+            SweepError::CheckpointMismatch { expected, found } => write!(
+                f,
+                "checkpoint belongs to a different sweep \
+                 (spec fingerprint {expected:016x}, checkpoint {found:016x})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+impl From<io::Error> for SweepError {
+    fn from(e: io::Error) -> Self {
+        SweepError::Io(e)
+    }
+}
+
+/// Everything a finished sweep hands back: the enumerated grid, one status
+/// per point (index-aligned with the grid), and the run's metrics.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// The enumerated grid, in canonical order.
+    pub points: Vec<JobPoint>,
+    /// `statuses[i]` is the fate of `points[i]`.
+    pub statuses: Vec<JobStatus>,
+    /// Operational summary.
+    pub metrics: SweepMetrics,
+}
+
+/// Resolves builtin benchmark names (`c17`, `c432`, …) via
+/// [`relia_netlist::iscas`]. The CLI layers file loading on top; library
+/// users can pass any closure.
+pub fn builtin_resolver(name: &str) -> Result<Circuit, String> {
+    relia_netlist::iscas::circuit(name).ok_or_else(|| {
+        format!(
+            "not a builtin benchmark (try one of {:?})",
+            relia_netlist::iscas::names()
+        )
+    })
+}
+
+/// Runs the sweep described by `spec`.
+///
+/// `resolve` maps circuit names from the spec's workload to circuits
+/// (see [`builtin_resolver`]).
+///
+/// # Errors
+///
+/// Returns [`SweepError`] for an empty grid, unresolvable circuits, failed
+/// preparation, or checkpoint problems. Per-job analysis errors and panics
+/// are *not* errors at this level; they surface as
+/// [`JobStatus::Failed`] entries in the outcome.
+pub fn run_sweep<R>(
+    spec: &SweepSpec,
+    options: &SweepOptions,
+    resolve: R,
+) -> Result<SweepOutcome, SweepError>
+where
+    R: Fn(&str) -> Result<Circuit, String>,
+{
+    let points = spec.points();
+    if points.is_empty() {
+        return Err(SweepError::EmptySpec);
+    }
+    let fingerprint = spec.fingerprint();
+    let t_prepare = Instant::now();
+
+    // --- Prepare phase: one circuit + AnalysisPrep per distinct name. ---
+    let mut prepared: HashMap<String, Arc<(Circuit, AnalysisPrep)>> = HashMap::new();
+    let base_config = FlowConfig::paper_defaults().expect("paper defaults are valid");
+    if let Workload::CircuitAging { circuits, .. } = &spec.workload {
+        for name in circuits {
+            if prepared.contains_key(name) {
+                continue;
+            }
+            let circuit = resolve(name).map_err(|detail| SweepError::UnknownCircuit {
+                name: name.clone(),
+                detail,
+            })?;
+            let prep =
+                AgingAnalysis::prep(&base_config, &circuit).map_err(|e| SweepError::Prep {
+                    name: name.clone(),
+                    detail: e.to_string(),
+                })?;
+            prepared.insert(name.clone(), Arc::new((circuit, prep)));
+        }
+    }
+    let model = NbtiModel::ptm90().expect("built-in calibration is valid");
+    let prepare_secs = t_prepare.elapsed().as_secs_f64();
+
+    // --- Checkpoint phase: load previous results, open the writer. ---
+    let mut statuses: Vec<Option<JobStatus>> = vec![None; points.len()];
+    let mut resumed_jobs = 0usize;
+    let mut writer: Option<CheckpointWriter> = None;
+    if let Some(path) = &options.checkpoint {
+        match checkpoint::load(path)? {
+            Some(ckpt) => {
+                if ckpt.fingerprint != fingerprint || ckpt.total != points.len() {
+                    return Err(SweepError::CheckpointMismatch {
+                        expected: fingerprint,
+                        found: ckpt.fingerprint,
+                    });
+                }
+                for (index, status) in ckpt.statuses {
+                    // Only completed jobs are final; failed ones re-run.
+                    if index < points.len() && matches!(status, JobStatus::Completed(_)) {
+                        statuses[index] = Some(status);
+                        resumed_jobs += 1;
+                    }
+                }
+                writer = Some(CheckpointWriter::append(path)?);
+            }
+            None => {
+                writer = Some(CheckpointWriter::create(path, fingerprint, points.len())?);
+            }
+        }
+    }
+    let pending: Vec<usize> = (0..points.len())
+        .filter(|&i| statuses[i].is_none())
+        .collect();
+
+    // --- Execute phase. ---
+    let workers = if options.workers == 0 {
+        pool::default_workers()
+    } else {
+        options.workers
+    };
+    let cache = ShardedCache::new(if options.cache_shards == 0 {
+        crate::cache::DEFAULT_SHARDS
+    } else {
+        options.cache_shards
+    });
+    let t_execute = Instant::now();
+    let mut checkpoint_error: Option<io::Error> = None;
+    let outcomes = pool::run_ordered_with(
+        &pending,
+        workers,
+        |_, &index| execute_point(&points[index], &prepared, &model, &cache),
+        |k, outcome: &JobOutcome<Result<JobResult, String>>| {
+            if let Some(w) = writer.as_mut() {
+                if checkpoint_error.is_none() {
+                    let status = JobStatus::from_outcome(outcome.clone());
+                    if let Err(e) = w.record(pending[k], &status) {
+                        checkpoint_error = Some(e);
+                    }
+                }
+            }
+        },
+    );
+    let execute_secs = t_execute.elapsed().as_secs_f64();
+    if let Some(e) = checkpoint_error {
+        return Err(SweepError::Io(e));
+    }
+    for (k, outcome) in outcomes.into_iter().enumerate() {
+        statuses[pending[k]] = Some(JobStatus::from_outcome(outcome));
+    }
+
+    let statuses: Vec<JobStatus> = statuses
+        .into_iter()
+        .map(|s| s.expect("every index resolved or executed"))
+        .collect();
+    let failed_jobs = statuses
+        .iter()
+        .filter(|s| matches!(s, JobStatus::Failed { .. }))
+        .count();
+    let metrics = SweepMetrics {
+        total_jobs: points.len(),
+        executed_jobs: pending.len(),
+        resumed_jobs,
+        failed_jobs,
+        workers,
+        cache: cache.stats(),
+        prepare_secs,
+        execute_secs,
+    };
+    Ok(SweepOutcome {
+        points,
+        statuses,
+        metrics,
+    })
+}
+
+/// Evaluates one grid point. Analysis errors become `Err(reason)`; the pool
+/// catches panics separately.
+fn execute_point(
+    point: &JobPoint,
+    prepared: &HashMap<String, Arc<(Circuit, AnalysisPrep)>>,
+    model: &NbtiModel,
+    cache: &ShardedCache,
+) -> Result<JobResult, String> {
+    let ras = Ras::new(point.ras.0, point.ras.1).map_err(|e| e.to_string())?;
+    match &point.task {
+        JobTask::Aging { circuit, policy } => {
+            let pair = prepared
+                .get(circuit)
+                .ok_or_else(|| format!("circuit {circuit:?} was not prepared"))?;
+            let mut config = FlowConfig::with_schedule(ras, Kelvin(point.t_standby))
+                .map_err(|e| e.to_string())?;
+            config.lifetime = Seconds(point.lifetime);
+            let analysis = AgingAnalysis::from_prep(&config, &pair.0, pair.1.clone());
+            let report = analysis
+                .run_with_cache(&policy.to_policy(), cache)
+                .map_err(|e| e.to_string())?;
+            Ok(JobResult::Aging {
+                worst_delta_vth: report.worst_delta_vth(),
+                degradation: report.degradation_fraction(),
+                nominal_delay_ps: report.nominal.max_delay_ps(),
+                degraded_delay_ps: report.degraded.max_delay_ps(),
+                standby_leakage: report.standby_leakage,
+                active_leakage: report.active_leakage,
+            })
+        }
+        JobTask::Model {
+            p_active,
+            p_standby,
+        } => {
+            let schedule = ModeSchedule::new(
+                ras,
+                Seconds(SWEEP_PERIOD_S),
+                Kelvin(SWEEP_TEMP_ACTIVE_K),
+                Kelvin(point.t_standby),
+            )
+            .map_err(|e| e.to_string())?;
+            let stress = PmosStress::new(*p_active, *p_standby).map_err(|e| e.to_string())?;
+            let key = StressKey::quantize(&schedule, &stress, Seconds(point.lifetime));
+            let delta_vth = cache.delta_vth(key, model).map_err(|e| e.to_string())?;
+            Ok(JobResult::Model { delta_vth })
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Summary statistics of one sweep run.
+
+use std::fmt;
+
+use crate::cache::CacheStats;
+
+/// What a sweep did, for the operator: job counts, cache effectiveness,
+/// and wall-clock split between the prepare and execute phases.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SweepMetrics {
+    /// Grid size of the spec.
+    pub total_jobs: usize,
+    /// Jobs actually executed this run.
+    pub executed_jobs: usize,
+    /// Jobs skipped because a checkpoint already held their results.
+    pub resumed_jobs: usize,
+    /// Jobs that ended in [`JobStatus::Failed`](crate::JobStatus::Failed).
+    pub failed_jobs: usize,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Memo-cache counters at the end of the run.
+    pub cache: CacheStats,
+    /// Seconds spent resolving circuits and building [`AnalysisPrep`]s.
+    ///
+    /// [`AnalysisPrep`]: relia_flow::AnalysisPrep
+    pub prepare_secs: f64,
+    /// Seconds spent in the worker pool.
+    pub execute_secs: f64,
+}
+
+impl fmt::Display for SweepMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "sweep: {} jobs ({} executed, {} resumed, {} failed) on {} workers",
+            self.total_jobs, self.executed_jobs, self.resumed_jobs, self.failed_jobs, self.workers
+        )?;
+        writeln!(
+            f,
+            "cache: {} hits / {} misses ({:.1}% hit rate), {} entries",
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.hit_rate() * 100.0,
+            self.cache.entries
+        )?;
+        write!(
+            f,
+            "time: {:.3}s prepare + {:.3}s execute",
+            self.prepare_secs, self.execute_secs
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_every_headline_number() {
+        let m = SweepMetrics {
+            total_jobs: 40,
+            executed_jobs: 30,
+            resumed_jobs: 10,
+            failed_jobs: 2,
+            workers: 8,
+            cache: CacheStats {
+                hits: 75,
+                misses: 25,
+                entries: 25,
+            },
+            prepare_secs: 0.25,
+            execute_secs: 1.5,
+        };
+        let text = m.to_string();
+        for needle in [
+            "40 jobs",
+            "30 executed",
+            "10 resumed",
+            "2 failed",
+            "8 workers",
+            "75.0% hit rate",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in {text:?}");
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! A std-only ordered worker pool with per-job fault isolation.
+//!
+//! Workers claim jobs from a shared atomic counter (work stealing without
+//! queues), run each job under [`std::panic::catch_unwind`], and report
+//! `(index, outcome)` pairs over a channel. The collector reassembles
+//! results **by job index**, so the output order is a function of the job
+//! list alone — never of thread scheduling — and a panicking job poisons
+//! nothing: it becomes [`JobOutcome::Failed`] while every other job
+//! completes normally.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::thread;
+
+/// The fate of one job.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobOutcome<T> {
+    /// The job ran to completion.
+    Completed(T),
+    /// The job panicked; `reason` is the stringified panic payload.
+    Failed {
+        /// Panic message (or a placeholder for non-string payloads).
+        reason: String,
+    },
+}
+
+impl<T> JobOutcome<T> {
+    /// True for [`JobOutcome::Completed`].
+    pub fn is_completed(&self) -> bool {
+        matches!(self, JobOutcome::Completed(_))
+    }
+
+    /// The completed value, if any.
+    pub fn completed(&self) -> Option<&T> {
+        match self {
+            JobOutcome::Completed(v) => Some(v),
+            JobOutcome::Failed { .. } => None,
+        }
+    }
+}
+
+/// The number of workers to use when the caller does not care: the
+/// machine's available parallelism (1 if it cannot be determined).
+pub fn default_workers() -> usize {
+    thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Runs every job and returns the outcomes **in job order**.
+///
+/// `workers` is clamped to `1..=jobs.len()`; `run` receives the job's index
+/// and a reference to the job. See [`run_ordered_with`] for the streaming
+/// variant.
+pub fn run_ordered<J, T, F>(jobs: &[J], workers: usize, run: F) -> Vec<JobOutcome<T>>
+where
+    J: Sync,
+    T: Send,
+    F: Fn(usize, &J) -> T + Sync,
+{
+    run_ordered_with(jobs, workers, run, |_, _| {})
+}
+
+/// Like [`run_ordered`], with an observer invoked from the collector thread
+/// as each `(index, outcome)` arrives — in **completion** order, which is
+/// scheduling-dependent. Checkpoint writers hang off this hook; because the
+/// observer runs on one thread, it needs no synchronization of its own.
+pub fn run_ordered_with<J, T, F, O>(
+    jobs: &[J],
+    workers: usize,
+    run: F,
+    mut observe: O,
+) -> Vec<JobOutcome<T>>
+where
+    J: Sync,
+    T: Send,
+    F: Fn(usize, &J) -> T + Sync,
+    O: FnMut(usize, &JobOutcome<T>),
+{
+    if jobs.is_empty() {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, jobs.len());
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, JobOutcome<T>)>();
+    let mut out: Vec<Option<JobOutcome<T>>> = (0..jobs.len()).map(|_| None).collect();
+
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            let run = &run;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                let outcome = match catch_unwind(AssertUnwindSafe(|| run(i, &jobs[i]))) {
+                    Ok(value) => JobOutcome::Completed(value),
+                    Err(payload) => JobOutcome::Failed {
+                        reason: panic_reason(payload.as_ref()),
+                    },
+                };
+                if tx.send((i, outcome)).is_err() {
+                    break; // collector gone; nothing left to report to
+                }
+            });
+        }
+        drop(tx);
+        for (i, outcome) in rx {
+            observe(i, &outcome);
+            out[i] = Some(outcome);
+        }
+    });
+
+    out.into_iter()
+        .map(|slot| slot.expect("every claimed job reports exactly once"))
+        .collect()
+}
+
+/// Extracts a human-readable message from a panic payload.
+fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn results_are_in_job_order_for_any_worker_count() {
+        let jobs: Vec<u64> = (0..64).collect();
+        for workers in [1, 2, 7, 64, 1000] {
+            let out = run_ordered(&jobs, workers, |i, &j| {
+                assert_eq!(i as u64, j);
+                j * j
+            });
+            let values: Vec<u64> = out
+                .iter()
+                .map(|o| *o.completed().expect("no panics here"))
+                .collect();
+            assert_eq!(values, jobs.iter().map(|j| j * j).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn a_panicking_job_fails_alone() {
+        let jobs: Vec<usize> = (0..16).collect();
+        let out = run_ordered(&jobs, 4, |_, &j| {
+            if j == 7 {
+                panic!("job {j} exploded");
+            }
+            j
+        });
+        for (i, outcome) in out.iter().enumerate() {
+            if i == 7 {
+                match outcome {
+                    JobOutcome::Failed { reason } => assert!(reason.contains("exploded")),
+                    JobOutcome::Completed(_) => panic!("job 7 should fail"),
+                }
+            } else {
+                assert_eq!(outcome.completed(), Some(&i));
+            }
+        }
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let runs = AtomicU64::new(0);
+        let jobs: Vec<usize> = (0..257).collect();
+        let out = run_ordered(&jobs, 8, |_, _| {
+            runs.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(runs.load(Ordering::Relaxed), 257);
+        assert_eq!(out.len(), 257);
+    }
+
+    #[test]
+    fn observer_sees_every_outcome() {
+        let jobs: Vec<usize> = (0..32).collect();
+        let mut seen = Vec::new();
+        run_ordered_with(&jobs, 4, |_, &j| j, |i, _| seen.push(i));
+        seen.sort_unstable();
+        assert_eq!(seen, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_job_list_is_fine() {
+        let out: Vec<JobOutcome<()>> = run_ordered(&[] as &[u8], 4, |_, _| {});
+        assert!(out.is_empty());
+    }
+}

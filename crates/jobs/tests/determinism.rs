@@ -1,0 +1,206 @@
+//! The engine's headline guarantees: scheduling determinism, bit-exact
+//! checkpoint/resume, per-job fault isolation, and a working memo cache.
+
+use std::path::PathBuf;
+
+use relia_jobs::{
+    builtin_resolver, load_checkpoint, run_sweep, CheckpointWriter, JobStatus, PolicySpec,
+    SweepError, SweepOptions, SweepSpec, Workload,
+};
+
+fn aging_spec() -> SweepSpec {
+    SweepSpec {
+        workload: Workload::CircuitAging {
+            circuits: vec!["c17".into()],
+            policies: vec![PolicySpec::Worst, PolicySpec::Best, PolicySpec::Footer],
+        },
+        ras: vec![(1.0, 1.0), (1.0, 9.0)],
+        t_standby: vec![330.0, 400.0],
+        lifetimes: vec![1.0e7, 1.0e8],
+    }
+}
+
+fn model_spec() -> SweepSpec {
+    SweepSpec {
+        workload: Workload::ModelDeltaVth {
+            p_active: 0.5,
+            p_standby: 1.0,
+        },
+        ras: vec![(1.0, 1.0), (1.0, 5.0), (1.0, 9.0)],
+        t_standby: vec![330.0, 360.0, 400.0],
+        lifetimes: vec![1.0e6, 1.0e8],
+    }
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("relia-jobs-{}-{name}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+fn options(workers: usize) -> SweepOptions {
+    SweepOptions {
+        workers,
+        ..SweepOptions::default()
+    }
+}
+
+#[test]
+fn one_worker_and_many_workers_agree_exactly() {
+    for spec in [aging_spec(), model_spec()] {
+        let solo = run_sweep(&spec, &options(1), builtin_resolver).unwrap();
+        for workers in [2, 8] {
+            let parallel = run_sweep(&spec, &options(workers), builtin_resolver).unwrap();
+            // PartialEq on JobStatus compares the f64 payloads exactly:
+            // the results must be byte-identical, not merely close.
+            assert_eq!(solo.statuses, parallel.statuses, "workers={workers}");
+            assert_eq!(solo.points, parallel.points);
+        }
+        assert_eq!(solo.metrics.total_jobs, spec.len());
+        assert_eq!(solo.metrics.failed_jobs, 0);
+    }
+}
+
+#[test]
+fn cache_gets_hits_on_an_aging_sweep() {
+    let out = run_sweep(&aging_spec(), &options(4), builtin_resolver).unwrap();
+    // Every gate of c17 whose worst PMOS sees the same quantized stress
+    // point lands on the same key, so hits are guaranteed within one job,
+    // let alone across the grid.
+    assert!(out.metrics.cache.hits > 0, "{:?}", out.metrics.cache);
+    assert!(out.metrics.cache.misses > 0);
+    assert!(out.metrics.cache.entries as u64 <= out.metrics.cache.misses);
+    assert!(out.metrics.cache.hit_rate() > 0.0);
+}
+
+#[test]
+fn resumed_sweep_matches_uninterrupted_sweep() {
+    let spec = aging_spec();
+    let uninterrupted = run_sweep(&spec, &options(4), builtin_resolver).unwrap();
+
+    // Run once with a checkpoint to collect the record lines, then build a
+    // truncated checkpoint holding only the first half of the jobs —
+    // exactly what a kill partway through leaves behind.
+    let full_path = tmp("full");
+    run_sweep(
+        &spec,
+        &SweepOptions {
+            workers: 2,
+            checkpoint: Some(full_path.clone()),
+            ..SweepOptions::default()
+        },
+        builtin_resolver,
+    )
+    .unwrap();
+    let full = load_checkpoint(&full_path).unwrap().unwrap();
+
+    let half_path = tmp("half");
+    let mut w = CheckpointWriter::create(&half_path, spec.fingerprint(), spec.len()).unwrap();
+    for (&index, status) in full.statuses.iter().take(spec.len() / 2) {
+        w.record(index, status).unwrap();
+    }
+    drop(w);
+
+    let resumed = run_sweep(
+        &spec,
+        &SweepOptions {
+            workers: 4,
+            checkpoint: Some(half_path.clone()),
+            ..SweepOptions::default()
+        },
+        builtin_resolver,
+    )
+    .unwrap();
+    assert_eq!(resumed.metrics.resumed_jobs, spec.len() / 2);
+    assert_eq!(resumed.metrics.executed_jobs, spec.len() - spec.len() / 2);
+    assert_eq!(resumed.statuses, uninterrupted.statuses);
+
+    // The resumed checkpoint now holds every job; a further resume
+    // executes nothing and still agrees.
+    let third = run_sweep(
+        &spec,
+        &SweepOptions {
+            workers: 4,
+            checkpoint: Some(half_path.clone()),
+            ..SweepOptions::default()
+        },
+        builtin_resolver,
+    )
+    .unwrap();
+    assert_eq!(third.metrics.executed_jobs, 0);
+    assert_eq!(third.metrics.resumed_jobs, spec.len());
+    assert_eq!(third.statuses, uninterrupted.statuses);
+
+    std::fs::remove_file(&full_path).ok();
+    std::fs::remove_file(&half_path).ok();
+}
+
+#[test]
+fn checkpoint_from_a_different_spec_is_rejected() {
+    let path = tmp("mismatch");
+    run_sweep(
+        &model_spec(),
+        &SweepOptions {
+            workers: 2,
+            checkpoint: Some(path.clone()),
+            ..SweepOptions::default()
+        },
+        builtin_resolver,
+    )
+    .unwrap();
+    let err = run_sweep(
+        &aging_spec(),
+        &SweepOptions {
+            workers: 2,
+            checkpoint: Some(path.clone()),
+            ..SweepOptions::default()
+        },
+        builtin_resolver,
+    )
+    .unwrap_err();
+    assert!(
+        matches!(err, SweepError::CheckpointMismatch { .. }),
+        "{err}"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn a_degenerate_point_fails_alone() {
+    let mut spec = aging_spec();
+    // (0, 0) RAS weights are rejected by Ras::new → that point fails while
+    // the rest of the grid completes.
+    spec.ras.push((0.0, 0.0));
+    let out = run_sweep(&spec, &options(4), builtin_resolver).unwrap();
+    let failed = out
+        .statuses
+        .iter()
+        .filter(|s| matches!(s, JobStatus::Failed { .. }))
+        .count();
+    // One bad ras × 2 temps × 2 lifetimes × 3 policies.
+    assert_eq!(failed, 12);
+    assert_eq!(out.metrics.failed_jobs, 12);
+    let completed = out.statuses.iter().filter(|s| s.result().is_some()).count();
+    assert_eq!(completed, spec.len() - 12);
+}
+
+#[test]
+fn unknown_circuit_is_a_sweep_error() {
+    let mut spec = aging_spec();
+    if let Workload::CircuitAging { circuits, .. } = &mut spec.workload {
+        circuits.push("not-a-benchmark".into());
+    }
+    let err = run_sweep(&spec, &options(1), builtin_resolver).unwrap_err();
+    assert!(matches!(err, SweepError::UnknownCircuit { .. }), "{err}");
+}
+
+#[test]
+fn empty_grid_is_a_sweep_error() {
+    let mut spec = aging_spec();
+    spec.lifetimes.clear();
+    assert!(matches!(
+        run_sweep(&spec, &options(1), builtin_resolver),
+        Err(SweepError::EmptySpec)
+    ));
+}

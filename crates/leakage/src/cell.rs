@@ -62,7 +62,12 @@ pub fn cell_leakage(
     models: &DeviceModels,
     temp: Kelvin,
 ) -> LeakageBreakdown {
-    assert_eq!(pins.len(), cell.num_pins(), "cell {}: bad input width", cell.name());
+    assert_eq!(
+        pins.len(),
+        cell.num_pins(),
+        "cell {}: bad input width",
+        cell.name()
+    );
     let mut total = LeakageBreakdown::default();
     let mut stage_outs: Vec<bool> = Vec::with_capacity(cell.stages().len());
     for stage in cell.stages() {
@@ -91,8 +96,7 @@ pub fn cell_leakage(
                 temp,
                 width_scale,
             };
-            total.subthreshold +=
-                network_current(stage.pull_up(), &state, models, models.vdd, 0.0);
+            total.subthreshold += network_current(stage.pull_up(), &state, models, models.vdd, 0.0);
         }
 
         // Gate tunneling of conducting devices in both networks.
@@ -231,11 +235,7 @@ mod drive_leak_tests {
             let pins = [bits & 1 == 1, bits >> 1 & 1 == 1];
             let a = cell_leakage(base, &pins, &m, Kelvin(400.0)).total();
             let b = cell_leakage(strong, &pins, &m, Kelvin(400.0)).total();
-            assert!(
-                (b / a - 2.0).abs() < 0.05,
-                "bits {bits}: ratio {}",
-                b / a
-            );
+            assert!((b / a - 2.0).abs() < 0.05, "bits {bits}: ratio {}", b / a);
         }
     }
 }

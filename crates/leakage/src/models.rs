@@ -90,14 +90,7 @@ impl DeviceModels {
     ///
     /// The source sits at `v_lo`, so a raised `v_lo` gives the exponential
     /// stack-effect suppression `exp(−v_lo/(n·v_T))`.
-    pub fn off_current(
-        &self,
-        mos: MosType,
-        width: f64,
-        v_hi: f64,
-        v_lo: f64,
-        temp: Kelvin,
-    ) -> f64 {
+    pub fn off_current(&self, mos: MosType, width: f64, v_hi: f64, v_lo: f64, temp: Kelvin) -> f64 {
         debug_assert!(v_hi >= v_lo - 1e-12);
         let vt = thermal_voltage(temp);
         let vth = self.vth(mos, temp);

@@ -132,13 +132,7 @@ pub fn stack_factor(models: &DeviceModels, mos: MosType, depth: usize, temp: Kel
         temp,
         width_scale: 1.0,
     };
-    let single = network_current(
-        &Network::Device(0),
-        &state,
-        models,
-        models.vdd,
-        0.0,
-    );
+    let single = network_current(&Network::Device(0), &state, models, models.vdd, 0.0);
     let chain = Network::Series((0..depth).map(Network::Device).collect());
     let stacked = network_current(&chain, &state, models, models.vdd, 0.0);
     single / stacked.max(1e-30)
@@ -200,7 +194,10 @@ mod tests {
             let st1 = state(MosType::Nmos, &inputs);
             network_current(&Network::Device(0), &st1, &m, 1.0, 0.0)
         };
-        assert!((mixed - off_only).abs() / off_only < 0.1, "mixed {mixed} vs {off_only}");
+        assert!(
+            (mixed - off_only).abs() / off_only < 0.1,
+            "mixed {mixed} vs {off_only}"
+        );
     }
 
     #[test]

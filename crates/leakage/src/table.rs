@@ -107,7 +107,11 @@ mod tests {
         let id = lib.find("NAND2").unwrap();
         // At deterministic corners the expectation equals the table entry.
         for v in Vector::all(2) {
-            let corner: Vec<f64> = v.to_bools().iter().map(|&b| if b { 1.0 } else { 0.0 }).collect();
+            let corner: Vec<f64> = v
+                .to_bools()
+                .iter()
+                .map(|&b| if b { 1.0 } else { 0.0 })
+                .collect();
             assert!((t.expected(id, &corner) - t.of(id, v).total()).abs() < 1e-18);
         }
         // And the uniform expectation is the plain average.

@@ -123,9 +123,9 @@ pub fn parse(text: &str, library: Library) -> Result<Circuit, NetlistError> {
                         return Err(NetlistError::CombinationalCycle { near: name });
                     }
                     in_progress.insert(name.clone(), true);
-                    let def = defs.get(&name).ok_or_else(|| NetlistError::UndrivenNet {
-                        name: name.clone(),
-                    })?;
+                    let def = defs
+                        .get(&name)
+                        .ok_or_else(|| NetlistError::UndrivenNet { name: name.clone() })?;
                     stack.push(Task::Emit(name.clone()));
                     for dep in def.inputs.clone() {
                         if !resolved.contains_key(&dep) {
@@ -403,12 +403,20 @@ mod tests {
     #[test]
     fn wide_gates_decompose_correctly() {
         for (func, k, f) in [
-            ("AND", 6, (|v: &[bool]| v.iter().all(|&x| x)) as fn(&[bool]) -> bool),
+            (
+                "AND",
+                6,
+                (|v: &[bool]| v.iter().all(|&x| x)) as fn(&[bool]) -> bool,
+            ),
             ("OR", 6, |v: &[bool]| v.iter().any(|&x| x)),
             ("NAND", 6, |v: &[bool]| !v.iter().all(|&x| x)),
             ("NOR", 6, |v: &[bool]| !v.iter().any(|&x| x)),
-            ("XOR", 5, |v: &[bool]| v.iter().filter(|&&x| x).count() % 2 == 1),
-            ("XNOR", 5, |v: &[bool]| v.iter().filter(|&&x| x).count() % 2 == 0),
+            ("XOR", 5, |v: &[bool]| {
+                v.iter().filter(|&&x| x).count() % 2 == 1
+            }),
+            ("XNOR", 5, |v: &[bool]| {
+                v.iter().filter(|&&x| x).count() % 2 == 0
+            }),
         ] {
             let mut text = String::new();
             for i in 0..k {

@@ -186,10 +186,7 @@ impl Circuit {
 
     /// Looks up a net by name (linear scan; intended for tests and I/O).
     pub fn find_net(&self, name: &str) -> Option<NetId> {
-        self.nets
-            .iter()
-            .position(|n| n.name == name)
-            .map(NetId)
+        self.nets.iter().position(|n| n.name == name).map(NetId)
     }
 
     /// Summary statistics: `(inputs, outputs, gates, depth)`.

@@ -115,7 +115,11 @@ mod tests {
         let c = iscas::c17();
         let text = to_dot(&c, &DotOptions::default());
         for g in c.gates() {
-            assert!(text.contains(&format!("\"{}\\nNAND2\"", g.name())), "{}", g.name());
+            assert!(
+                text.contains(&format!("\"{}\\nNAND2\"", g.name())),
+                "{}",
+                g.name()
+            );
         }
         assert_eq!(text.matches(" -> ").count(), 12); // 6 gates x 2 inputs
     }

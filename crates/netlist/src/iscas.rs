@@ -35,16 +35,76 @@ pub struct BenchmarkSpec {
 
 /// The ISCAS85 suite statistics (inputs, outputs, gates, depth).
 pub const SPECS: [BenchmarkSpec; 10] = [
-    BenchmarkSpec { name: "c432", inputs: 36, outputs: 7, gates: 160, depth: 17 },
-    BenchmarkSpec { name: "c499", inputs: 41, outputs: 32, gates: 202, depth: 11 },
-    BenchmarkSpec { name: "c880", inputs: 60, outputs: 26, gates: 383, depth: 24 },
-    BenchmarkSpec { name: "c1355", inputs: 41, outputs: 32, gates: 546, depth: 24 },
-    BenchmarkSpec { name: "c1908", inputs: 33, outputs: 25, gates: 880, depth: 40 },
-    BenchmarkSpec { name: "c2670", inputs: 233, outputs: 140, gates: 1193, depth: 32 },
-    BenchmarkSpec { name: "c3540", inputs: 50, outputs: 22, gates: 1669, depth: 47 },
-    BenchmarkSpec { name: "c5315", inputs: 178, outputs: 123, gates: 2307, depth: 49 },
-    BenchmarkSpec { name: "c6288", inputs: 32, outputs: 32, gates: 2416, depth: 124 },
-    BenchmarkSpec { name: "c7552", inputs: 207, outputs: 108, gates: 3512, depth: 43 },
+    BenchmarkSpec {
+        name: "c432",
+        inputs: 36,
+        outputs: 7,
+        gates: 160,
+        depth: 17,
+    },
+    BenchmarkSpec {
+        name: "c499",
+        inputs: 41,
+        outputs: 32,
+        gates: 202,
+        depth: 11,
+    },
+    BenchmarkSpec {
+        name: "c880",
+        inputs: 60,
+        outputs: 26,
+        gates: 383,
+        depth: 24,
+    },
+    BenchmarkSpec {
+        name: "c1355",
+        inputs: 41,
+        outputs: 32,
+        gates: 546,
+        depth: 24,
+    },
+    BenchmarkSpec {
+        name: "c1908",
+        inputs: 33,
+        outputs: 25,
+        gates: 880,
+        depth: 40,
+    },
+    BenchmarkSpec {
+        name: "c2670",
+        inputs: 233,
+        outputs: 140,
+        gates: 1193,
+        depth: 32,
+    },
+    BenchmarkSpec {
+        name: "c3540",
+        inputs: 50,
+        outputs: 22,
+        gates: 1669,
+        depth: 47,
+    },
+    BenchmarkSpec {
+        name: "c5315",
+        inputs: 178,
+        outputs: 123,
+        gates: 2307,
+        depth: 49,
+    },
+    BenchmarkSpec {
+        name: "c6288",
+        inputs: 32,
+        outputs: 32,
+        gates: 2416,
+        depth: 124,
+    },
+    BenchmarkSpec {
+        name: "c7552",
+        inputs: 207,
+        outputs: 108,
+        gates: 3512,
+        depth: 43,
+    },
 ];
 
 /// The genuine ISCAS85 `c17` circuit (6 NAND2 gates).
@@ -284,8 +344,17 @@ mod tests {
             assert_eq!(gates, spec.gates, "{}", spec.name);
             assert_eq!(depth, spec.depth, "{}", spec.name);
             // PO count is at least the spec (unconsumed nets also escape).
-            assert!(po >= spec.outputs, "{}: po {po} < {}", spec.name, spec.outputs);
-            assert!(po <= spec.outputs + spec.gates / 4, "{}: po {po} inflated", spec.name);
+            assert!(
+                po >= spec.outputs,
+                "{}: po {po} < {}",
+                spec.name,
+                spec.outputs
+            );
+            assert!(
+                po <= spec.outputs + spec.gates / 4,
+                "{}: po {po} inflated",
+                spec.name
+            );
         }
     }
 

@@ -94,8 +94,15 @@ mod tests {
     #[test]
     fn synthetic_histogram_spans_families() {
         let s = CircuitStats::of(&iscas::circuit("c880").expect("known"));
-        assert!(s.cell_histogram.len() >= 8, "only {:?}", s.cell_histogram.keys());
+        assert!(
+            s.cell_histogram.len() >= 8,
+            "only {:?}",
+            s.cell_histogram.keys()
+        );
         assert_eq!(s.cell_histogram.values().sum::<usize>(), s.gates);
-        assert!(s.pmos_devices > s.gates, "NOR/AOI stages carry multiple PMOS");
+        assert!(
+            s.pmos_devices > s.gates,
+            "NOR/AOI stages carry multiple PMOS"
+        );
     }
 }

@@ -307,7 +307,8 @@ impl Parser {
         let mut defs: HashMap<String, Def> = HashMap::new();
         let mut order: Vec<String> = Vec::new();
         for inst in instances {
-            let (out_net, in_nets, func) = self.resolve_ports(&inst.kind, inst.line, inst.positional, inst.named)?;
+            let (out_net, in_nets, func) =
+                self.resolve_ports(&inst.kind, inst.line, inst.positional, inst.named)?;
             if defs.contains_key(&out_net) || resolved.contains_key(&out_net) {
                 return Err(NetlistError::DuplicateNet { name: out_net });
             }
@@ -344,9 +345,9 @@ impl Parser {
                             return Err(NetlistError::CombinationalCycle { near: net });
                         }
                         in_progress.insert(net.clone(), true);
-                        let def = defs.get(&net).ok_or_else(|| NetlistError::UndrivenNet {
-                            name: net.clone(),
-                        })?;
+                        let def = defs
+                            .get(&net)
+                            .ok_or_else(|| NetlistError::UndrivenNet { name: net.clone() })?;
                         stack.push(Task::Emit(net.clone()));
                         for dep in def.inputs.clone() {
                             if !resolved.contains_key(&dep) {
@@ -356,15 +357,15 @@ impl Parser {
                     }
                     Task::Emit(net) => {
                         let def = &defs[&net];
-                        let ids: Vec<NetId> = def
-                            .inputs
-                            .iter()
-                            .map(|d| {
-                                resolved.get(d).copied().ok_or_else(|| {
-                                    NetlistError::UndrivenNet { name: d.clone() }
+                        let ids: Vec<NetId> =
+                            def.inputs
+                                .iter()
+                                .map(|d| {
+                                    resolved.get(d).copied().ok_or_else(|| {
+                                        NetlistError::UndrivenNet { name: d.clone() }
+                                    })
                                 })
-                            })
-                            .collect::<Result<_, _>>()?;
+                                .collect::<Result<_, _>>()?;
                         let _ = &def.instance;
                         // Direct library-cell instantiations bypass the
                         // function decomposer; generic primitives go
@@ -433,7 +434,9 @@ impl Parser {
             _ => return Err(err(format!("unknown cell or primitive {kind}"))),
         };
         let mut it = positional.into_iter();
-        let out = it.next().ok_or_else(|| err("primitive needs ports".into()))?;
+        let out = it
+            .next()
+            .ok_or_else(|| err("primitive needs ports".into()))?;
         let ins: Vec<String> = it.collect();
         if ins.is_empty() {
             return Err(err("primitive needs at least one input".into()));
@@ -450,10 +453,7 @@ impl Parser {
         named: Vec<(String, String)>,
     ) -> Result<(String, Vec<String>, String), NetlistError> {
         let err = |message: String| NetlistError::ParseError { line, message };
-        let cell = self
-            .library
-            .find(kind)
-            .expect("caller checked the library");
+        let cell = self.library.find(kind).expect("caller checked the library");
         let n = self.library.cell(cell).num_pins();
         let (out, ins) = if !named.is_empty() {
             let mut out = None;
@@ -503,7 +503,12 @@ pub fn write(circuit: &Circuit) -> String {
         .chain(circuit.primary_outputs())
         .map(|&n| circuit.net(n).name())
         .collect();
-    let _ = writeln!(out, "module {} ({});", sanitize(circuit.name()), ports.join(", "));
+    let _ = writeln!(
+        out,
+        "module {} ({});",
+        sanitize(circuit.name()),
+        ports.join(", ")
+    );
     let ins: Vec<&str> = circuit
         .primary_inputs()
         .iter()
@@ -541,9 +546,20 @@ pub fn write(circuit: &Circuit) -> String {
 fn sanitize(name: &str) -> String {
     let cleaned: String = name
         .chars()
-        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
-    if cleaned.chars().next().map(|c| c.is_ascii_digit()).unwrap_or(true) {
+    if cleaned
+        .chars()
+        .next()
+        .map(|c| c.is_ascii_digit())
+        .unwrap_or(true)
+    {
         format!("m_{cleaned}")
     } else {
         cleaned
@@ -566,7 +582,10 @@ mod tests {
             let ins: Vec<bool> = g.inputs().iter().map(|n| values[n.index()]).collect();
             values[g.output().index()] = c.library().cell(g.cell()).eval(&ins);
         }
-        c.primary_outputs().iter().map(|p| values[p.index()]).collect()
+        c.primary_outputs()
+            .iter()
+            .map(|p| values[p.index()])
+            .collect()
     }
 
     const C17_V: &str = "

@@ -1,0 +1,25 @@
+//! Test-runner configuration (subset of `proptest::test_runner`).
+
+/// Per-test configuration.
+///
+/// Only `cases` is honored. The default of 32 cases keeps debug-mode test
+/// runs quick while still exercising a spread of inputs; individual tests
+/// override it with `#![proptest_config(ProptestConfig::with_cases(n))]`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 32 }
+    }
+}

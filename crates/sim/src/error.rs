@@ -28,7 +28,10 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::StimulusWidthMismatch { expected, got } => {
-                write!(f, "stimulus has {got} values but circuit has {expected} inputs")
+                write!(
+                    f,
+                    "stimulus has {got} values but circuit has {expected} inputs"
+                )
             }
             SimError::InvalidProbability { index, value } => {
                 write!(f, "probability {value} at index {index} is outside [0, 1]")

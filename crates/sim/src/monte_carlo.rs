@@ -128,7 +128,12 @@ mod tests {
         for (i, net) in c.nets().iter().enumerate() {
             let _ = net;
             let d = (est.probs().as_slice()[i] - sp.as_slice()[i]).abs();
-            assert!(d < 0.06, "net {i}: mc={} prop={}", est.probs().as_slice()[i], sp.as_slice()[i]);
+            assert!(
+                d < 0.06,
+                "net {i}: mc={} prop={}",
+                est.probs().as_slice()[i],
+                sp.as_slice()[i]
+            );
         }
     }
 

@@ -126,7 +126,10 @@ fn eval_ternary(cell: &relia_cells::Cell, inputs: &[Trit]) -> Trit {
         .map(|(i, _)| i)
         .collect();
     if unknown.is_empty() {
-        let bools: Vec<bool> = inputs.iter().map(|t| t.to_bool().expect("definite")).collect();
+        let bools: Vec<bool> = inputs
+            .iter()
+            .map(|t| t.to_bool().expect("definite"))
+            .collect();
         return Trit::from_bool(cell.eval(&bools));
     }
     let mut seen: Option<bool> = None;

@@ -86,9 +86,7 @@ pub fn fgsti_sizes(circuit: &Circuit, report: &TimingReport, sizing: &StSizing) 
             let delay = report.gate_delays()[g.index()].max(1e-9);
             let slack = slacks[circuit.gate(g).output().index()].max(0.0);
             let relax = (1.0 + slack / delay).min(3.0);
-            let base = sizing
-                .min_size(i_on)
-                .expect("gate current is positive");
+            let base = sizing.min_size(i_on).expect("gate current is positive");
             base / relax
         })
         .collect()
@@ -129,11 +127,7 @@ mod tests {
         let (c, r, s) = setup();
         let blocks = bbsti_blocks(&c, &r, &s, 64);
         for b in &blocks {
-            let naive: f64 = b
-                .gates
-                .iter()
-                .map(|&g| gate_current(&c, &r, g))
-                .sum();
+            let naive: f64 = b.gates.iter().map(|&g| gate_current(&c, &r, g)).sum();
             assert!(b.peak_current <= naive + 1e-18);
         }
         // At least one multi-level block must benefit.

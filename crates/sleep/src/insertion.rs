@@ -82,8 +82,7 @@ impl StInsertion {
         for &t in times {
             // Internal (logic) aging at time t.
             let dv = analysis.gate_delta_vth_at(&policy, t)?;
-            let degraded =
-                relia_sta::TimingAnalysis::degraded(analysis.circuit(), &dv, params)?;
+            let degraded = relia_sta::TimingAnalysis::degraded(analysis.circuit(), &dv, params)?;
             // Virtual-rail penalty at time t.
             let v_st = if self.kind.header_ages() {
                 let st_dv = self.sizing.st_delta_vth(
@@ -183,9 +182,7 @@ mod tests {
             kind: SleepTransistorKind::Footer,
             sizing: StSizing::paper_defaults(0.01, 0.30).unwrap(),
         };
-        let pts = gated
-            .delay_over_time(&analysis, &[Seconds(1.0e8)])
-            .unwrap();
+        let pts = gated.delay_over_time(&analysis, &[Seconds(1.0e8)]).unwrap();
         assert!(
             pts[0].increase_vs_nominal < ungated.degradation_fraction(),
             "gated {} vs ungated {}",

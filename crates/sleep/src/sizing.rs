@@ -9,7 +9,7 @@
 //! threshold over the lifetime, so a *safe* PMOS header must be oversized
 //! by `ΔV_th/(V_dd − V_thST − V_ST)` (eq. 31).
 
-use relia_core::{ModelError, ModeSchedule, NbtiModel, PmosStress, Seconds, Volts};
+use relia_core::{ModeSchedule, ModelError, NbtiModel, PmosStress, Seconds, Volts};
 
 /// Sleep-transistor sizing parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -216,8 +216,16 @@ mod tests {
             .st_delta_vth(&model, &schedule(1.0, 9.0), life)
             .unwrap();
         assert!(hi > lo);
-        assert!(lo * 1e3 > 3.0 && lo * 1e3 < 12.0, "low corner {} mV", lo * 1e3);
-        assert!(hi * 1e3 > 24.0 && hi * 1e3 < 42.0, "high corner {} mV", hi * 1e3);
+        assert!(
+            lo * 1e3 > 3.0 && lo * 1e3 < 12.0,
+            "low corner {} mV",
+            lo * 1e3
+        );
+        assert!(
+            hi * 1e3 > 24.0 && hi * 1e3 < 42.0,
+            "high corner {} mV",
+            hi * 1e3
+        );
     }
 
     #[test]

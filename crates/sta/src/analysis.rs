@@ -70,15 +70,11 @@ impl TimingReport {
                 .fold(0.0, f64::max);
             arrival[gate.output().index()] = input_arrival + gate_delays[gid.index()];
         }
-        let critical_po = circuit
-            .primary_outputs()
-            .iter()
-            .copied()
-            .max_by(|a, b| {
-                arrival[a.index()]
-                    .partial_cmp(&arrival[b.index()])
-                    .expect("arrival times are finite")
-            });
+        let critical_po = circuit.primary_outputs().iter().copied().max_by(|a, b| {
+            arrival[a.index()]
+                .partial_cmp(&arrival[b.index()])
+                .expect("arrival times are finite")
+        });
         let max_delay = critical_po.map(|po| arrival[po.index()]).unwrap_or(0.0);
 
         // Trace the critical path backwards from the critical PO.
@@ -90,15 +86,11 @@ impl TimingReport {
                 NetDriver::Gate(gid) => {
                     critical_path.push(gid);
                     let gate = circuit.gate(gid);
-                    net = gate
-                        .inputs()
-                        .iter()
-                        .copied()
-                        .max_by(|a, b| {
-                            arrival[a.index()]
-                                .partial_cmp(&arrival[b.index()])
-                                .expect("arrival times are finite")
-                        });
+                    net = gate.inputs().iter().copied().max_by(|a, b| {
+                        arrival[a.index()]
+                            .partial_cmp(&arrival[b.index()])
+                            .expect("arrival times are finite")
+                    });
                 }
             }
         }
@@ -213,8 +205,7 @@ mod tests {
         let c = iscas::circuit("c432").unwrap();
         let p = relia_core::NbtiParams::ptm90().unwrap();
         let nominal = TimingAnalysis::nominal(&c);
-        let aged =
-            TimingAnalysis::degraded(&c, &vec![0.030; c.gates().len()], &p).unwrap();
+        let aged = TimingAnalysis::degraded(&c, &vec![0.030; c.gates().len()], &p).unwrap();
         assert!(aged.max_delay_ps() > nominal.max_delay_ps());
         // With a uniform 30 mV shift the whole path scales by the same
         // factor: α·ΔV/(V_g−V_th) = 1.3·0.03/0.78 = 5%.
@@ -230,7 +221,11 @@ mod tests {
         assert!(!path.is_empty());
         // Path delays sum to the max delay.
         let sum: f64 = path.iter().map(|g| r.gate_delays()[g.index()]).sum();
-        assert!((sum - r.max_delay_ps()).abs() < 1e-6, "sum {sum} max {}", r.max_delay_ps());
+        assert!(
+            (sum - r.max_delay_ps()).abs() < 1e-6,
+            "sum {sum} max {}",
+            r.max_delay_ps()
+        );
         // Consecutive gates are actually connected.
         for w in path.windows(2) {
             let out = c.gate(w[0]).output();

@@ -57,9 +57,10 @@ pub fn degraded_gate_delays(
         .into_iter()
         .zip(delta_vth.iter().enumerate())
         .map(|(nominal, (gi, &dv))| {
-            let frac = dd
-                .linear(dv)
-                .map_err(|_| StaError::InvalidShift { gate: gi, value: dv })?;
+            let frac = dd.linear(dv).map_err(|_| StaError::InvalidShift {
+                gate: gi,
+                value: dv,
+            })?;
             Ok(nominal * (1.0 + frac))
         })
         .collect()

@@ -27,7 +27,10 @@ impl fmt::Display for StaError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             StaError::GateVectorMismatch { expected, got } => {
-                write!(f, "per-gate vector has {got} entries but circuit has {expected} gates")
+                write!(
+                    f,
+                    "per-gate vector has {got} entries but circuit has {expected} gates"
+                )
             }
             StaError::InvalidShift { gate, value } => {
                 write!(f, "invalid threshold shift {value} V at gate {gate}")

@@ -159,7 +159,10 @@ mod tests {
             // The first gate is driven at the launching pin.
             let first = c.gate(path.gates[0]);
             assert!(first.inputs().contains(&path.start));
-            assert!(matches!(c.net(path.start).driver(), NetDriver::PrimaryInput));
+            assert!(matches!(
+                c.net(path.start).driver(),
+                NetDriver::PrimaryInput
+            ));
         }
     }
 

@@ -116,8 +116,14 @@ mod tests {
     #[test]
     fn total_duration_sums() {
         let set = TaskSet::from_phases(vec![
-            PowerPhase { watts: 50.0, duration: 0.25 },
-            PowerPhase { watts: 70.0, duration: 0.75 },
+            PowerPhase {
+                watts: 50.0,
+                duration: 0.25,
+            },
+            PowerPhase {
+                watts: 70.0,
+                duration: 0.75,
+            },
         ]);
         assert!((set.total_duration() - 1.0).abs() < 1e-12);
     }

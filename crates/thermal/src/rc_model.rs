@@ -145,8 +145,14 @@ mod tests {
     fn simulate_tracks_phases() {
         let m = RcThermalModel::air_cooled();
         let profile = [
-            PowerPhase { watts: 20.0, duration: 0.2 },
-            PowerPhase { watts: 120.0, duration: 0.2 },
+            PowerPhase {
+                watts: 20.0,
+                duration: 0.2,
+            },
+            PowerPhase {
+                watts: 120.0,
+                duration: 0.2,
+            },
         ];
         let trace = m.simulate(&profile, 1e-3);
         let first = trace.first().unwrap();

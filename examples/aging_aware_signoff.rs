@@ -26,7 +26,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
 
     let pts = VariationStudy::run(&analysis, &StandbyPolicy::AllInternalZero, &var, &times)?;
-    println!("{:>9} {:>11} {:>9} {:>11}", "years", "mean [ps]", "sigma", "+3s [ps]");
+    println!(
+        "{:>9} {:>11} {:>9} {:>11}",
+        "years", "mean [ps]", "sigma", "+3s [ps]"
+    );
     for p in &pts {
         println!(
             "{:>9.2} {:>11.2} {:>9.3} {:>11.2}",

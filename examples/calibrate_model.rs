@@ -30,7 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             });
         }
     }
-    println!("{} stress measurements across 3 times x 4 temperatures", measurements.len());
+    println!(
+        "{} stress measurements across 3 times x 4 temperatures",
+        measurements.len()
+    );
 
     let fit = fit_dc_measurements(&NbtiParams::ptm90()?, &measurements)?;
     println!(

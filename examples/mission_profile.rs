@@ -8,9 +8,7 @@
 //! Run with: `cargo run --release --example mission_profile`
 
 use relia::core::Seconds;
-use relia::flow::{
-    lifetime_to_budget, AgingAnalysis, FlowConfig, LifetimeBudget, StandbyPolicy,
-};
+use relia::flow::{lifetime_to_budget, AgingAnalysis, FlowConfig, LifetimeBudget, StandbyPolicy};
 use relia::ivc::{greedy_control_points, search_mlv_set, MlvSearchConfig};
 use relia::netlist::iscas;
 
@@ -27,12 +25,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let verdict = |policy: &StandbyPolicy| -> Result<String, Box<dyn std::error::Error>> {
-        Ok(match lifetime_to_budget(&analysis, policy, budget, mission)? {
-            LifetimeBudget::SurvivesBeyond(_) => "SURVIVES the mission".to_owned(),
-            LifetimeBudget::ExhaustedAt(t) => {
-                format!("budget exhausted after {:.1} years", t.to_years())
-            }
-        })
+        Ok(
+            match lifetime_to_budget(&analysis, policy, budget, mission)? {
+                LifetimeBudget::SurvivesBeyond(_) => "SURVIVES the mission".to_owned(),
+                LifetimeBudget::ExhaustedAt(t) => {
+                    format!("budget exhausted after {:.1} years", t.to_years())
+                }
+            },
+        )
     };
 
     // Rung 0: do nothing (worst-case standby).
@@ -51,7 +51,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Rung 2: IVC + 8 control points on the aged critical path.
     let steps = greedy_control_points(&analysis, &mlv, 8)?;
-    let forced = steps.last().ok_or("selector returned no steps")?.forced.clone();
+    let forced = steps
+        .last()
+        .ok_or("selector returned no steps")?
+        .forced
+        .clone();
     println!(
         "3. IVC + {} control points:             {}",
         forced.len(),

@@ -10,9 +10,7 @@
 use relia::core::Seconds;
 use relia::flow::{AgingAnalysis, FlowConfig, StandbyPolicy};
 use relia::netlist::iscas;
-use relia::sleep::{
-    bbsti_blocks, fgsti_sizes, SleepTransistorKind, StInsertion, StSizing,
-};
+use relia::sleep::{bbsti_blocks, fgsti_sizes, SleepTransistorKind, StInsertion, StSizing};
 use relia::sta::TimingAnalysis;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -37,7 +35,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let pts = ins.delay_over_time(&analysis, &times)?;
         print!("{kind:?}: ");
         for p in &pts {
-            print!("  t={:.0e}s +{:.2}%", p.time.0, p.increase_vs_nominal * 100.0);
+            print!(
+                "  t={:.0e}s +{:.2}%",
+                p.time.0,
+                p.increase_vs_nominal * 100.0
+            );
         }
         println!();
     }

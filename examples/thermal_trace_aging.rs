@@ -18,8 +18,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "thermal trace: {} samples over {:.2} s, {:.1}-{:.1} C",
         trace.len(),
         tasks.total_duration(),
-        trace.iter().map(|p| p.temp.to_celsius()).fold(f64::MAX, f64::min),
-        trace.iter().map(|p| p.temp.to_celsius()).fold(f64::MIN, f64::max),
+        trace
+            .iter()
+            .map(|p| p.temp.to_celsius())
+            .fold(f64::MAX, f64::min),
+        trace
+            .iter()
+            .map(|p| p.temp.to_celsius())
+            .fold(f64::MIN, f64::max),
     );
 
     // Convert the trace to stress intervals: assume a 0.5 stress duty while
@@ -36,11 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let model = NbtiModel::ptm90()?;
     println!("\nPMOS threshold shift if this workload loops for the lifetime:");
     for years in [1.0, 3.0, 10.0] {
-        let dv = model.delta_vth_trace(
-            Seconds::from_years(years),
-            &intervals,
-            Kelvin(400.0),
-        )?;
+        let dv = model.delta_vth_trace(Seconds::from_years(years), &intervals, Kelvin(400.0))?;
         println!("  {years:>4.0} yr: {:.1} mV", dv * 1e3);
     }
 

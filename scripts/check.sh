@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# Full local gate: build, tests, formatting, lints — all offline-safe.
+# Run from the repo root: ./scripts/check.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --offline
+
+echo "==> cargo test (workspace)"
+cargo test -q --offline --workspace
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> all checks passed"

@@ -5,6 +5,8 @@
 //! relia timing <netlist>
 //! relia aging  <netlist> [--ras A:S] [--tstandby K] [--years Y]
 //!                        [--standby worst|best|footer|BITSTRING]
+//! relia sweep  [netlist ...] [--ras LIST] [--tstandby LIST] [--years LIST]
+//!              [--standby LIST] [--jobs N] [--checkpoint PATH]
 //! relia mlv    <netlist> [--ras A:S] [--tstandby K]
 //! relia dot    <netlist>
 //! relia list                     # built-in benchmarks
@@ -12,47 +14,88 @@
 //!
 //! Netlists are ISCAS85 `.bench` files; `builtin:c432` names a bundled
 //! benchmark.
+//!
+//! Exit codes: 0 success, 1 analysis failure, 2 usage error.
 
 use std::fmt::Display;
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 use relia::cells::Library;
 use relia::core::{Kelvin, Ras, Seconds};
 use relia::flow::{AgingAnalysis, FlowConfig, StandbyPolicy};
 use relia::ivc::{co_optimize, search_mlv_set, MlvSearchConfig};
+use relia::jobs::{self, JobResult, JobStatus, JobTask, PolicySpec, SweepSpec, Workload};
 use relia::netlist::stats::CircuitStats;
 use relia::netlist::{bench, dot, iscas, Circuit};
 use relia::sta::TimingAnalysis;
+
+/// A CLI failure, split by who got it wrong: the invocation (exit 2, usage
+/// reminder printed) or the analysis (exit 1).
+enum CliError {
+    Usage(String),
+    Analysis(String),
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> Self {
+        CliError::Analysis(msg)
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
+        Err(CliError::Usage(msg)) => {
             eprintln!("relia: {msg}");
             eprintln!();
             eprintln!("{USAGE}");
-            ExitCode::FAILURE
+            ExitCode::from(2)
+        }
+        Err(CliError::Analysis(msg)) => {
+            eprintln!("relia: {msg}");
+            ExitCode::from(1)
         }
     }
 }
 
 const USAGE: &str = "usage:
-  relia info   <netlist.bench | builtin:NAME>
-  relia timing <netlist>
-  relia paths  <netlist> [K]
-  relia aging  <netlist> [--ras A:S] [--tstandby K] [--years Y] [--standby worst|best|footer|BITS]
-  relia mlv    <netlist> [--ras A:S] [--tstandby K]
-  relia dot    <netlist>
-  relia verilog <netlist>                (emit structural Verilog)
-  relia csv    <netlist> [aging flags]   (per-gate aging report)
-  relia liberty                          (characterized library export)
-  relia lib
-  relia list";
+  relia info    <netlist.bench | builtin:NAME>   circuit statistics
+  relia timing  <netlist>                        nominal critical path
+  relia paths   <netlist> [K]                    top-K critical paths
+  relia aging   <netlist> [--ras A:S] [--tstandby K] [--years Y]
+                [--standby worst|best|footer|BITS]
+                                                 one aging analysis
+  relia sweep   [netlist ...] [--ras A:S,...] [--tstandby K,...]
+                [--years Y,...] [--standby P,...] [--jobs N]
+                [--checkpoint PATH]              parallel batch sweep
+  relia mlv     <netlist> [--ras A:S] [--tstandby K]
+                                                 leakage/NBTI co-optimal vectors
+  relia dot     <netlist>                        Graphviz export
+  relia verilog <netlist>                        structural Verilog export
+  relia csv     <netlist> [aging flags]          per-gate aging report
+  relia liberty                                  characterized library export
+  relia lib                                      cell-library leakage/MLV table
+  relia list                                     built-in benchmarks
+  relia help                                     this message
 
-fn run(args: &[String]) -> Result<(), String> {
-    let cmd = args.first().ok_or("missing command")?;
+sweep notes:
+  list-valued flags are comma-separated and multiply into a cartesian grid
+  (circuits x standby policies x ras x tstandby x years); defaults give a
+  40-job grid on builtin:c17. --jobs 0 (default) uses all cores.
+  --checkpoint resumes completed jobs from PATH if it exists.";
+
+fn run(args: &[String]) -> Result<(), CliError> {
+    let cmd = args
+        .first()
+        .ok_or_else(|| CliError::Usage("missing command".into()))?;
     match cmd.as_str() {
+        "help" | "-h" | "--help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        "sweep" => run_sweep_command(&args[1..]),
         "list" => {
             for name in iscas::names() {
                 let c = iscas::circuit(name).expect("known name");
@@ -62,7 +105,7 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "info" => {
-            let circuit = load(args.get(1).ok_or("missing netlist")?)?;
+            let circuit = load(args.get(1).ok_or_else(|| missing("netlist"))?)?;
             let s = CircuitStats::of(&circuit);
             println!("circuit {}", circuit.name());
             println!("  inputs  : {}", s.inputs);
@@ -70,7 +113,10 @@ fn run(args: &[String]) -> Result<(), String> {
             println!("  gates   : {}", s.gates);
             println!("  depth   : {}", s.depth);
             println!("  pmos    : {}", s.pmos_devices);
-            println!("  fanout  : mean {:.2}, max {}", s.mean_fanout, s.max_fanout);
+            println!(
+                "  fanout  : mean {:.2}, max {}",
+                s.mean_fanout, s.max_fanout
+            );
             println!("  cells   :");
             for (name, count) in &s.cell_histogram {
                 println!("    {name:>10} x {count}");
@@ -78,7 +124,7 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "timing" => {
-            let circuit = load(args.get(1).ok_or("missing netlist")?)?;
+            let circuit = load(args.get(1).ok_or_else(|| missing("netlist"))?)?;
             let report = TimingAnalysis::nominal(&circuit);
             println!("max delay: {:.1} ps", report.max_delay_ps());
             println!("critical path ({} gates):", report.critical_path().len());
@@ -94,8 +140,8 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "aging" => {
-            let circuit = load(args.get(1).ok_or("missing netlist")?)?;
-            let opts = Options::parse(&args[2..])?;
+            let circuit = load(args.get(1).ok_or_else(|| missing("netlist"))?)?;
+            let opts = Options::parse(&args[2..]).map_err(CliError::Usage)?;
             let config = opts.config()?;
             let analysis = AgingAnalysis::new(&config, &circuit).map_err(stringify)?;
             let policy = opts.policy(&circuit)?;
@@ -114,26 +160,19 @@ fn run(args: &[String]) -> Result<(), String> {
                 "degradation   : {:.2}%",
                 report.degradation_fraction() * 100.0
             );
-            println!(
-                "worst dVth    : {:.1} mV",
-                report.worst_delta_vth() * 1e3
-            );
+            println!("worst dVth    : {:.1} mV", report.worst_delta_vth() * 1e3);
             if let Some(leak) = report.standby_leakage {
                 println!("standby leak  : {:.2} uA", leak * 1e6);
             }
-            println!(
-                "active leak   : {:.2} uA",
-                report.active_leakage * 1e6
-            );
+            println!("active leak   : {:.2} uA", report.active_leakage * 1e6);
             Ok(())
         }
         "mlv" => {
-            let circuit = load(args.get(1).ok_or("missing netlist")?)?;
-            let opts = Options::parse(&args[2..])?;
+            let circuit = load(args.get(1).ok_or_else(|| missing("netlist"))?)?;
+            let opts = Options::parse(&args[2..]).map_err(CliError::Usage)?;
             let config = opts.config()?;
             let analysis = AgingAnalysis::new(&config, &circuit).map_err(stringify)?;
-            let set =
-                search_mlv_set(&analysis, &MlvSearchConfig::default()).map_err(stringify)?;
+            let set = search_mlv_set(&analysis, &MlvSearchConfig::default()).map_err(stringify)?;
             let co = co_optimize(&analysis, &set).map_err(stringify)?;
             println!(
                 "{} MLVs within 4% of minimum leakage {:.3} uA",
@@ -141,7 +180,11 @@ fn run(args: &[String]) -> Result<(), String> {
                 set.min_leakage() * 1e6
             );
             for (i, e) in co.evaluations.iter().enumerate() {
-                let marker = if i == co.best_for_nbti { " <= co-optimal" } else { "" };
+                let marker = if i == co.best_for_nbti {
+                    " <= co-optimal"
+                } else {
+                    ""
+                };
                 let bits: String = e
                     .vector
                     .iter()
@@ -156,20 +199,19 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "paths" => {
-            let circuit = load(args.get(1).ok_or("missing netlist")?)?;
+            let circuit = load(args.get(1).ok_or_else(|| missing("netlist"))?)?;
             let k: usize = args
                 .get(2)
-                .map(|v| v.parse().map_err(|_| format!("bad path count {v}")))
+                .map(|v| {
+                    v.parse()
+                        .map_err(|_| CliError::Usage(format!("bad path count {v}")))
+                })
                 .transpose()?
                 .unwrap_or(5);
             let report = TimingAnalysis::nominal(&circuit);
             let top = relia::sta::k_critical_paths(&circuit, &report, k);
             for (i, path) in top.iter().enumerate() {
-                let names: Vec<&str> = path
-                    .gates
-                    .iter()
-                    .map(|g| circuit.gate(*g).name())
-                    .collect();
+                let names: Vec<&str> = path.gates.iter().map(|g| circuit.gate(*g).name()).collect();
                 println!(
                     "#{:<2} {:>8.1} ps  {} -> {}  [{}]",
                     i + 1,
@@ -217,18 +259,18 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "dot" => {
-            let circuit = load(args.get(1).ok_or("missing netlist")?)?;
+            let circuit = load(args.get(1).ok_or_else(|| missing("netlist"))?)?;
             print!("{}", dot::to_dot(&circuit, &dot::DotOptions::default()));
             Ok(())
         }
         "verilog" => {
-            let circuit = load(args.get(1).ok_or("missing netlist")?)?;
+            let circuit = load(args.get(1).ok_or_else(|| missing("netlist"))?)?;
             print!("{}", relia::netlist::verilog::write(&circuit));
             Ok(())
         }
         "csv" => {
-            let circuit = load(args.get(1).ok_or("missing netlist")?)?;
-            let opts = Options::parse(&args[2..])?;
+            let circuit = load(args.get(1).ok_or_else(|| missing("netlist"))?)?;
+            let opts = Options::parse(&args[2..]).map_err(CliError::Usage)?;
             let config = opts.config()?;
             let analysis = AgingAnalysis::new(&config, &circuit).map_err(stringify)?;
             let report = analysis.run(&opts.policy(&circuit)?).map_err(stringify)?;
@@ -242,8 +284,184 @@ fn run(args: &[String]) -> Result<(), String> {
             );
             Ok(())
         }
-        other => Err(format!("unknown command {other}")),
+        other => Err(CliError::Usage(format!("unknown command {other}"))),
     }
+}
+
+/// Shorthand for the repeated "required positional missing" usage error.
+fn missing(what: &str) -> CliError {
+    CliError::Usage(format!("missing {what}"))
+}
+
+/// Grid flags for `relia sweep`. List-valued flags are comma-separated and
+/// multiply into a cartesian grid.
+struct SweepArgs {
+    circuits: Vec<String>,
+    ras: Vec<(f64, f64)>,
+    tstandby: Vec<f64>,
+    years: Vec<f64>,
+    standby: Vec<PolicySpec>,
+    jobs: usize,
+    checkpoint: Option<PathBuf>,
+}
+
+impl SweepArgs {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut circuits = Vec::new();
+        let mut ras = Vec::new();
+        let mut tstandby = Vec::new();
+        let mut years = Vec::new();
+        let mut standby = Vec::new();
+        let mut jobs = 0usize;
+        let mut checkpoint = None;
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            if !arg.starts_with("--") {
+                circuits.push(arg.clone());
+                continue;
+            }
+            let value = it
+                .next()
+                .ok_or_else(|| format!("flag {arg} needs a value"))?;
+            match arg.as_str() {
+                "--ras" => {
+                    for part in value.split(',') {
+                        let (a, s) = part
+                            .split_once(':')
+                            .ok_or_else(|| format!("--ras expects A:S, got {part}"))?;
+                        ras.push((
+                            a.parse().map_err(|_| format!("bad ratio {a}"))?,
+                            s.parse().map_err(|_| format!("bad ratio {s}"))?,
+                        ));
+                    }
+                }
+                "--tstandby" => {
+                    for part in value.split(',') {
+                        tstandby.push(part.parse().map_err(|_| format!("bad kelvin {part}"))?);
+                    }
+                }
+                "--years" => {
+                    for part in value.split(',') {
+                        years.push(part.parse().map_err(|_| format!("bad years {part}"))?);
+                    }
+                }
+                "--standby" => {
+                    for part in value.split(',') {
+                        standby.push(PolicySpec::parse(part)?);
+                    }
+                }
+                "--jobs" => {
+                    jobs = value
+                        .parse()
+                        .map_err(|_| format!("bad job count {value}"))?;
+                }
+                "--checkpoint" => {
+                    checkpoint = Some(PathBuf::from(value));
+                }
+                other => return Err(format!("unknown flag {other}")),
+            }
+        }
+        // Defaults chosen so a bare `relia sweep` exercises a 40-job grid.
+        if circuits.is_empty() {
+            circuits.push("builtin:c17".to_owned());
+        }
+        if ras.is_empty() {
+            ras = vec![(1.0, 1.0), (1.0, 3.0), (1.0, 5.0), (1.0, 7.0), (1.0, 9.0)];
+        }
+        if tstandby.is_empty() {
+            tstandby = vec![330.0, 350.0, 370.0, 400.0];
+        }
+        if years.is_empty() {
+            years.push(Seconds(1.0e8).to_years());
+        }
+        if standby.is_empty() {
+            standby = vec![PolicySpec::Worst, PolicySpec::Best];
+        }
+        Ok(SweepArgs {
+            circuits,
+            ras,
+            tstandby,
+            years,
+            standby,
+            jobs,
+            checkpoint,
+        })
+    }
+}
+
+fn run_sweep_command(args: &[String]) -> Result<(), CliError> {
+    let parsed = SweepArgs::parse(args).map_err(CliError::Usage)?;
+    let spec = SweepSpec {
+        workload: Workload::CircuitAging {
+            circuits: parsed.circuits,
+            policies: parsed.standby,
+        },
+        ras: parsed.ras,
+        t_standby: parsed.tstandby,
+        lifetimes: parsed
+            .years
+            .iter()
+            .map(|&y| Seconds::from_years(y).0)
+            .collect(),
+    };
+    let options = jobs::SweepOptions {
+        workers: parsed.jobs,
+        checkpoint: parsed.checkpoint,
+        cache_shards: 0,
+    };
+    let outcome = jobs::run_sweep(&spec, &options, load).map_err(stringify)?;
+
+    println!(
+        "{:>10} {:>8} {:>6} {:>9} {:>8} {:>9} {:>7} {:>9} {:>9} {:>10}",
+        "circuit", "standby", "ras", "tstandby", "years", "dVth", "degr", "nominal", "aged", "leak"
+    );
+    for (point, status) in outcome.points.iter().zip(&outcome.statuses) {
+        let (circuit, policy) = match &point.task {
+            JobTask::Aging { circuit, policy } => (
+                circuit.strip_prefix("builtin:").unwrap_or(circuit),
+                policy.label(),
+            ),
+            JobTask::Model { .. } => ("<model>", "-".to_owned()),
+        };
+        let prefix = format!(
+            "{:>10} {:>8} {:>6} {:>8.0}K {:>8.2}",
+            circuit,
+            policy,
+            format!("{}:{}", point.ras.0, point.ras.1),
+            point.t_standby,
+            Seconds(point.lifetime).to_years()
+        );
+        match status {
+            JobStatus::Completed(JobResult::Aging {
+                worst_delta_vth,
+                degradation,
+                nominal_delay_ps,
+                degraded_delay_ps,
+                standby_leakage,
+                ..
+            }) => {
+                let leak = standby_leakage
+                    .map(|l| format!("{:.2}uA", l * 1e6))
+                    .unwrap_or_else(|| "-".to_owned());
+                println!(
+                    "{prefix} {:>7.2}mV {:>6.2}% {:>7.1}ps {:>7.1}ps {:>10}",
+                    worst_delta_vth * 1e3,
+                    degradation * 100.0,
+                    nominal_delay_ps,
+                    degraded_delay_ps,
+                    leak
+                );
+            }
+            JobStatus::Completed(JobResult::Model { delta_vth }) => {
+                println!("{prefix} {:>7.2}mV", delta_vth * 1e3);
+            }
+            JobStatus::Failed { reason } => {
+                println!("{prefix} FAILED: {reason}");
+            }
+        }
+    }
+    eprintln!("{}", outcome.metrics);
+    Ok(())
 }
 
 fn stringify(e: impl Display) -> String {
@@ -254,8 +472,7 @@ fn load(source: &str) -> Result<Circuit, String> {
     if let Some(name) = source.strip_prefix("builtin:") {
         return iscas::circuit(name).ok_or_else(|| format!("unknown builtin {name}"));
     }
-    let text = std::fs::read_to_string(source)
-        .map_err(|e| format!("cannot read {source}: {e}"))?;
+    let text = std::fs::read_to_string(source).map_err(|e| format!("cannot read {source}: {e}"))?;
     if source.ends_with(".v") || source.ends_with(".sv") {
         relia::netlist::verilog::parse(&text, Library::ptm90()).map_err(stringify)
     } else {

@@ -29,12 +29,15 @@
 //!   simulation, leakage, timing, thermal);
 //! * [`flow`] — the Fig. 6 analysis/optimization platform;
 //! * [`ivc`] / [`sleep`] — the standby-leakage-reduction techniques the
-//!   paper evaluates for NBTI mitigation.
+//!   paper evaluates for NBTI mitigation;
+//! * [`jobs`] — the parallel batch sweep engine (worker pool, degradation
+//!   memoization, checkpoint/resume).
 
 pub use relia_cells as cells;
 pub use relia_core as core;
 pub use relia_flow as flow;
 pub use relia_ivc as ivc;
+pub use relia_jobs as jobs;
 pub use relia_leakage as leakage;
 pub use relia_netlist as netlist;
 pub use relia_sim as sim;

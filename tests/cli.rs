@@ -3,12 +3,17 @@
 use std::process::Command;
 
 fn relia(args: &[&str]) -> (bool, String, String) {
+    let (code, stdout, stderr) = relia_coded(args);
+    (code == Some(0), stdout, stderr)
+}
+
+fn relia_coded(args: &[&str]) -> (Option<i32>, String, String) {
     let out = Command::new(env!("CARGO_BIN_EXE_relia"))
         .args(args)
         .output()
         .expect("binary runs");
     (
-        out.status.success(),
+        out.status.code(),
         String::from_utf8_lossy(&out.stdout).into_owned(),
         String::from_utf8_lossy(&out.stderr).into_owned(),
     )
@@ -104,8 +109,12 @@ fn lib_report_covers_catalog() {
     }
     // The co-optimization conflict is visible in the report: NOR2's MLV
     // stresses nothing, NAND2's stresses everything.
-    assert!(stdout.lines().any(|l| l.contains("NOR2 ") && l.contains("0/2")));
-    assert!(stdout.lines().any(|l| l.contains("NAND2 ") && l.contains("2/2")));
+    assert!(stdout
+        .lines()
+        .any(|l| l.contains("NOR2 ") && l.contains("0/2")));
+    assert!(stdout
+        .lines()
+        .any(|l| l.contains("NAND2 ") && l.contains("2/2")));
 }
 
 #[test]
@@ -130,6 +139,85 @@ fn liberty_export_is_emitted() {
     assert!(ok);
     assert!(stdout.contains("library (relia_ptm90)"));
     assert!(stdout.contains("leakage_power"));
+}
+
+#[test]
+fn help_prints_usage_to_stdout_and_succeeds() {
+    let (code, stdout, stderr) = relia_coded(&["help"]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("usage"));
+    assert!(stdout.contains("sweep"));
+    assert!(stderr.is_empty(), "{stderr}");
+}
+
+#[test]
+fn usage_errors_exit_2_and_analysis_errors_exit_1() {
+    let (code, _, stderr) = relia_coded(&["frobnicate"]);
+    assert_eq!(code, Some(2), "{stderr}");
+    let (code, _, stderr) = relia_coded(&[]);
+    assert_eq!(code, Some(2), "{stderr}");
+    let (code, _, stderr) = relia_coded(&["aging", "builtin:c17", "--ras", "oops"]);
+    assert_eq!(code, Some(2), "{stderr}");
+    // A readable invocation pointing at a missing file is an analysis error.
+    let (code, _, stderr) = relia_coded(&["info", "/no/such/file.bench"]);
+    assert_eq!(code, Some(1), "{stderr}");
+    // ... as is a well-formed standby vector of the wrong width.
+    let (code, _, _) = relia_coded(&["aging", "builtin:c17", "--standby", "111"]);
+    assert_eq!(code, Some(1));
+}
+
+#[test]
+fn sweep_runs_a_small_grid() {
+    let (ok, stdout, stderr) = relia(&[
+        "sweep",
+        "builtin:c17",
+        "--ras",
+        "1:1,1:9",
+        "--tstandby",
+        "330,400",
+        "--standby",
+        "worst,best",
+        "--jobs",
+        "2",
+    ]);
+    assert!(ok, "{stderr}");
+    // Header + 2 ras x 2 temps x 2 policies = 9 lines.
+    assert_eq!(stdout.lines().count(), 9, "{stdout}");
+    assert!(stdout.contains("c17"));
+    assert!(stdout.contains("mV"));
+    assert!(!stdout.contains("FAILED"), "{stdout}");
+    assert!(stderr.contains("sweep: 8 jobs"), "{stderr}");
+    assert!(stderr.contains("cache:"), "{stderr}");
+}
+
+#[test]
+fn sweep_resumes_from_checkpoint() {
+    let dir = std::env::temp_dir().join("relia_cli_test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let ckpt = dir.join(format!("sweep-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&ckpt);
+    let args = [
+        "sweep",
+        "builtin:c17",
+        "--ras",
+        "1:1,1:5",
+        "--tstandby",
+        "330,400",
+        "--standby",
+        "worst",
+        "--checkpoint",
+        ckpt.to_str().expect("utf-8 path"),
+    ];
+    let (ok, first, stderr) = relia(&args);
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("0 resumed"), "{stderr}");
+    // Second run finds every job in the checkpoint and recomputes nothing,
+    // yet prints the identical table.
+    let (ok, second, stderr) = relia(&args);
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("(0 executed, 4 resumed"), "{stderr}");
+    assert_eq!(first, second);
+    std::fs::remove_file(&ckpt).ok();
 }
 
 #[test]

@@ -3,7 +3,9 @@
 
 use relia::core::{Kelvin, Ras, Seconds};
 use relia::flow::{AgingAnalysis, FlowConfig, StandbyPolicy};
-use relia::ivc::{co_optimize, exhaustive_mlv, internal_node_potential, search_mlv_set, MlvSearchConfig};
+use relia::ivc::{
+    co_optimize, exhaustive_mlv, internal_node_potential, search_mlv_set, MlvSearchConfig,
+};
 use relia::netlist::iscas;
 use relia::sleep::{SleepTransistorKind, StInsertion, StSizing};
 

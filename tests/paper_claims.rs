@@ -28,11 +28,19 @@ fn table1_regimes() {
             .delta_vth(life, &schedule(a, s, t), &stress)
             .expect("valid")
     };
-    assert!(dv(1.0, 9.0, 400.0) > dv(1.0, 1.0, 400.0), "hot standby grows");
-    assert!(dv(1.0, 9.0, 330.0) < dv(1.0, 1.0, 330.0), "cool standby shrinks");
-    let neutral_spread =
-        (dv(1.0, 9.0, 370.0) - dv(1.0, 1.0, 370.0)).abs() / dv(1.0, 1.0, 370.0);
-    assert!(neutral_spread < 0.06, "370 K is RAS-neutral (got {neutral_spread})");
+    assert!(
+        dv(1.0, 9.0, 400.0) > dv(1.0, 1.0, 400.0),
+        "hot standby grows"
+    );
+    assert!(
+        dv(1.0, 9.0, 330.0) < dv(1.0, 1.0, 330.0),
+        "cool standby shrinks"
+    );
+    let neutral_spread = (dv(1.0, 9.0, 370.0) - dv(1.0, 1.0, 370.0)).abs() / dv(1.0, 1.0, 370.0);
+    assert!(
+        neutral_spread < 0.06,
+        "370 K is RAS-neutral (got {neutral_spread})"
+    );
     // The 1:9 gap between hot and cool standby is of order 10 mV.
     let gap_mv = (dv(1.0, 9.0, 400.0) - dv(1.0, 9.0, 330.0)) * 1e3;
     assert!((6.0..18.0).contains(&gap_mv), "gap {gap_mv} mV");
@@ -63,14 +71,21 @@ fn table4_shape_on_c432() {
         );
     }
     assert!(worsts[1] > worsts[0], "worst case grows with T_standby");
-    assert!((bests[1] - bests[0]).abs() / bests[0] < 1e-9, "best case flat");
+    assert!(
+        (bests[1] - bests[0]).abs() / bests[0] < 1e-9,
+        "best case flat"
+    );
     let pot_cool = (worsts[0] - bests[0]) / worsts[0];
     let pot_hot = (worsts[1] - bests[1]) / worsts[1];
     assert!(pot_hot > pot_cool);
     assert!((0.1..0.8).contains(&pot_cool), "cool potential {pot_cool}");
     assert!((0.3..0.8).contains(&pot_hot), "hot potential {pot_hot}");
     // Magnitudes in the paper's few-percent band.
-    assert!((0.02..0.10).contains(&worsts[1]), "hot worst {:.4}", worsts[1]);
+    assert!(
+        (0.02..0.10).contains(&worsts[1]),
+        "hot worst {:.4}",
+        worsts[1]
+    );
     assert!((0.01..0.06).contains(&bests[0]), "best {:.4}", bests[0]);
 }
 
@@ -135,9 +150,7 @@ fn table2_family_asymmetry() {
             .min_by(|a, b| {
                 cell_leakage(cell, &a.to_bools(), &models, Kelvin(400.0))
                     .total()
-                    .partial_cmp(
-                        &cell_leakage(cell, &b.to_bools(), &models, Kelvin(400.0)).total(),
-                    )
+                    .partial_cmp(&cell_leakage(cell, &b.to_bools(), &models, Kelvin(400.0)).total())
                     .expect("finite")
             })
             .expect("nonempty")
@@ -170,8 +183,14 @@ fn fig2_thermal_window() {
     use relia::thermal::{RcThermalModel, TaskSet};
     let model = RcThermalModel::air_cooled();
     let trace = model.simulate(TaskSet::random(20, 99).profile(), 1e-3);
-    let min = trace.iter().map(|p| p.temp.to_celsius()).fold(f64::MAX, f64::min);
-    let max = trace.iter().map(|p| p.temp.to_celsius()).fold(f64::MIN, f64::max);
+    let min = trace
+        .iter()
+        .map(|p| p.temp.to_celsius())
+        .fold(f64::MAX, f64::min);
+    let max = trace
+        .iter()
+        .map(|p| p.temp.to_celsius())
+        .fold(f64::MIN, f64::max);
     assert!(min > 40.0 && min < 70.0, "min {min}");
     assert!(max > 95.0 && max < 120.0, "max {max}");
     assert!(model.time_constant() < 0.05);
