@@ -34,6 +34,16 @@ pub enum ModelError {
         /// Description of the failing stage.
         stage: &'static str,
     },
+    /// A model evaluation produced a non-finite number (NaN or ±∞).
+    ///
+    /// This is the degradation boundary's structured replacement for letting
+    /// a NaN propagate silently into caches, checkpoints, and reports.
+    NonFinite {
+        /// The quantity that came out non-finite (e.g. `"delta_vth"`).
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
 }
 
 impl fmt::Display for ModelError {
@@ -49,6 +59,9 @@ impl fmt::Display for ModelError {
             }
             ModelError::SolverDiverged { stage } => {
                 write!(f, "reaction-diffusion solver diverged during {stage}")
+            }
+            ModelError::NonFinite { what, value } => {
+                write!(f, "model produced a non-finite {what} ({value})")
             }
         }
     }
@@ -73,6 +86,16 @@ pub(crate) fn check_range(
             value,
             expected,
         })
+    }
+}
+
+/// Asserts that a computed output is finite, producing
+/// [`ModelError::NonFinite`] otherwise.
+pub(crate) fn check_finite(what: &'static str, value: f64) -> Result<f64, ModelError> {
+    if value.is_finite() {
+        Ok(value)
+    } else {
+        Err(ModelError::NonFinite { what, value })
     }
 }
 
@@ -111,6 +134,22 @@ mod tests {
     fn check_temp_rejects_nonphysical() {
         assert!(check_temp("t", Kelvin(300.0)).is_ok());
         assert!(check_temp("t", Kelvin(-5.0)).is_err());
+    }
+
+    #[test]
+    fn check_finite_rejects_nan_and_infinities() {
+        assert_eq!(check_finite("delta_vth", 0.03), Ok(0.03));
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = check_finite("delta_vth", bad).unwrap_err();
+            assert!(matches!(
+                err,
+                ModelError::NonFinite {
+                    what: "delta_vth",
+                    ..
+                }
+            ));
+            assert!(err.to_string().contains("non-finite"));
+        }
     }
 
     #[test]

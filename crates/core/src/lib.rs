@@ -27,6 +27,8 @@
 //!   threshold-voltage shift.
 //! * [`stress_key`] — quantized stress-point keys ([`StressKey`]) for
 //!   memoizing model evaluations in batch sweeps.
+//! * [`cancel`] — the cooperative [`CancelToken`] that lets sweep watchdogs
+//!   abandon straggling evaluations at safe boundaries.
 //! * [`variation`] — process-variation hooks (gate-overdrive dependence of the
 //!   degradation rate).
 //!
@@ -56,6 +58,7 @@
 pub mod ac;
 pub mod arrhenius;
 pub mod calib;
+pub mod cancel;
 pub mod consts;
 pub mod degradation;
 pub mod equivalent;
@@ -71,6 +74,7 @@ pub mod variation;
 pub use ac::AcStress;
 pub use arrhenius::diffusion_ratio;
 pub use calib::{fit_dc_measurements, CalibrationFit, Measurement};
+pub use cancel::CancelToken;
 pub use degradation::DelayDegradation;
 pub use equivalent::{EquivalentCycle, ModeSchedule, PmosStress, Ras, StressInterval};
 pub use error::ModelError;

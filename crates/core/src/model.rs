@@ -5,7 +5,7 @@
 use crate::ac::AcStress;
 use crate::arrhenius::kv_temperature_factor;
 use crate::equivalent::{EquivalentCycle, ModeSchedule, PmosStress};
-use crate::error::{check_range, check_temp, ModelError};
+use crate::error::{check_finite, check_range, check_temp, ModelError};
 use crate::params::NbtiParams;
 use crate::units::{Kelvin, Seconds, Volts};
 
@@ -71,7 +71,7 @@ impl NbtiModel {
     pub fn delta_vth_dc(&self, t: Seconds, temp: Kelvin) -> Result<f64, ModelError> {
         check_range("t", t.0, 0.0, f64::MAX, "non-negative seconds")?;
         check_temp("temp", temp)?;
-        Ok(self.kv(temp) * t.0.powf(0.25))
+        check_finite("delta_vth", self.kv(temp) * t.0.powf(0.25))
     }
 
     /// Threshold shift in volts under periodic AC stress at a fixed
@@ -98,7 +98,7 @@ impl NbtiModel {
             return Ok(0.0);
         }
         let n = stress.cycles_in(total_time.0);
-        Ok(self.kv(temp) * stress.trap_factor(n))
+        check_finite("delta_vth", self.kv(temp) * stress.trap_factor(n))
     }
 
     /// Threshold shift in volts under the paper's temperature-aware
@@ -131,7 +131,10 @@ impl NbtiModel {
         // The number of cycles is governed by the *real* mode period; the
         // equivalent period only rescales each cycle's worth of damage.
         let n = ((total_time.0 / schedule.period().0).floor() as u64).max(1);
-        Ok(self.kv(schedule.temp_active()) * eq.stress.trap_factor(n))
+        check_finite(
+            "delta_vth",
+            self.kv(schedule.temp_active()) * eq.stress.trap_factor(n),
+        )
     }
 
     /// One stress phase followed by one recovery phase (the classic
@@ -202,7 +205,7 @@ impl NbtiModel {
         }
         let real_period: f64 = trace.iter().map(|iv| iv.duration).sum();
         let n = ((total_time.0 / real_period).floor() as u64).max(1);
-        Ok(self.kv(temp_ref) * eq.stress.trap_factor(n))
+        check_finite("delta_vth", self.kv(temp_ref) * eq.stress.trap_factor(n))
     }
 
     /// Threshold shift with a *permanent* (unrecoverable) damage component
@@ -236,7 +239,10 @@ impl NbtiModel {
         let n = ((total_time.0 / schedule.period().0).floor() as u64).max(1);
         let total_stress_seconds = eq.t_eq_stress * n as f64;
         let permanent = self.kv(schedule.temp_active()) * total_stress_seconds.powf(0.25);
-        Ok((1.0 - permanent_fraction) * recoverable + permanent_fraction * permanent)
+        check_finite(
+            "delta_vth",
+            (1.0 - permanent_fraction) * recoverable + permanent_fraction * permanent,
+        )
     }
 
     /// Like [`NbtiModel::delta_vth`], but for a device whose *actual* initial
@@ -262,7 +268,7 @@ impl NbtiModel {
         // oxide-field factor, both referenced to the nominal overdrive.
         let scale = (overdrive / self.params.overdrive()).sqrt()
             * ((overdrive - self.params.overdrive()) / self.params.field_scale.0).exp();
-        Ok(base * scale)
+        check_finite("delta_vth", base * scale)
     }
 }
 
@@ -573,6 +579,22 @@ mod tests {
         assert!(m
             .delta_vth_with_permanent(Seconds(1.0), &s, &stress, 1.5)
             .is_err());
+    }
+
+    #[test]
+    fn non_finite_inputs_are_rejected_not_propagated() {
+        // The degradation boundary: no NaN/∞ input reaches the power law,
+        // and no non-finite ΔV_th escapes as an Ok value.
+        let m = model();
+        let s = schedule(330.0, 9.0);
+        for bad in [f64::NAN, f64::INFINITY] {
+            assert!(m.delta_vth_dc(Seconds(bad), Kelvin(400.0)).is_err());
+            assert!(m.delta_vth_dc(Seconds(1.0), Kelvin(bad)).is_err());
+            assert!(m
+                .delta_vth(Seconds(bad), &s, &PmosStress::worst_case())
+                .is_err());
+        }
+        assert!(crate::equivalent::PmosStress::new(f64::NAN, 1.0).is_err());
     }
 
     #[test]

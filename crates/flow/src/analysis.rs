@@ -2,7 +2,7 @@
 //! leakage.
 
 use relia_cells::Vector;
-use relia_core::PmosStress;
+use relia_core::{CancelToken, PmosStress};
 use relia_leakage::{circuit_leakage, expected_circuit_leakage, LeakageTable};
 use relia_netlist::Circuit;
 use relia_sim::{logic, prob, SignalProbs};
@@ -184,9 +184,33 @@ impl<'a> AgingAnalysis<'a> {
         lifetime: relia_core::Seconds,
         cache: &C,
     ) -> Result<Vec<f64>, FlowError> {
+        self.gate_delta_vth_at_cached_cancellable(policy, lifetime, cache, &CancelToken::new())
+    }
+
+    /// Like [`AgingAnalysis::gate_delta_vth_at_cached`], but polling a
+    /// cooperative [`CancelToken`] at every gate boundary: when a watchdog
+    /// sets the token, the loop abandons the remaining gates and returns
+    /// [`FlowError::Cancelled`] instead of running to completion. Partial
+    /// results are discarded, so cancellation can never leak a truncated
+    /// ΔV_th vector into a report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::Cancelled`] once `cancel` is set, or the usual
+    /// [`FlowError`]s for malformed standby vectors.
+    pub fn gate_delta_vth_at_cached_cancellable<C: DeltaVthCache>(
+        &self,
+        policy: &StandbyPolicy,
+        lifetime: relia_core::Seconds,
+        cache: &C,
+        cancel: &CancelToken,
+    ) -> Result<Vec<f64>, FlowError> {
         let standby_flags = self.standby_stress_flags(policy)?;
         let mut out = Vec::with_capacity(self.circuit.gates().len());
         for (gi, active) in self.prep.active_stress.iter().enumerate() {
+            if cancel.is_cancelled() {
+                return Err(FlowError::Cancelled);
+            }
             let standby = &standby_flags[gi];
             let mut worst: f64 = 0.0;
             for (pi, &p_active) in active.iter().enumerate() {
@@ -278,7 +302,26 @@ impl<'a> AgingAnalysis<'a> {
         policy: &StandbyPolicy,
         cache: &C,
     ) -> Result<AgingReport, FlowError> {
-        let gate_delta_vth = self.gate_delta_vth_at_cached(policy, self.config.lifetime, cache)?;
+        self.run_with_cache_cancellable(policy, cache, &CancelToken::new())
+    }
+
+    /// Runs the full cached analysis under a cooperative [`CancelToken`]:
+    /// the ΔV_th loop — the expensive half of the flow — polls the token at
+    /// every gate, so a sweep watchdog can turn a straggling job into
+    /// [`FlowError::Cancelled`] instead of a pool-stalling hang.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::Cancelled`] once `cancel` is set, or the usual
+    /// [`FlowError`]s for malformed vectors and model failures.
+    pub fn run_with_cache_cancellable<C: DeltaVthCache>(
+        &self,
+        policy: &StandbyPolicy,
+        cache: &C,
+        cancel: &CancelToken,
+    ) -> Result<AgingReport, FlowError> {
+        let gate_delta_vth =
+            self.gate_delta_vth_at_cached_cancellable(policy, self.config.lifetime, cache, cancel)?;
         self.finish_report(policy, gate_delta_vth)
     }
 
@@ -508,6 +551,32 @@ mod tests {
             a.run(&StandbyPolicy::InputVector(vec![true; 3])),
             Err(FlowError::StandbyVectorWidth { .. })
         ));
+    }
+
+    #[test]
+    fn pre_cancelled_token_aborts_the_cached_run() {
+        let (config, circuit) = setup();
+        let a = AgingAnalysis::new(&config, &circuit).unwrap();
+        let token = CancelToken::new();
+        token.cancel();
+        let err = a
+            .run_with_cache_cancellable(
+                &StandbyPolicy::AllInternalZero,
+                &crate::cache::NoCache,
+                &token,
+            )
+            .unwrap_err();
+        assert!(matches!(err, FlowError::Cancelled));
+        // An uncancelled token changes nothing.
+        let ok = a
+            .run_with_cache_cancellable(
+                &StandbyPolicy::AllInternalZero,
+                &crate::cache::NoCache,
+                &CancelToken::new(),
+            )
+            .unwrap();
+        let plain = a.run(&StandbyPolicy::AllInternalZero).unwrap();
+        assert!((ok.degradation_fraction() - plain.degradation_fraction()).abs() < 1e-12);
     }
 
     #[test]

@@ -37,6 +37,9 @@ pub enum FlowError {
         /// The rejected value.
         value: f64,
     },
+    /// The analysis was cancelled cooperatively (a watchdog deadline
+    /// expired and the [`CancelToken`](relia_core::CancelToken) was set).
+    Cancelled,
 }
 
 impl fmt::Display for FlowError {
@@ -60,6 +63,7 @@ impl fmt::Display for FlowError {
             FlowError::InvalidParameter { name, value } => {
                 write!(f, "invalid parameter {name} = {value}")
             }
+            FlowError::Cancelled => write!(f, "analysis cancelled by watchdog deadline"),
         }
     }
 }

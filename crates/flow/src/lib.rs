@@ -44,4 +44,5 @@ pub use dual_vth::{assign_dual_vth, DualVthResult};
 pub use error::FlowError;
 pub use lifetime::{lifetime_to_budget, LifetimeBudget};
 pub use policy::StandbyPolicy;
+pub use relia_core::CancelToken;
 pub use variation::{VariationConfig, VariationStudy};

@@ -87,6 +87,24 @@ impl ShardedCache {
     fn shard(&self, key: &StressKey) -> &Mutex<HashMap<StressKey, f64>> {
         &self.shards[key.fingerprint() as usize % self.shards.len()]
     }
+
+    /// Admits `value` for `key` only after a finiteness check: a NaN or
+    /// infinite ΔV_th is rejected as [`ModelError::NonFinite`] and **never
+    /// enters the memo table**, where it would silently poison every later
+    /// hit. All insertion paths go through here.
+    pub fn insert_checked(&self, key: StressKey, value: f64) -> Result<f64, ModelError> {
+        if !value.is_finite() {
+            return Err(ModelError::NonFinite {
+                what: "delta_vth (cache admission)",
+                value,
+            });
+        }
+        self.shard(&key)
+            .lock()
+            .expect("cache shard poisoned")
+            .insert(key, value);
+        Ok(value)
+    }
 }
 
 impl DeltaVthCache for ShardedCache {
@@ -101,8 +119,7 @@ impl DeltaVthCache for ShardedCache {
         // insertion is harmless and lock hold times stay tiny.
         let v = key.evaluate(model)?;
         self.misses.fetch_add(1, Ordering::Relaxed);
-        shard.lock().expect("cache shard poisoned").insert(key, v);
-        Ok(v)
+        self.insert_checked(key, v)
     }
 }
 
@@ -154,6 +171,23 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.entries, 10);
         assert_eq!(stats.misses, 10);
+    }
+
+    #[test]
+    fn non_finite_values_never_enter_the_cache() {
+        let model = NbtiModel::ptm90().unwrap();
+        let cache = ShardedCache::default();
+        let k = key(0.5);
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            match cache.insert_checked(k, bad) {
+                Err(ModelError::NonFinite { .. }) => {}
+                other => panic!("expected NonFinite rejection, got {other:?}"),
+            }
+        }
+        assert_eq!(cache.stats().entries, 0, "rejected values are not stored");
+        // A later legitimate lookup still computes the canonical value.
+        let v = cache.delta_vth(k, &model).unwrap();
+        assert_eq!(v, k.evaluate(&model).unwrap());
     }
 
     #[test]

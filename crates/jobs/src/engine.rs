@@ -12,23 +12,45 @@
 //!    point, so a cache hit equals the miss-path computation bit-for-bit;
 //! 3. checkpointed floats round-trip exactly (shortest `Display` ↔
 //!    `parse`), so resumed values equal freshly computed ones.
+//!
+//! Resilience contract, layered on top:
+//!
+//! * jobs that fail **transiently** (panics, cancelled hangs) retry up to
+//!   [`SweepOptions::retries`] times with bounded exponential backoff;
+//!   **permanent** failures (invalid parameters, analysis errors) fail
+//!   fast;
+//! * with [`SweepOptions::job_timeout`] set, a watchdog cancels straggling
+//!   jobs cooperatively — they surface as [`JobStatus::TimedOut`] and the
+//!   pool drains instead of hanging;
+//! * checkpoints are opened through [`checkpoint::salvage`], so a file
+//!   damaged by a crash (torn tail, bit rot) resumes from its longest
+//!   valid prefix instead of aborting the batch — the dropped-record count
+//!   lands in [`SweepMetrics::salvaged_dropped`];
+//! * a non-finite ΔV_th is rejected at the cache-admission boundary
+//!   ([`ShardedCache::insert_checked`]) and becomes a structured job
+//!   failure; `NaN` can never enter the memo table.
 
 use std::collections::HashMap;
 use std::fmt;
 use std::io;
 use std::path::PathBuf;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use relia_core::{Kelvin, ModeSchedule, NbtiModel, PmosStress, Ras, Seconds, StressKey};
-use relia_flow::{AgingAnalysis, AnalysisPrep, DeltaVthCache, FlowConfig};
+use relia_core::{
+    CancelToken, Kelvin, ModeSchedule, NbtiModel, PmosStress, Ras, Seconds, StressKey,
+};
+use relia_flow::{AgingAnalysis, AnalysisPrep, DeltaVthCache, FlowConfig, FlowError};
 use relia_netlist::Circuit;
 
 use crate::cache::ShardedCache;
-use crate::checkpoint::{self, CheckpointWriter};
+use crate::checkpoint::{self, CheckpointError, CheckpointWriter};
 use crate::metrics::SweepMetrics;
-use crate::pool::{self, JobOutcome};
+use crate::pool::{self, JobFailure, PoolConfig, RetryPolicy};
 use crate::spec::{JobPoint, JobResult, JobStatus, JobTask, SweepSpec, Workload};
+
+#[cfg(feature = "fault-inject")]
+use crate::fault::FaultPlan;
 
 /// Mode-cycle period shared by every sweep point (the paper's baseline).
 pub const SWEEP_PERIOD_S: f64 = 1000.0;
@@ -40,10 +62,18 @@ pub const SWEEP_TEMP_ACTIVE_K: f64 = 400.0;
 pub struct SweepOptions {
     /// Worker threads; 0 means [`pool::default_workers`].
     pub workers: usize,
-    /// Checkpoint file: created if absent, resumed from if present.
+    /// Checkpoint file: created if absent, resumed from (salvaging a
+    /// corrupted tail) if present.
     pub checkpoint: Option<PathBuf>,
     /// Memo-cache shard count; 0 means [`crate::cache::DEFAULT_SHARDS`].
     pub cache_shards: usize,
+    /// Extra attempts for transiently failing jobs (0 disables retrying).
+    pub retries: u32,
+    /// Per-job soft deadline; stragglers become [`JobStatus::TimedOut`].
+    pub job_timeout: Option<Duration>,
+    /// Deterministic fault schedule for resilience tests.
+    #[cfg(feature = "fault-inject")]
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 /// Why a sweep could not run (job-level failures do *not* land here — they
@@ -53,8 +83,10 @@ pub struct SweepOptions {
 pub enum SweepError {
     /// The spec's grid has no points.
     EmptySpec,
-    /// A checkpoint or filesystem operation failed.
+    /// A filesystem operation failed.
     Io(io::Error),
+    /// The checkpoint file could not be read, written, or trusted.
+    Checkpoint(CheckpointError),
     /// The circuit resolver rejected a name.
     UnknownCircuit {
         /// The name that failed to resolve.
@@ -82,7 +114,8 @@ impl fmt::Display for SweepError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SweepError::EmptySpec => write!(f, "sweep grid is empty (an axis has no values)"),
-            SweepError::Io(e) => write!(f, "checkpoint I/O failed: {e}"),
+            SweepError::Io(e) => write!(f, "sweep I/O failed: {e}"),
+            SweepError::Checkpoint(e) => write!(f, "checkpoint failed: {e}"),
             SweepError::UnknownCircuit { name, detail } => {
                 write!(f, "cannot load circuit {name:?}: {detail}")
             }
@@ -98,11 +131,25 @@ impl fmt::Display for SweepError {
     }
 }
 
-impl std::error::Error for SweepError {}
+impl std::error::Error for SweepError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SweepError::Io(e) => Some(e),
+            SweepError::Checkpoint(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<io::Error> for SweepError {
     fn from(e: io::Error) -> Self {
         SweepError::Io(e)
+    }
+}
+
+impl From<CheckpointError> for SweepError {
+    fn from(e: CheckpointError) -> Self {
+        SweepError::Checkpoint(e)
     }
 }
 
@@ -122,12 +169,7 @@ pub struct SweepOutcome {
 /// [`relia_netlist::iscas`]. The CLI layers file loading on top; library
 /// users can pass any closure.
 pub fn builtin_resolver(name: &str) -> Result<Circuit, String> {
-    relia_netlist::iscas::circuit(name).ok_or_else(|| {
-        format!(
-            "not a builtin benchmark (try one of {:?})",
-            relia_netlist::iscas::names()
-        )
-    })
+    relia_netlist::iscas::try_circuit(name).map_err(|e| e.to_string())
 }
 
 /// Runs the sweep described by `spec`.
@@ -138,9 +180,9 @@ pub fn builtin_resolver(name: &str) -> Result<Circuit, String> {
 /// # Errors
 ///
 /// Returns [`SweepError`] for an empty grid, unresolvable circuits, failed
-/// preparation, or checkpoint problems. Per-job analysis errors and panics
-/// are *not* errors at this level; they surface as
-/// [`JobStatus::Failed`] entries in the outcome.
+/// preparation, or checkpoint problems. Per-job analysis errors, panics,
+/// and timeouts are *not* errors at this level; they surface as
+/// [`JobStatus::Failed`] / [`JobStatus::TimedOut`] entries in the outcome.
 pub fn run_sweep<R>(
     spec: &SweepSpec,
     options: &SweepOptions,
@@ -179,13 +221,23 @@ where
     let model = NbtiModel::ptm90().expect("built-in calibration is valid");
     let prepare_secs = t_prepare.elapsed().as_secs_f64();
 
-    // --- Checkpoint phase: load previous results, open the writer. ---
+    // --- Checkpoint phase: salvage previous results, open the writer. ---
     let mut statuses: Vec<Option<JobStatus>> = vec![None; points.len()];
     let mut resumed_jobs = 0usize;
+    let mut salvaged_dropped = 0usize;
     let mut writer: Option<CheckpointWriter> = None;
     if let Some(path) = &options.checkpoint {
-        match checkpoint::load(path)? {
-            Some(ckpt) => {
+        match checkpoint::salvage(path)? {
+            Some(salvaged) => {
+                let ckpt = salvaged.checkpoint;
+                salvaged_dropped = salvaged.dropped_records;
+                if salvaged_dropped > 0 {
+                    eprintln!(
+                        "checkpoint {}: dropped {salvaged_dropped} corrupt trailing record(s), \
+                         resuming from the valid prefix",
+                        path.display()
+                    );
+                }
                 if ckpt.fingerprint != fingerprint || ckpt.total != points.len() {
                     return Err(SweepError::CheckpointMismatch {
                         expected: fingerprint,
@@ -193,7 +245,8 @@ where
                     });
                 }
                 for (index, status) in ckpt.statuses {
-                    // Only completed jobs are final; failed ones re-run.
+                    // Only completed jobs are final; failed and timed-out
+                    // ones re-run.
                     if index < points.len() && matches!(status, JobStatus::Completed(_)) {
                         statuses[index] = Some(status);
                         resumed_jobs += 1;
@@ -221,13 +274,31 @@ where
     } else {
         options.cache_shards
     });
-    let t_execute = Instant::now();
-    let mut checkpoint_error: Option<io::Error> = None;
-    let outcomes = pool::run_ordered_with(
-        &pending,
+    let pool_config = PoolConfig {
         workers,
-        |_, &index| execute_point(&points[index], &prepared, &model, &cache),
-        |k, outcome: &JobOutcome<Result<JobResult, String>>| {
+        retry: RetryPolicy::retries(options.retries),
+        job_timeout: options.job_timeout,
+    };
+    let t_execute = Instant::now();
+    let mut checkpoint_error: Option<CheckpointError> = None;
+    let run = pool::run_pool(
+        &pending,
+        &pool_config,
+        |_, &index, token| {
+            #[cfg(feature = "fault-inject")]
+            if let Some(plan) = &options.faults {
+                plan.before_execute(index, token)?;
+            }
+            let result = execute_point(&points[index], &prepared, &model, &cache, token)?;
+            #[cfg(feature = "fault-inject")]
+            if let Some(plan) = &options.faults {
+                if plan.poisons(index) {
+                    return poison_point(&points[index], &cache);
+                }
+            }
+            Ok(result)
+        },
+        |k, outcome| {
             if let Some(w) = writer.as_mut() {
                 if checkpoint_error.is_none() {
                     let status = JobStatus::from_outcome(outcome.clone());
@@ -240,9 +311,9 @@ where
     );
     let execute_secs = t_execute.elapsed().as_secs_f64();
     if let Some(e) = checkpoint_error {
-        return Err(SweepError::Io(e));
+        return Err(SweepError::Checkpoint(e));
     }
-    for (k, outcome) in outcomes.into_iter().enumerate() {
+    for (k, outcome) in run.outcomes.into_iter().enumerate() {
         statuses[pending[k]] = Some(JobStatus::from_outcome(outcome));
     }
 
@@ -254,11 +325,18 @@ where
         .iter()
         .filter(|s| matches!(s, JobStatus::Failed { .. }))
         .count();
+    let timed_out_jobs = statuses
+        .iter()
+        .filter(|s| matches!(s, JobStatus::TimedOut { .. }))
+        .count();
     let metrics = SweepMetrics {
         total_jobs: points.len(),
         executed_jobs: pending.len(),
         resumed_jobs,
         failed_jobs,
+        timed_out_jobs,
+        retried_jobs: run.retries,
+        salvaged_dropped,
         workers,
         cache: cache.stats(),
         prepare_secs,
@@ -271,27 +349,41 @@ where
     })
 }
 
-/// Evaluates one grid point. Analysis errors become `Err(reason)`; the pool
-/// catches panics separately.
+/// Maps a flow-layer error to its retry classification: cancellation is
+/// transient by construction (the watchdog interrupted otherwise-valid
+/// work); everything else the flow reports is deterministic — the same
+/// inputs will fail the same way, so retrying would only burn time.
+fn classify_flow(e: FlowError) -> JobFailure {
+    match e {
+        FlowError::Cancelled => JobFailure::transient(e.to_string()),
+        other => JobFailure::permanent(other.to_string()),
+    }
+}
+
+/// Evaluates one grid point. Analysis errors become `Err(JobFailure)` with
+/// a transient/permanent classification; the pool catches panics
+/// separately.
 fn execute_point(
     point: &JobPoint,
     prepared: &HashMap<String, Arc<(Circuit, AnalysisPrep)>>,
     model: &NbtiModel,
     cache: &ShardedCache,
-) -> Result<JobResult, String> {
-    let ras = Ras::new(point.ras.0, point.ras.1).map_err(|e| e.to_string())?;
+    token: &CancelToken,
+) -> Result<JobResult, JobFailure> {
+    let ras =
+        Ras::new(point.ras.0, point.ras.1).map_err(|e| JobFailure::permanent(e.to_string()))?;
     match &point.task {
         JobTask::Aging { circuit, policy } => {
-            let pair = prepared
-                .get(circuit)
-                .ok_or_else(|| format!("circuit {circuit:?} was not prepared"))?;
+            let pair = prepared.get(circuit).ok_or_else(|| {
+                JobFailure::permanent(format!("circuit {circuit:?} was not prepared"))
+            })?;
             let mut config = FlowConfig::with_schedule(ras, Kelvin(point.t_standby))
-                .map_err(|e| e.to_string())?;
+                .map_err(|e| JobFailure::permanent(e.to_string()))?;
             config.lifetime = Seconds(point.lifetime);
             let analysis = AgingAnalysis::from_prep(&config, &pair.0, pair.1.clone());
             let report = analysis
-                .run_with_cache(&policy.to_policy(), cache)
-                .map_err(|e| e.to_string())?;
+                .run_with_cache_cancellable(&policy.to_policy(), cache, token)
+                .map_err(classify_flow)?;
             Ok(JobResult::Aging {
                 worst_delta_vth: report.worst_delta_vth(),
                 degradation: report.degradation_fraction(),
@@ -311,11 +403,37 @@ fn execute_point(
                 Kelvin(SWEEP_TEMP_ACTIVE_K),
                 Kelvin(point.t_standby),
             )
-            .map_err(|e| e.to_string())?;
-            let stress = PmosStress::new(*p_active, *p_standby).map_err(|e| e.to_string())?;
+            .map_err(|e| JobFailure::permanent(e.to_string()))?;
+            let stress = PmosStress::new(*p_active, *p_standby)
+                .map_err(|e| JobFailure::permanent(e.to_string()))?;
             let key = StressKey::quantize(&schedule, &stress, Seconds(point.lifetime));
-            let delta_vth = cache.delta_vth(key, model).map_err(|e| e.to_string())?;
+            let delta_vth = cache
+                .delta_vth(key, model)
+                .map_err(|e| JobFailure::permanent(e.to_string()))?;
             Ok(JobResult::Model { delta_vth })
         }
     }
+}
+
+/// Pushes an injected `NaN` for this point through the real cache-admission
+/// guardrail. The guardrail rejects it ([`ShardedCache::insert_checked`]),
+/// so the fault surfaces as the same structured, permanent failure a
+/// genuine non-finite model output would — and the memo table stays clean.
+#[cfg(feature = "fault-inject")]
+fn poison_point(point: &JobPoint, cache: &ShardedCache) -> Result<JobResult, JobFailure> {
+    let ras =
+        Ras::new(point.ras.0, point.ras.1).map_err(|e| JobFailure::permanent(e.to_string()))?;
+    let schedule = ModeSchedule::new(
+        ras,
+        Seconds(SWEEP_PERIOD_S),
+        Kelvin(SWEEP_TEMP_ACTIVE_K),
+        Kelvin(point.t_standby),
+    )
+    .map_err(|e| JobFailure::permanent(e.to_string()))?;
+    let stress = PmosStress::new(0.5, 1.0).map_err(|e| JobFailure::permanent(e.to_string()))?;
+    let key = StressKey::quantize(&schedule, &stress, Seconds(point.lifetime));
+    cache
+        .insert_checked(key, f64::NAN)
+        .map(|_| unreachable!("NaN cannot pass the admission guardrail"))
+        .map_err(|e| JobFailure::permanent(e.to_string()))
 }

@@ -2,30 +2,39 @@
 //!
 //! The parallel batch sweep engine: evaluates a cartesian grid of
 //! (circuit × standby policy × RAS/T_standby schedule × lifetime) points
-//! across a worker pool, with degradation memoization, JSONL
-//! checkpoint/resume, and per-job fault isolation.
+//! across a worker pool, with degradation memoization, crash-safe JSONL
+//! checkpoint/resume, and a resilience layer (per-job fault isolation,
+//! bounded retry, watchdog deadlines, checkpoint salvage).
 //!
 //! Layers, bottom-up:
 //!
 //! * [`pool`] — a std-only ordered worker pool: jobs are claimed from an
 //!   atomic counter, run under `catch_unwind` (a panic fails one job, not
-//!   the batch), and collected back **in job order**.
+//!   the batch), retried with bounded exponential backoff when transient,
+//!   cancelled cooperatively by a watchdog when past their deadline, and
+//!   collected back **in job order**.
 //! * [`cache`] — a sharded [`ShardedCache`] memoizing ΔV_th per quantized
-//!   [`relia_core::StressKey`]; hit/miss counters feed the metrics.
+//!   [`relia_core::StressKey`]; admission rejects non-finite values, and
+//!   hit/miss counters feed the metrics.
 //! * [`spec`] — [`SweepSpec`]: the grid description and its canonical,
 //!   index-stable enumeration.
-//! * [`checkpoint`] — JSONL persistence with bit-exact float round-trips;
-//!   resume skips completed indices.
+//! * [`checkpoint`] — JSONL persistence with per-record CRC-32, atomic
+//!   file creation, bit-exact float round-trips, and a salvage path that
+//!   recovers the longest valid prefix of a damaged file; resume skips
+//!   completed indices.
 //! * [`engine`] — [`run_sweep`]: prepare (per-circuit
-//!   [`relia_flow::AnalysisPrep`]) → execute → summarize.
+//!   [`relia_flow::AnalysisPrep`]) → salvage/resume → execute → summarize.
 //! * [`metrics`] — [`SweepMetrics`], the operator-facing run summary.
+//! * `fault` (feature `fault-inject` only) — deterministic fault schedules
+//!   and checkpoint-corruption helpers for the resilience test suite; the
+//!   module and its engine hooks do not exist in normal builds.
 //!
 //! ## Determinism
 //!
 //! `run_sweep` returns identical results for any worker count and any
 //! kill/resume pattern: enumeration is a pure function of the spec, cached
 //! evaluations are canonical per key, and checkpointed floats round-trip
-//! exactly. See `tests/determinism.rs`.
+//! exactly. See `tests/determinism.rs` and `tests/fault_injection.rs`.
 //!
 //! ```
 //! use relia_jobs::{builtin_resolver, run_sweep, PolicySpec, SweepOptions, SweepSpec, Workload};
@@ -44,19 +53,32 @@
 //! assert_eq!(outcome.metrics.failed_jobs, 0);
 //! ```
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod cache;
 pub mod checkpoint;
 pub mod engine;
+#[cfg(feature = "fault-inject")]
+pub mod fault;
 pub mod metrics;
 pub mod pool;
 pub mod spec;
 
 pub use cache::{CacheStats, ShardedCache, DEFAULT_SHARDS};
-pub use checkpoint::{load as load_checkpoint, Checkpoint, CheckpointWriter};
+pub use checkpoint::{
+    load as load_checkpoint, salvage as salvage_checkpoint, Checkpoint, CheckpointError,
+    CheckpointWriter, Salvage,
+};
 pub use engine::{
     builtin_resolver, run_sweep, SweepError, SweepOptions, SweepOutcome, SWEEP_PERIOD_S,
     SWEEP_TEMP_ACTIVE_K,
 };
+#[cfg(feature = "fault-inject")]
+pub use fault::{Fault, FaultPlan};
 pub use metrics::SweepMetrics;
-pub use pool::{default_workers, run_ordered, run_ordered_with, JobOutcome};
+pub use pool::{
+    default_workers, run_ordered, run_ordered_with, run_pool, Attempt, JobFailure, JobOutcome,
+    PoolConfig, PoolRun, RetryPolicy,
+};
+pub use relia_core::CancelToken;
 pub use spec::{JobPoint, JobResult, JobStatus, JobTask, PolicySpec, SweepSpec, Workload};

@@ -4,7 +4,8 @@ use std::fmt;
 
 use crate::cache::CacheStats;
 
-/// What a sweep did, for the operator: job counts, cache effectiveness,
+/// What a sweep did, for the operator: job counts, resilience accounting
+/// (retries, timeouts, salvaged checkpoint damage), cache effectiveness,
 /// and wall-clock split between the prepare and execute phases.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct SweepMetrics {
@@ -16,6 +17,13 @@ pub struct SweepMetrics {
     pub resumed_jobs: usize,
     /// Jobs that ended in [`JobStatus::Failed`](crate::JobStatus::Failed).
     pub failed_jobs: usize,
+    /// Jobs that ended in [`JobStatus::TimedOut`](crate::JobStatus::TimedOut).
+    pub timed_out_jobs: usize,
+    /// Retry attempts across all jobs (a job that succeeded on its second
+    /// attempt contributes 1).
+    pub retried_jobs: u64,
+    /// Corrupt trailing checkpoint records dropped by the salvage pass.
+    pub salvaged_dropped: usize,
     /// Worker threads used.
     pub workers: usize,
     /// Memo-cache counters at the end of the run.
@@ -32,9 +40,21 @@ impl fmt::Display for SweepMetrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "sweep: {} jobs ({} executed, {} resumed, {} failed) on {} workers",
-            self.total_jobs, self.executed_jobs, self.resumed_jobs, self.failed_jobs, self.workers
+            "sweep: {} jobs ({} executed, {} resumed, {} failed, {} timed out) on {} workers",
+            self.total_jobs,
+            self.executed_jobs,
+            self.resumed_jobs,
+            self.failed_jobs,
+            self.timed_out_jobs,
+            self.workers
         )?;
+        if self.retried_jobs > 0 || self.salvaged_dropped > 0 {
+            writeln!(
+                f,
+                "resilience: {} retries, {} corrupt checkpoint records salvaged away",
+                self.retried_jobs, self.salvaged_dropped
+            )?;
+        }
         writeln!(
             f,
             "cache: {} hits / {} misses ({:.1}% hit rate), {} entries",
@@ -62,6 +82,9 @@ mod tests {
             executed_jobs: 30,
             resumed_jobs: 10,
             failed_jobs: 2,
+            timed_out_jobs: 1,
+            retried_jobs: 3,
+            salvaged_dropped: 4,
             workers: 8,
             cache: CacheStats {
                 hits: 75,
@@ -77,10 +100,19 @@ mod tests {
             "30 executed",
             "10 resumed",
             "2 failed",
+            "1 timed out",
+            "3 retries",
+            "4 corrupt checkpoint records",
             "8 workers",
             "75.0% hit rate",
         ] {
             assert!(text.contains(needle), "missing {needle:?} in {text:?}");
         }
+    }
+
+    #[test]
+    fn resilience_line_is_omitted_when_quiet() {
+        let m = SweepMetrics::default();
+        assert!(!m.to_string().contains("resilience"));
     }
 }

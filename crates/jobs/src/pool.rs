@@ -1,27 +1,96 @@
-//! A std-only ordered worker pool with per-job fault isolation.
+//! A std-only ordered worker pool with per-job fault isolation, bounded
+//! retry, and watchdog deadlines.
 //!
 //! Workers claim jobs from a shared atomic counter (work stealing without
-//! queues), run each job under [`std::panic::catch_unwind`], and report
+//! queues), run each attempt under [`std::panic::catch_unwind`], and report
 //! `(index, outcome)` pairs over a channel. The collector reassembles
 //! results **by job index**, so the output order is a function of the job
-//! list alone — never of thread scheduling — and a panicking job poisons
-//! nothing: it becomes [`JobOutcome::Failed`] while every other job
-//! completes normally.
+//! list alone — never of thread scheduling — and a failing job poisons
+//! nothing: it becomes [`JobOutcome::Failed`] (or
+//! [`JobOutcome::TimedOut`]) while every other job completes normally.
+//!
+//! Failure handling, per attempt:
+//!
+//! * a **panic** is caught and classified *transient* (environmental —
+//!   worth retrying);
+//! * an `Err(`[`JobFailure`]`)` return carries its own
+//!   transient/permanent classification — permanent failures (invalid
+//!   parameters, structural errors) fail fast without burning retries;
+//! * transient failures are retried up to [`RetryPolicy::max_retries`]
+//!   times with bounded exponential backoff;
+//! * when [`PoolConfig::job_timeout`] is set, a watchdog thread cancels the
+//!   attempt's [`CancelToken`] once the soft deadline passes. Cancellation
+//!   is cooperative: the job polls the token (see
+//!   `AgingAnalysis::run_with_cache_cancellable`) and returns early; the
+//!   pool reports the job as [`JobOutcome::TimedOut`] and drains instead of
+//!   hanging.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex};
 use std::thread;
+use std::time::{Duration, Instant};
+
+use relia_core::CancelToken;
+
+/// One failed attempt at a job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attempt {
+    /// What went wrong (panic message or the job's own diagnostic).
+    pub reason: String,
+    /// Whether the failure was classified as retryable.
+    pub transient: bool,
+}
+
+/// A job's own failure report, carrying the transient/permanent
+/// classification that drives the retry loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobFailure {
+    /// Human-readable diagnostic.
+    pub reason: String,
+    /// True when a retry could plausibly succeed (environmental hiccup);
+    /// false for deterministic failures (invalid parameters) that would
+    /// only fail again.
+    pub transient: bool,
+}
+
+impl JobFailure {
+    /// A retryable failure.
+    pub fn transient(reason: impl Into<String>) -> Self {
+        JobFailure {
+            reason: reason.into(),
+            transient: true,
+        }
+    }
+
+    /// A fail-fast failure: no retry will be attempted.
+    pub fn permanent(reason: impl Into<String>) -> Self {
+        JobFailure {
+            reason: reason.into(),
+            transient: false,
+        }
+    }
+}
 
 /// The fate of one job.
 #[derive(Debug, Clone, PartialEq)]
 pub enum JobOutcome<T> {
     /// The job ran to completion.
     Completed(T),
-    /// The job panicked; `reason` is the stringified panic payload.
+    /// Every permitted attempt failed; `attempts` is the full history in
+    /// order (the last entry is the terminal failure).
     Failed {
-        /// Panic message (or a placeholder for non-string payloads).
-        reason: String,
+        /// One record per attempt, oldest first.
+        attempts: Vec<Attempt>,
+    },
+    /// The watchdog deadline expired and the job honored its cancellation
+    /// token. Earlier failed attempts (if the timeout hit during a retry)
+    /// are preserved in `attempts`.
+    TimedOut {
+        /// Wall-clock milliseconds the final attempt ran before stopping.
+        elapsed_ms: u64,
+        /// Failed attempts that preceded the timeout, oldest first.
+        attempts: Vec<Attempt>,
     },
 }
 
@@ -35,9 +104,95 @@ impl<T> JobOutcome<T> {
     pub fn completed(&self) -> Option<&T> {
         match self {
             JobOutcome::Completed(v) => Some(v),
-            JobOutcome::Failed { .. } => None,
+            _ => None,
         }
     }
+
+    /// The terminal failure reason, if the job did not complete.
+    pub fn failure_reason(&self) -> Option<&str> {
+        match self {
+            JobOutcome::Completed(_) => None,
+            JobOutcome::Failed { attempts } => attempts.last().map(|a| a.reason.as_str()),
+            JobOutcome::TimedOut { .. } => Some("watchdog deadline expired"),
+        }
+    }
+}
+
+/// Retry knobs: how many times a transient failure may re-run and how the
+/// backoff between attempts grows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Extra attempts after the first (0 disables retrying).
+    pub max_retries: u32,
+    /// Backoff before the first retry.
+    pub base_backoff: Duration,
+    /// Upper bound on any single backoff (the exponential curve is clamped
+    /// here).
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_secs(2),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy with `max_retries` extra attempts and the default backoff
+    /// curve.
+    pub fn retries(max_retries: u32) -> Self {
+        RetryPolicy {
+            max_retries,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Backoff before retry number `retry` (1-based): `base · 2^(retry−1)`,
+    /// clamped to `max_backoff`.
+    pub fn backoff(&self, retry: u32) -> Duration {
+        let factor = 1u32
+            .checked_shl(retry.saturating_sub(1))
+            .unwrap_or(u32::MAX);
+        self.base_backoff
+            .checked_mul(factor)
+            .map_or(self.max_backoff, |d| d.min(self.max_backoff))
+    }
+}
+
+/// Full configuration of one pool run.
+#[derive(Debug, Clone, Default)]
+pub struct PoolConfig {
+    /// Worker threads; 0 means [`default_workers`].
+    pub workers: usize,
+    /// Retry policy for transient failures.
+    pub retry: RetryPolicy,
+    /// Per-job soft deadline. `None` disables the watchdog.
+    pub job_timeout: Option<Duration>,
+}
+
+impl PoolConfig {
+    /// A config running `workers` threads with no retries and no watchdog.
+    pub fn with_workers(workers: usize) -> Self {
+        PoolConfig {
+            workers,
+            ..PoolConfig::default()
+        }
+    }
+}
+
+/// What a pool run hands back: outcomes in job order plus run-wide retry
+/// accounting (completed jobs do not carry their attempt history, so the
+/// pool counts retries centrally).
+#[derive(Debug)]
+pub struct PoolRun<T> {
+    /// `outcomes[i]` is the fate of `jobs[i]`.
+    pub outcomes: Vec<JobOutcome<T>>,
+    /// Total retry attempts across all jobs (successful or not).
+    pub retries: u64,
 }
 
 /// The number of workers to use when the caller does not care: the
@@ -46,11 +201,13 @@ pub fn default_workers() -> usize {
     thread::available_parallelism().map_or(1, |n| n.get())
 }
 
-/// Runs every job and returns the outcomes **in job order**.
-///
-/// `workers` is clamped to `1..=jobs.len()`; `run` receives the job's index
-/// and a reference to the job. See [`run_ordered_with`] for the streaming
-/// variant.
+/// How often the watchdog scans the running-job slots.
+const WATCHDOG_TICK: Duration = Duration::from_millis(2);
+
+/// Runs every job and returns the outcomes **in job order** (no retries,
+/// no watchdog). `workers` is clamped to `1..=jobs.len()`; `run` receives
+/// the job's index and a reference to the job. See [`run_pool`] for the
+/// full-featured variant.
 pub fn run_ordered<J, T, F>(jobs: &[J], workers: usize, run: F) -> Vec<JobOutcome<T>>
 where
     J: Sync,
@@ -68,7 +225,7 @@ pub fn run_ordered_with<J, T, F, O>(
     jobs: &[J],
     workers: usize,
     run: F,
-    mut observe: O,
+    observe: O,
 ) -> Vec<JobOutcome<T>>
 where
     J: Sync,
@@ -76,30 +233,78 @@ where
     F: Fn(usize, &J) -> T + Sync,
     O: FnMut(usize, &JobOutcome<T>),
 {
+    run_pool(
+        jobs,
+        &PoolConfig::with_workers(workers),
+        |i, j, _| Ok(run(i, j)),
+        observe,
+    )
+    .outcomes
+}
+
+/// Runs every job under the full resilience machinery — retry with bounded
+/// exponential backoff, panic isolation, and cooperative watchdog
+/// deadlines — returning outcomes **in job order**.
+///
+/// `run` receives the job's index, the job, and the attempt's
+/// [`CancelToken`]; long-running jobs should poll the token so the
+/// watchdog can turn a straggler into [`JobOutcome::TimedOut`] instead of
+/// a pool-stalling hang. `observe` is invoked from the collector thread in
+/// completion order.
+pub fn run_pool<J, T, F, O>(jobs: &[J], config: &PoolConfig, run: F, mut observe: O) -> PoolRun<T>
+where
+    J: Sync,
+    T: Send,
+    F: Fn(usize, &J, &CancelToken) -> Result<T, JobFailure> + Sync,
+    O: FnMut(usize, &JobOutcome<T>),
+{
     if jobs.is_empty() {
-        return Vec::new();
+        return PoolRun {
+            outcomes: Vec::new(),
+            retries: 0,
+        };
     }
-    let workers = workers.clamp(1, jobs.len());
+    let workers = config.workers.max(1).min(jobs.len());
     let next = AtomicUsize::new(0);
+    let retries = AtomicU64::new(0);
+    let done = AtomicBool::new(false);
+    // One slot per worker: the token and deadline of the attempt it is
+    // currently running, scanned by the watchdog.
+    let slots: Vec<Mutex<Option<(CancelToken, Instant)>>> =
+        (0..workers).map(|_| Mutex::new(None)).collect();
     let (tx, rx) = mpsc::channel::<(usize, JobOutcome<T>)>();
     let mut out: Vec<Option<JobOutcome<T>>> = (0..jobs.len()).map(|_| None).collect();
 
     thread::scope(|scope| {
-        for _ in 0..workers {
+        if config.job_timeout.is_some() {
+            let slots = &slots;
+            let done = &done;
+            scope.spawn(move || {
+                while !done.load(Ordering::Acquire) {
+                    for slot in slots {
+                        if let Ok(guard) = slot.lock() {
+                            if let Some((token, deadline)) = guard.as_ref() {
+                                if Instant::now() >= *deadline {
+                                    token.cancel();
+                                }
+                            }
+                        }
+                    }
+                    thread::park_timeout(WATCHDOG_TICK);
+                }
+            });
+        }
+        for slot in &slots {
             let tx = tx.clone();
             let next = &next;
+            let retries = &retries;
             let run = &run;
             scope.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= jobs.len() {
                     break;
                 }
-                let outcome = match catch_unwind(AssertUnwindSafe(|| run(i, &jobs[i]))) {
-                    Ok(value) => JobOutcome::Completed(value),
-                    Err(payload) => JobOutcome::Failed {
-                        reason: panic_reason(payload.as_ref()),
-                    },
-                };
+                let outcome = run_one(i, &jobs[i], config, slot, run, retries);
                 if tx.send((i, outcome)).is_err() {
                     break; // collector gone; nothing left to report to
                 }
@@ -110,11 +315,76 @@ where
             observe(i, &outcome);
             out[i] = Some(outcome);
         }
+        done.store(true, Ordering::Release);
     });
 
-    out.into_iter()
-        .map(|slot| slot.expect("every claimed job reports exactly once"))
-        .collect()
+    PoolRun {
+        outcomes: out
+            .into_iter()
+            .map(|slot| slot.expect("every claimed job reports exactly once"))
+            .collect(),
+        retries: retries.load(Ordering::Relaxed),
+    }
+}
+
+/// The per-job attempt loop: run, classify, retry or report.
+fn run_one<J, T, F>(
+    index: usize,
+    job: &J,
+    config: &PoolConfig,
+    slot: &Mutex<Option<(CancelToken, Instant)>>,
+    run: &F,
+    retries: &AtomicU64,
+) -> JobOutcome<T>
+where
+    F: Fn(usize, &J, &CancelToken) -> Result<T, JobFailure>,
+{
+    let mut attempts: Vec<Attempt> = Vec::new();
+    loop {
+        let token = CancelToken::new();
+        let started = Instant::now();
+        if let Some(timeout) = config.job_timeout {
+            if let Ok(mut guard) = slot.lock() {
+                *guard = Some((token.clone(), started + timeout));
+            }
+        }
+        let result = catch_unwind(AssertUnwindSafe(|| run(index, job, &token)));
+        if let Ok(mut guard) = slot.lock() {
+            *guard = None;
+        }
+        let elapsed_ms = started.elapsed().as_millis() as u64;
+
+        let failure = match result {
+            // A value that lands after cancellation is still a valid value:
+            // the deadline is soft, and the work is already done.
+            Ok(Ok(value)) => return JobOutcome::Completed(value),
+            Ok(Err(failure)) => failure,
+            Err(payload) => {
+                JobFailure::transient(format!("panic: {}", panic_reason(payload.as_ref())))
+            }
+        };
+        if token.is_cancelled() {
+            // The watchdog fired during this attempt; whatever error the
+            // job surfaced on its way out, the operative fact is the
+            // deadline. Timeouts are not retried.
+            return JobOutcome::TimedOut {
+                elapsed_ms,
+                attempts,
+            };
+        }
+        let transient = failure.transient;
+        attempts.push(Attempt {
+            reason: failure.reason,
+            transient,
+        });
+        let retry_no = attempts.len() as u32; // retries taken so far + 1
+        if transient && retry_no <= config.retry.max_retries {
+            retries.fetch_add(1, Ordering::Relaxed);
+            thread::sleep(config.retry.backoff(retry_no));
+            continue;
+        }
+        return JobOutcome::Failed { attempts };
+    }
 }
 
 /// Extracts a human-readable message from a panic payload.
@@ -131,7 +401,7 @@ fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicU64;
+    use std::sync::atomic::AtomicU32;
 
     #[test]
     fn results_are_in_job_order_for_any_worker_count() {
@@ -161,8 +431,12 @@ mod tests {
         for (i, outcome) in out.iter().enumerate() {
             if i == 7 {
                 match outcome {
-                    JobOutcome::Failed { reason } => assert!(reason.contains("exploded")),
-                    JobOutcome::Completed(_) => panic!("job 7 should fail"),
+                    JobOutcome::Failed { attempts } => {
+                        assert_eq!(attempts.len(), 1);
+                        assert!(attempts[0].reason.contains("exploded"));
+                        assert!(attempts[0].transient, "panics classify as transient");
+                    }
+                    other => panic!("job 7 should fail, got {other:?}"),
                 }
             } else {
                 assert_eq!(outcome.completed(), Some(&i));
@@ -194,5 +468,166 @@ mod tests {
     fn empty_job_list_is_fine() {
         let out: Vec<JobOutcome<()>> = run_ordered(&[] as &[u8], 4, |_, _| {});
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn transient_failure_succeeds_after_retry() {
+        let calls = AtomicU32::new(0);
+        let config = PoolConfig {
+            workers: 2,
+            retry: RetryPolicy {
+                max_retries: 2,
+                base_backoff: Duration::from_millis(1),
+                max_backoff: Duration::from_millis(4),
+            },
+            job_timeout: None,
+        };
+        let run = run_pool(
+            &[0usize],
+            &config,
+            |_, _, _| {
+                if calls.fetch_add(1, Ordering::Relaxed) < 2 {
+                    Err(JobFailure::transient("flaky"))
+                } else {
+                    Ok(42)
+                }
+            },
+            |_, _| {},
+        );
+        assert_eq!(run.outcomes[0].completed(), Some(&42));
+        assert_eq!(run.retries, 2);
+        assert_eq!(calls.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn permanent_failure_fails_fast() {
+        let calls = AtomicU32::new(0);
+        let config = PoolConfig {
+            workers: 1,
+            retry: RetryPolicy::retries(5),
+            job_timeout: None,
+        };
+        let run = run_pool(
+            &[0usize],
+            &config,
+            |_, _, _| -> Result<(), JobFailure> {
+                calls.fetch_add(1, Ordering::Relaxed);
+                Err(JobFailure::permanent("bad parameter"))
+            },
+            |_, _| {},
+        );
+        assert_eq!(calls.load(Ordering::Relaxed), 1, "no retry burned");
+        assert_eq!(run.retries, 0);
+        match &run.outcomes[0] {
+            JobOutcome::Failed { attempts } => {
+                assert_eq!(attempts.len(), 1);
+                assert!(!attempts[0].transient);
+            }
+            other => panic!("expected Failed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_preserves_the_history() {
+        let config = PoolConfig {
+            workers: 1,
+            retry: RetryPolicy {
+                max_retries: 3,
+                base_backoff: Duration::from_millis(1),
+                max_backoff: Duration::from_millis(2),
+            },
+            job_timeout: None,
+        };
+        let run = run_pool(
+            &[0usize],
+            &config,
+            |_, _, _| -> Result<(), JobFailure> { Err(JobFailure::transient("still flaky")) },
+            |_, _| {},
+        );
+        match &run.outcomes[0] {
+            JobOutcome::Failed { attempts } => {
+                assert_eq!(attempts.len(), 4, "1 initial + 3 retries");
+                assert!(attempts.iter().all(|a| a.transient));
+            }
+            other => panic!("expected Failed, got {other:?}"),
+        }
+        assert_eq!(run.retries, 3);
+    }
+
+    #[test]
+    fn a_cooperative_straggler_times_out_without_stalling_the_pool() {
+        let jobs: Vec<usize> = (0..8).collect();
+        let config = PoolConfig {
+            workers: 4,
+            retry: RetryPolicy::default(),
+            job_timeout: Some(Duration::from_millis(20)),
+        };
+        let started = Instant::now();
+        let run = run_pool(
+            &jobs,
+            &config,
+            |_, &j, token: &CancelToken| {
+                if j == 3 {
+                    // A cooperative hang: poll the token like a real
+                    // analysis loop would.
+                    while !token.is_cancelled() {
+                        thread::sleep(Duration::from_millis(1));
+                    }
+                    return Err(JobFailure::transient("cancelled"));
+                }
+                Ok(j)
+            },
+            |_, _| {},
+        );
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "pool must drain promptly"
+        );
+        for (i, outcome) in run.outcomes.iter().enumerate() {
+            if i == 3 {
+                match outcome {
+                    JobOutcome::TimedOut { elapsed_ms, .. } => {
+                        assert!(*elapsed_ms >= 15, "ran at least near the deadline");
+                    }
+                    other => panic!("expected TimedOut, got {other:?}"),
+                }
+            } else {
+                assert_eq!(outcome.completed(), Some(&i), "job {i} unaffected");
+            }
+        }
+        assert_eq!(run.retries, 0, "timeouts are not retried");
+    }
+
+    #[test]
+    fn backoff_grows_and_clamps() {
+        let p = RetryPolicy {
+            max_retries: 10,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(65),
+        };
+        assert_eq!(p.backoff(1), Duration::from_millis(10));
+        assert_eq!(p.backoff(2), Duration::from_millis(20));
+        assert_eq!(p.backoff(3), Duration::from_millis(40));
+        assert_eq!(p.backoff(4), Duration::from_millis(65), "clamped");
+        assert_eq!(p.backoff(63), Duration::from_millis(65), "shift saturates");
+    }
+
+    #[test]
+    fn failure_reason_reports_the_terminal_attempt() {
+        let failed: JobOutcome<()> = JobOutcome::Failed {
+            attempts: vec![
+                Attempt {
+                    reason: "first".into(),
+                    transient: true,
+                },
+                Attempt {
+                    reason: "second".into(),
+                    transient: false,
+                },
+            ],
+        };
+        assert_eq!(failed.failure_reason(), Some("second"));
+        let done: JobOutcome<u8> = JobOutcome::Completed(1);
+        assert_eq!(done.failure_reason(), None);
     }
 }

@@ -158,16 +158,23 @@ pub enum JobResult {
     },
 }
 
-/// Terminal state of one job: completed with numbers, or failed with a
-/// reason (panic or analysis error).
+/// Terminal state of one job: completed with numbers, failed with a
+/// reason (panic or analysis error), or cancelled by the watchdog.
 #[derive(Debug, Clone, PartialEq)]
 pub enum JobStatus {
     /// The job produced a result.
     Completed(JobResult),
-    /// The job failed; the sweep carried on without it.
+    /// Every permitted attempt failed; the sweep carried on without it.
     Failed {
-        /// Panic message or analysis error.
+        /// Terminal failure reason (panic message or analysis error).
         reason: String,
+        /// Total attempts made (1 when no retry happened).
+        attempts: u32,
+    },
+    /// The job overran its soft deadline and was cancelled cooperatively.
+    TimedOut {
+        /// Wall-clock milliseconds the final attempt ran.
+        elapsed_ms: u64,
     },
 }
 
@@ -176,17 +183,21 @@ impl JobStatus {
     pub fn result(&self) -> Option<&JobResult> {
         match self {
             JobStatus::Completed(r) => Some(r),
-            JobStatus::Failed { .. } => None,
+            _ => None,
         }
     }
 
-    pub(crate) fn from_outcome(outcome: JobOutcome<Result<JobResult, String>>) -> Self {
+    pub(crate) fn from_outcome(outcome: JobOutcome<JobResult>) -> Self {
         match outcome {
-            JobOutcome::Completed(Ok(result)) => JobStatus::Completed(result),
-            JobOutcome::Completed(Err(reason)) => JobStatus::Failed { reason },
-            JobOutcome::Failed { reason } => JobStatus::Failed {
-                reason: format!("panic: {reason}"),
+            JobOutcome::Completed(result) => JobStatus::Completed(result),
+            JobOutcome::Failed { attempts } => JobStatus::Failed {
+                reason: attempts
+                    .last()
+                    .map(|a| a.reason.clone())
+                    .unwrap_or_else(|| "unknown failure".to_owned()),
+                attempts: attempts.len() as u32,
             },
+            JobOutcome::TimedOut { elapsed_ms, .. } => JobStatus::TimedOut { elapsed_ms },
         }
     }
 }

@@ -46,6 +46,11 @@ pub enum NetlistError {
     },
     /// The circuit has no primary outputs.
     NoOutputs,
+    /// The requested name is not a benchmark this build knows.
+    UnknownBenchmark {
+        /// The requested benchmark name.
+        name: String,
+    },
 }
 
 impl fmt::Display for NetlistError {
@@ -70,6 +75,13 @@ impl fmt::Display for NetlistError {
                 write!(f, "parse error at line {line}: {message}")
             }
             NetlistError::NoOutputs => write!(f, "circuit has no primary outputs"),
+            NetlistError::UnknownBenchmark { name } => {
+                write!(
+                    f,
+                    "{name:?} is not a builtin benchmark (try one of {:?})",
+                    crate::iscas::names()
+                )
+            }
         }
     }
 }

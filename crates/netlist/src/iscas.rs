@@ -17,6 +17,7 @@ use relia_cells::Library;
 
 use crate::builder::CircuitBuilder;
 use crate::circuit::{Circuit, NetId};
+use crate::error::NetlistError;
 
 /// Published statistics of one ISCAS85 benchmark.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -116,22 +117,33 @@ pub const SPECS: [BenchmarkSpec; 10] = [
 /// assert_eq!(c.stats(), (5, 2, 6, 3));
 /// ```
 pub fn c17() -> Circuit {
+    try_c17().expect("c17 is valid by construction")
+}
+
+/// The genuine `c17`, with construction errors propagated instead of
+/// panicking (they cannot occur for this fixed netlist, but callers that
+/// forbid panics get a typed path).
+///
+/// # Errors
+///
+/// Returns [`NetlistError`] if circuit construction rejects the netlist.
+pub fn try_c17() -> Result<Circuit, NetlistError> {
     let mut b = CircuitBuilder::new("c17", Library::ptm90());
     let n1 = b.add_input("1");
     let n2 = b.add_input("2");
     let n3 = b.add_input("3");
     let n6 = b.add_input("6");
     let n7 = b.add_input("7");
-    let n10 = b.add_gate("NAND2", "10", &[n1, n3]).expect("valid");
-    let n11 = b.add_gate("NAND2", "11", &[n3, n6]).expect("valid");
-    let n16 = b.add_gate("NAND2", "16", &[n2, n11]).expect("valid");
-    let n19 = b.add_gate("NAND2", "19", &[n11, n7]).expect("valid");
-    let n22 = b.add_gate("NAND2", "22", &[n10, n16]).expect("valid");
-    let n23 = b.add_gate("NAND2", "23", &[n16, n19]).expect("valid");
+    let n10 = b.add_gate("NAND2", "10", &[n1, n3])?;
+    let n11 = b.add_gate("NAND2", "11", &[n3, n6])?;
+    let n16 = b.add_gate("NAND2", "16", &[n2, n11])?;
+    let n19 = b.add_gate("NAND2", "19", &[n11, n7])?;
+    let n22 = b.add_gate("NAND2", "22", &[n10, n16])?;
+    let n23 = b.add_gate("NAND2", "23", &[n16, n19])?;
     let _ = n10;
     b.mark_output(n22);
     b.mark_output(n23);
-    b.build().expect("c17 is valid")
+    b.build()
 }
 
 /// Gate-type mix used by the synthetic generator: `(cell, weight)`.
@@ -162,6 +174,17 @@ fn name_seed(name: &str) -> u64 {
 
 /// Generates the synthetic stand-in for `spec` (deterministic per name).
 pub fn synthesize(spec: &BenchmarkSpec) -> Circuit {
+    try_synthesize(spec).expect("generated circuits are valid by construction")
+}
+
+/// Like [`synthesize`], with construction errors propagated as typed
+/// [`NetlistError`]s instead of panicking.
+///
+/// # Errors
+///
+/// Returns [`NetlistError`] if a generated gate names a cell the library
+/// lacks or the built circuit fails validation.
+pub fn try_synthesize(spec: &BenchmarkSpec) -> Result<Circuit, NetlistError> {
     let mut rng = StdRng::seed_from_u64(name_seed(spec.name));
     let mut b = CircuitBuilder::new(spec.name, Library::ptm90());
 
@@ -192,7 +215,9 @@ pub fn synthesize(spec: &BenchmarkSpec) -> Circuit {
                 .library()
                 .find(cell)
                 .map(|id| b.library().cell(id).num_pins())
-                .expect("catalog cell");
+                .ok_or_else(|| NetlistError::UnknownCell {
+                    name: cell.to_owned(),
+                })?;
             let mut inputs = Vec::with_capacity(arity);
             // The first gate of each level anchors the depth: its first
             // input comes from the previous level.
@@ -210,9 +235,7 @@ pub fn synthesize(spec: &BenchmarkSpec) -> Circuit {
                 use_count[pick.index()] += 1;
             }
             gate_no += 1;
-            let out = b
-                .add_gate(cell, format!("g{gate_no}"), &inputs)
-                .expect("generated gates are valid");
+            let out = b.add_gate(cell, format!("g{gate_no}"), &inputs)?;
             debug_assert_eq!(out.index(), use_count.len());
             use_count.push(0);
             this_level.push(out);
@@ -242,7 +265,7 @@ pub fn synthesize(spec: &BenchmarkSpec) -> Circuit {
     for po in pos {
         b.mark_output(po);
     }
-    b.build().expect("generated circuit is valid")
+    b.build()
 }
 
 fn middle_biased_index(rng: &mut StdRng, depth: usize) -> usize {
@@ -295,10 +318,27 @@ fn pick_from_history(rng: &mut StdRng, levels: &[Vec<NetId>], use_count: &[u32])
 /// assert_eq!(c432.depth(), 17);
 /// ```
 pub fn circuit(name: &str) -> Option<Circuit> {
+    try_circuit(name).ok()
+}
+
+/// Like [`circuit`], but an unknown name (or a construction failure) is a
+/// typed [`NetlistError`] carrying the benchmark catalog — the form batch
+/// tooling wants for its diagnostics.
+///
+/// # Errors
+///
+/// [`NetlistError::UnknownBenchmark`] for names outside the suite;
+/// construction errors from the generator otherwise.
+pub fn try_circuit(name: &str) -> Result<Circuit, NetlistError> {
     if name == "c17" {
-        return Some(c17());
+        return try_c17();
     }
-    SPECS.iter().find(|s| s.name == name).map(synthesize)
+    match SPECS.iter().find(|s| s.name == name) {
+        Some(spec) => try_synthesize(spec),
+        None => Err(NetlistError::UnknownBenchmark {
+            name: name.to_owned(),
+        }),
+    }
 }
 
 /// The benchmark names the paper's tables iterate over, smallest first.
@@ -379,6 +419,14 @@ mod tests {
     #[test]
     fn unknown_name_is_none() {
         assert!(circuit("c9000").is_none());
+        match try_circuit("c9000") {
+            Err(NetlistError::UnknownBenchmark { name }) => assert_eq!(name, "c9000"),
+            other => panic!("expected UnknownBenchmark, got {other:?}"),
+        }
+        assert!(try_circuit("c9000")
+            .unwrap_err()
+            .to_string()
+            .contains("c432"));
     }
 
     #[test]

@@ -11,10 +11,14 @@ cargo build --release --offline
 echo "==> cargo test (workspace)"
 cargo test -q --offline --workspace
 
+echo "==> cargo test (fault injection)"
+cargo test -q --offline -p relia-jobs --features fault-inject
+
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
 echo "==> cargo clippy -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
+cargo clippy --offline -p relia-jobs --all-targets --features fault-inject -- -D warnings
 
 echo "==> all checks passed"

@@ -7,6 +7,7 @@
 //!                        [--standby worst|best|footer|BITSTRING]
 //! relia sweep  [netlist ...] [--ras LIST] [--tstandby LIST] [--years LIST]
 //!              [--standby LIST] [--jobs N] [--checkpoint PATH]
+//!              [--retries N] [--job-timeout SECS]
 //! relia mlv    <netlist> [--ras A:S] [--tstandby K]
 //! relia dot    <netlist>
 //! relia list                     # built-in benchmarks
@@ -20,6 +21,7 @@
 use std::fmt::Display;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Duration;
 
 use relia::cells::Library;
 use relia::core::{Kelvin, Ras, Seconds};
@@ -69,7 +71,8 @@ const USAGE: &str = "usage:
                                                  one aging analysis
   relia sweep   [netlist ...] [--ras A:S,...] [--tstandby K,...]
                 [--years Y,...] [--standby P,...] [--jobs N]
-                [--checkpoint PATH]              parallel batch sweep
+                [--checkpoint PATH] [--retries N]
+                [--job-timeout SECS]             parallel batch sweep
   relia mlv     <netlist> [--ras A:S] [--tstandby K]
                                                  leakage/NBTI co-optimal vectors
   relia dot     <netlist>                        Graphviz export
@@ -83,8 +86,12 @@ const USAGE: &str = "usage:
 sweep notes:
   list-valued flags are comma-separated and multiply into a cartesian grid
   (circuits x standby policies x ras x tstandby x years); defaults give a
-  40-job grid on builtin:c17. --jobs 0 (default) uses all cores.
-  --checkpoint resumes completed jobs from PATH if it exists.";
+  40-job grid on builtin:c17. omit --jobs to use all cores (an explicit
+  --jobs 0 is a usage error). --checkpoint resumes completed jobs from
+  PATH if it exists, salvaging a corrupt tail. --retries N re-runs
+  transiently failed jobs (panics) up to N times with exponential backoff;
+  --job-timeout SECS cancels stragglers cooperatively (reported as
+  TIMEOUT rows, re-run on resume).";
 
 fn run(args: &[String]) -> Result<(), CliError> {
     let cmd = args
@@ -303,6 +310,8 @@ struct SweepArgs {
     standby: Vec<PolicySpec>,
     jobs: usize,
     checkpoint: Option<PathBuf>,
+    retries: u32,
+    job_timeout: Option<Duration>,
 }
 
 impl SweepArgs {
@@ -314,6 +323,8 @@ impl SweepArgs {
         let mut standby = Vec::new();
         let mut jobs = 0usize;
         let mut checkpoint = None;
+        let mut retries = 0u32;
+        let mut job_timeout = None;
         let mut it = args.iter();
         while let Some(arg) = it.next() {
             if !arg.starts_with("--") {
@@ -354,9 +365,26 @@ impl SweepArgs {
                     jobs = value
                         .parse()
                         .map_err(|_| format!("bad job count {value}"))?;
+                    if jobs == 0 {
+                        return Err(
+                            "--jobs must be at least 1 (omit the flag to use all cores)".into()
+                        );
+                    }
                 }
                 "--checkpoint" => {
                     checkpoint = Some(PathBuf::from(value));
+                }
+                "--retries" => {
+                    retries = value
+                        .parse()
+                        .map_err(|_| format!("bad retry count {value}"))?;
+                }
+                "--job-timeout" => {
+                    let secs: f64 = value.parse().map_err(|_| format!("bad timeout {value}"))?;
+                    if !(secs > 0.0 && secs.is_finite()) {
+                        return Err(format!("--job-timeout must be positive, got {value}"));
+                    }
+                    job_timeout = Some(Duration::from_secs_f64(secs));
                 }
                 other => return Err(format!("unknown flag {other}")),
             }
@@ -385,6 +413,8 @@ impl SweepArgs {
             standby,
             jobs,
             checkpoint,
+            retries,
+            job_timeout,
         })
     }
 }
@@ -404,12 +434,23 @@ fn run_sweep_command(args: &[String]) -> Result<(), CliError> {
             .map(|&y| Seconds::from_years(y).0)
             .collect(),
     };
+    // The spread covers the fault-injection field that only exists when
+    // relia-jobs is built with its `fault-inject` feature.
+    #[allow(clippy::needless_update)]
     let options = jobs::SweepOptions {
         workers: parsed.jobs,
         checkpoint: parsed.checkpoint,
         cache_shards: 0,
+        retries: parsed.retries,
+        job_timeout: parsed.job_timeout,
+        ..jobs::SweepOptions::default()
     };
-    let outcome = jobs::run_sweep(&spec, &options, load).map_err(stringify)?;
+    let outcome = jobs::run_sweep(&spec, &options, load).map_err(|e| match e {
+        // An empty grid means the invocation described no work — that is a
+        // usage problem (exit 2), not an analysis failure (exit 1).
+        jobs::SweepError::EmptySpec => CliError::Usage(e.to_string()),
+        other => CliError::Analysis(other.to_string()),
+    })?;
 
     println!(
         "{:>10} {:>8} {:>6} {:>9} {:>8} {:>9} {:>7} {:>9} {:>9} {:>10}",
@@ -455,8 +496,15 @@ fn run_sweep_command(args: &[String]) -> Result<(), CliError> {
             JobStatus::Completed(JobResult::Model { delta_vth }) => {
                 println!("{prefix} {:>7.2}mV", delta_vth * 1e3);
             }
-            JobStatus::Failed { reason } => {
-                println!("{prefix} FAILED: {reason}");
+            JobStatus::Failed { reason, attempts } => {
+                if *attempts > 1 {
+                    println!("{prefix} FAILED after {attempts} attempts: {reason}");
+                } else {
+                    println!("{prefix} FAILED: {reason}");
+                }
+            }
+            JobStatus::TimedOut { elapsed_ms } => {
+                println!("{prefix} TIMEOUT after {:.1}s", *elapsed_ms as f64 / 1e3);
             }
         }
     }

@@ -167,6 +167,48 @@ fn usage_errors_exit_2_and_analysis_errors_exit_1() {
 }
 
 #[test]
+fn sweep_exit_codes_are_pinned() {
+    // Success → 0 (with the resilience flags accepted).
+    let (code, _, stderr) = relia_coded(&[
+        "sweep",
+        "builtin:c17",
+        "--ras",
+        "1:1",
+        "--tstandby",
+        "330",
+        "--standby",
+        "worst",
+        "--retries",
+        "1",
+        "--job-timeout",
+        "30",
+    ]);
+    assert_eq!(code, Some(0), "{stderr}");
+    // Usage → 2: an explicit zero worker count...
+    let (code, _, stderr) = relia_coded(&["sweep", "--jobs", "0"]);
+    assert_eq!(code, Some(2), "{stderr}");
+    assert!(stderr.contains("--jobs must be at least 1"), "{stderr}");
+    // ... and a grid axis that parses to nothing.
+    let (code, _, stderr) = relia_coded(&["sweep", "--tstandby", ""]);
+    assert_eq!(code, Some(2), "{stderr}");
+    // Analysis failure → 1: resuming from a file that is not a checkpoint
+    // (its header cannot be authenticated, so it is not safe to salvage).
+    let dir = std::env::temp_dir().join("relia_cli_test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let bogus = dir.join(format!("bogus-{}.jsonl", std::process::id()));
+    std::fs::write(&bogus, "this is not a checkpoint\n").expect("write");
+    let (code, _, stderr) = relia_coded(&[
+        "sweep",
+        "builtin:c17",
+        "--checkpoint",
+        bogus.to_str().expect("utf-8 path"),
+    ]);
+    assert_eq!(code, Some(1), "{stderr}");
+    assert!(stderr.contains("checkpoint"), "{stderr}");
+    std::fs::remove_file(&bogus).ok();
+}
+
+#[test]
 fn sweep_runs_a_small_grid() {
     let (ok, stdout, stderr) = relia(&[
         "sweep",
