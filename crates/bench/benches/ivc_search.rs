@@ -1,5 +1,6 @@
 //! Criterion bench: the probability-based MLV search (Table 3's engine).
 
+#![allow(clippy::unwrap_used)]
 use criterion::{criterion_group, criterion_main, Criterion};
 use relia_flow::{AgingAnalysis, FlowConfig};
 use relia_ivc::{search_mlv_set, MlvSearchConfig};

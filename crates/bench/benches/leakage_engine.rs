@@ -2,6 +2,7 @@
 //! for every cell x vector) and whole-circuit leakage lookups (drives
 //! Table 2/3 and the MLV search).
 
+#![allow(clippy::unwrap_used)]
 use criterion::{criterion_group, criterion_main, Criterion};
 use relia_cells::Library;
 use relia_core::Kelvin;

@@ -1,6 +1,7 @@
 //! Criterion bench: logic simulation and signal-probability propagation
 //! (the statistical front half of the Fig. 6 flow).
 
+#![allow(clippy::unwrap_used)]
 use criterion::{criterion_group, criterion_main, Criterion};
 use relia_netlist::iscas;
 use relia_sim::{logic, monte_carlo, prob};

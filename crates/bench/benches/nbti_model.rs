@@ -1,6 +1,7 @@
 //! Criterion bench: throughput of the temperature-aware NBTI model
 //! (the per-PMOS evaluation at the heart of every table/figure).
 
+#![allow(clippy::unwrap_used)]
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use relia_core::{Kelvin, ModeSchedule, NbtiModel, PmosStress, Ras, Seconds};
 

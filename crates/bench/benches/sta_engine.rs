@@ -1,6 +1,7 @@
 //! Criterion bench: static-timing throughput on the benchmark suite
 //! (nominal and NBTI-degraded analyses; drives Tables 3-4, Figs 5/11/12).
 
+#![allow(clippy::unwrap_used)]
 use criterion::{criterion_group, criterion_main, Criterion};
 use relia_core::NbtiParams;
 use relia_netlist::iscas;

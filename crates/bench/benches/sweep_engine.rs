@@ -6,8 +6,9 @@
 //! fresh model evaluation per PMOS. The gap is what memoization buys a
 //! sweep whose jobs share quantized stress points.
 
+#![allow(clippy::unwrap_used)]
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use relia_core::Seconds;
+use relia_core::{Kelvin, Seconds};
 use relia_flow::{AgingAnalysis, FlowConfig, NoCache, StandbyPolicy};
 use relia_jobs::{
     builtin_resolver, run_sweep, PolicySpec, ShardedCache, SweepOptions, SweepSpec, Workload,
@@ -21,8 +22,8 @@ fn aging_spec() -> SweepSpec {
             policies: vec![PolicySpec::Worst, PolicySpec::Best],
         },
         ras: vec![(1.0, 1.0), (1.0, 5.0), (1.0, 9.0)],
-        t_standby: vec![330.0, 400.0],
-        lifetimes: vec![1.0e7, 1.0e8],
+        t_standby: vec![Kelvin(330.0), Kelvin(400.0)],
+        lifetimes: vec![Seconds(1.0e7), Seconds(1.0e8)],
     }
 }
 

@@ -12,7 +12,7 @@ use relia_leakage::DeviceModels;
 
 fn main() {
     let model = NbtiModel::ptm90().expect("built-in calibration");
-    let sched = schedule(1.0, 9.0, 330.0);
+    let sched = schedule(1.0, 9.0, Kelvin(330.0));
     let lifetime = Seconds(1.0e8);
     let stress = PmosStress::worst_case();
     let devices = DeviceModels::ptm90();

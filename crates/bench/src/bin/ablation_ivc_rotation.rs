@@ -9,7 +9,7 @@
 //!    vector-to-vector spread grows.
 
 use relia_bench::{pct, schedule};
-use relia_core::{NbtiModel, PmosStress, Seconds};
+use relia_core::{Kelvin, NbtiModel, PmosStress, Seconds};
 use relia_flow::{AgingAnalysis, FlowConfig, StandbyPolicy};
 use relia_ivc::{evaluate_rotation, search_mlv_set, MlvSearchConfig};
 use relia_netlist::iscas;
@@ -50,7 +50,7 @@ fn main() {
     // Part 2: permanent-damage sensitivity at the device level.
     println!("Part 2 — permanent (unrecoverable) damage widens the standby-state stakes");
     let model = NbtiModel::ptm90().expect("built-in");
-    let sched = schedule(1.0, 9.0, 330.0);
+    let sched = schedule(1.0, 9.0, Kelvin(330.0));
     println!(
         "{:>12} {:>14} {:>14} {:>12}",
         "perm frac", "stressed dVth", "relaxed dVth", "spread"

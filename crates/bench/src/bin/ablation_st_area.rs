@@ -8,7 +8,7 @@
 //! applies on top of either.
 
 use relia_bench::schedule;
-use relia_core::{NbtiModel, Seconds};
+use relia_core::{Kelvin, NbtiModel, Seconds};
 use relia_netlist::iscas;
 use relia_sleep::{bbsti_blocks, fgsti_sizes, StSizing};
 use relia_sta::TimingAnalysis;
@@ -40,7 +40,7 @@ fn main() {
 
     // The NBTI margin on a PMOS header implementation.
     let dv = sizing
-        .st_delta_vth(&model, &schedule(1.0, 9.0, 330.0), Seconds(1.0e8))
+        .st_delta_vth(&model, &schedule(1.0, 9.0, Kelvin(330.0)), Seconds(1.0e8))
         .expect("valid");
     let margin = sizing.nbti_size_margin(dv).expect("bounded");
     println!();

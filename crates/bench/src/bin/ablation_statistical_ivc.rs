@@ -60,11 +60,11 @@ fn main() {
     }
     let best_mean = rows
         .iter()
-        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+        .min_by(|a, b| a.1.total_cmp(&b.1))
         .expect("nonempty");
     let best_corner = rows
         .iter()
-        .min_by(|a, b| a.2.partial_cmp(&b.2).expect("finite"))
+        .min_by(|a, b| a.2.total_cmp(&b.2))
         .expect("nonempty");
     println!();
     println!(

@@ -8,7 +8,7 @@
 //! compare against the two-temperature abstraction.
 
 use relia_bench::{mv, schedule};
-use relia_core::{NbtiModel, PmosStress, Seconds, StressInterval};
+use relia_core::{Kelvin, NbtiModel, PmosStress, Seconds, StressInterval};
 use relia_thermal::{RcThermalModel, TaskSet};
 
 fn main() {
@@ -32,7 +32,7 @@ fn main() {
     relia_bench::rule(54);
     for (a, s) in [(1.0, 1.0), (1.0, 5.0), (1.0, 9.0)] {
         // Two-temperature abstraction.
-        let sched = schedule(a, s, 330.0);
+        let sched = schedule(a, s, Kelvin(330.0));
         let abstracted = model
             .delta_vth(lifetime, &sched, &PmosStress::worst_case())
             .expect("valid inputs");
@@ -42,14 +42,20 @@ fn main() {
         let cycle_seconds = 1.0; // 1 s macro-cycle with ms-scale transients
         let t_active = cycle_seconds * a / (a + s);
         let t_standby = cycle_seconds - t_active;
-        let tasks = TaskSet::duty_cycle(p_active, p_standby, t_active, t_standby, 1);
+        let tasks = TaskSet::duty_cycle(
+            p_active,
+            p_standby,
+            Seconds(t_active),
+            Seconds(t_standby),
+            1,
+        );
         let trace = thermal.simulate(tasks.profile(), 1.0e-3);
         // Convert the temperature trace to stress intervals: stressed at
         // SP 0.5 while active, fully stressed in standby (worst case).
         let intervals: Vec<StressInterval> = trace
             .iter()
             .map(|pt| StressInterval {
-                duration: 1.0e-3,
+                duration: Seconds(1.0e-3),
                 temp: pt.temp,
                 stress_fraction: if pt.power > (p_active + p_standby) / 2.0 {
                     0.5

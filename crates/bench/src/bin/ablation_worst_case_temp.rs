@@ -7,7 +7,7 @@
 //! model, as a function of the standby temperature and the standby share.
 
 use relia_bench::{mv, pct, schedule};
-use relia_core::{DelayDegradation, NbtiModel, PmosStress, Seconds};
+use relia_core::{DelayDegradation, Kelvin, NbtiModel, PmosStress, Seconds};
 
 fn main() {
     let model = NbtiModel::ptm90().expect("built-in calibration");
@@ -19,7 +19,7 @@ fn main() {
 
     // The worst-case model: the whole lifetime at 400 K.
     let worst_case = model
-        .delta_vth(lifetime, &schedule(1.0, 9.0, 400.0), &stress)
+        .delta_vth(lifetime, &schedule(1.0, 9.0, Kelvin(400.0)), &stress)
         .expect("valid inputs");
 
     println!("Ablation: worst-case-temperature pessimism at 1e8 s");
@@ -37,7 +37,7 @@ fn main() {
     for temp in temps {
         for (a, s) in ras_list {
             let aware = model
-                .delta_vth(lifetime, &schedule(a, s, temp), &stress)
+                .delta_vth(lifetime, &schedule(a, s, Kelvin(temp)), &stress)
                 .expect("valid inputs");
             let over = worst_case / aware - 1.0;
             let waste =

@@ -5,12 +5,12 @@
 //! periodic recovery keeps the long-term shift at ~76% of the DC value.
 
 use relia_bench::{log_times, mv};
-use relia_core::{AcStress, Kelvin, NbtiModel};
+use relia_core::{AcStress, Kelvin, NbtiModel, Seconds};
 
 fn main() {
     let model = NbtiModel::ptm90().expect("built-in calibration");
     let temp = Kelvin(400.0);
-    let ac = AcStress::new(0.5, 1.0e-3).expect("constant pattern");
+    let ac = AcStress::new(0.5, Seconds(1.0e-3)).expect("constant pattern");
 
     println!("Fig. 1: PMOS dVth under DC vs AC stress (T = 400 K, duty = 0.5)");
     println!(

@@ -12,14 +12,15 @@
 //! pre-engine version of this binary.
 
 use relia_bench::{log_times, model_sweep_grid, rule};
+use relia_core::Kelvin;
 
 fn main() {
     let ras_list: [(f64, f64); 5] = [(1.0, 1.0), (1.0, 3.0), (1.0, 5.0), (1.0, 7.0), (1.0, 9.0)];
     let times = log_times(1.0e4, 1.0e8, 9);
 
     // Two grids: the 400 K/400 K reference line, then the RAS x 330 K fan.
-    let reference = model_sweep_grid(&[(1.0, 1.0)], &[400.0], &times);
-    let fan = model_sweep_grid(&ras_list, &[330.0], &times);
+    let reference = model_sweep_grid(&[(1.0, 1.0)], &[Kelvin(400.0)], &times);
+    let fan = model_sweep_grid(&ras_list, &[Kelvin(330.0)], &times);
 
     println!("Fig. 3: dVth vs time under different RAS (T_a = 400 K, T_s = 330 K)");
     print!("{:>12} {:>12}", "time [s]", "400K/400K");

@@ -10,11 +10,12 @@
 //! parallel with memoization.
 
 use relia_bench::{log_times, model_sweep_grid, rule};
+use relia_core::Kelvin;
 
 fn main() {
     let temps = [330.0, 340.0, 350.0, 360.0, 370.0, 380.0, 390.0, 400.0];
     let times = log_times(1.0e4, 1.0e8, 9);
-    let grid = model_sweep_grid(&[(1.0, 5.0)], &temps, &times);
+    let grid = model_sweep_grid(&[(1.0, 5.0)], &temps.map(Kelvin), &times);
 
     println!("Fig. 4: dVth vs time under different T_standby (RAS = 1:5)");
     print!("{:>12}", "time [s]");

@@ -7,7 +7,7 @@
 //! ST thresholds down.
 
 use relia_bench::schedule;
-use relia_core::{NbtiModel, Seconds};
+use relia_core::{Kelvin, NbtiModel, Seconds};
 use relia_sleep::StSizing;
 
 fn main() {
@@ -31,7 +31,7 @@ fn main() {
         for (a, s) in ras_list {
             let sizing = StSizing::paper_defaults(0.05, vth).expect("valid sizing");
             let dv = sizing
-                .st_delta_vth(&model, &schedule(a, s, 330.0), lifetime)
+                .st_delta_vth(&model, &schedule(a, s, Kelvin(330.0)), lifetime)
                 .expect("valid inputs");
             let margin = sizing.nbti_size_margin(dv).expect("bounded shift");
             lo = lo.min(margin);

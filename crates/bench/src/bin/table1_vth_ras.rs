@@ -11,7 +11,7 @@
 //! * the 400 K-vs-330 K gap at RAS = 1:9 is ~9 mV.
 
 use relia_bench::schedule;
-use relia_core::{NbtiModel, PmosStress, Seconds};
+use relia_core::{Kelvin, NbtiModel, PmosStress, Seconds};
 
 fn main() {
     let model = NbtiModel::ptm90().expect("built-in calibration");
@@ -33,7 +33,7 @@ fn main() {
         print!("{:>10}", format!("{a:.0}:{s:.0}"));
         for (ti, temp) in temps.iter().enumerate() {
             let dv = model
-                .delta_vth(lifetime, &schedule(a, s, *temp), &stress)
+                .delta_vth(lifetime, &schedule(a, s, Kelvin(*temp)), &stress)
                 .expect("valid inputs");
             if (a, s) == (1.0, 9.0) {
                 at_19[ti] = dv;

@@ -19,7 +19,7 @@ fn main() {
     let lib = Library::ptm90();
     let models = DeviceModels::ptm90();
     let nbti = NbtiModel::ptm90().expect("built-in calibration");
-    let sched = schedule(1.0, 9.0, 330.0);
+    let sched = schedule(1.0, 9.0, Kelvin(330.0));
     let lifetime = Seconds(1.0e8);
     let dd = DelayDegradation::new(nbti.params());
 

@@ -3,6 +3,7 @@
 //! from the pre-engine, direct-model versions. Any drift in the engine's
 //! quantized-key evaluation shows up here first.
 
+#![allow(clippy::unwrap_used)]
 use std::path::PathBuf;
 use std::process::Command;
 

@@ -24,6 +24,7 @@ fn pins(n: usize) -> Vec<Source> {
 
 fn single_stage(name: &str, pull_up: Network, n: usize, t: CellTiming) -> Cell {
     Cell::new(name, n, vec![Stage::new(pull_up, pins(n))], t)
+        // relia-lint: allow(unwrap-in-lib)
         .expect("catalog cells are structurally valid")
 }
 
@@ -38,6 +39,7 @@ fn with_inverter(name: &str, pull_up: Network, n: usize, t: CellTiming) -> Cell 
         ],
         t,
     )
+    // relia-lint: allow(unwrap-in-lib)
     .expect("catalog cells are structurally valid")
 }
 
@@ -149,6 +151,7 @@ pub fn builtin_cells() -> Vec<Cell> {
             ],
             timing(28.0, 6.0, 1.8),
         )
+        // relia-lint: allow(unwrap-in-lib)
         .expect("catalog cells are structurally valid"),
     );
 
@@ -178,6 +181,7 @@ pub fn builtin_cells() -> Vec<Cell> {
             ],
             timing(30.0, 6.0, 1.8),
         )
+        // relia-lint: allow(unwrap-in-lib)
         .expect("catalog cells are structurally valid"),
     );
 

@@ -15,35 +15,37 @@
 //! path; the exact recursion remains available for validation.
 
 use crate::error::{check_range, ModelError};
+use crate::units::Seconds;
 
-/// A periodic stress pattern: fraction `duty_cycle` of each `period` seconds
-/// is spent under stress.
+/// A periodic stress pattern: fraction `duty_cycle` of each `period` is
+/// spent under stress.
 ///
 /// ```
 /// use relia_core::ac::AcStress;
+/// use relia_core::units::Seconds;
 ///
-/// let ac = AcStress::new(0.5, 1e-3).unwrap();
+/// let ac = AcStress::new(0.5, Seconds(1e-3)).unwrap();
 /// assert_eq!(ac.duty_cycle(), 0.5);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AcStress {
     duty_cycle: f64,
-    period: f64,
+    period: Seconds,
 }
 
 impl AcStress {
     /// Creates a stress pattern with stress-phase duty cycle
-    /// `duty_cycle ∈ [0, 1]` and period `period > 0` seconds.
+    /// `duty_cycle ∈ [0, 1]` and a positive period.
     ///
     /// # Errors
     ///
     /// Returns [`ModelError::InvalidParameter`] for a duty cycle outside
     /// `[0, 1]` or a non-positive period.
-    pub fn new(duty_cycle: f64, period: f64) -> Result<Self, ModelError> {
+    pub fn new(duty_cycle: f64, period: Seconds) -> Result<Self, ModelError> {
         check_range("duty_cycle", duty_cycle, 0.0, 1.0, "[0, 1]")?;
         check_range(
             "period",
-            period,
+            period.0,
             f64::MIN_POSITIVE,
             f64::MAX,
             "positive seconds",
@@ -56,21 +58,21 @@ impl AcStress {
         self.duty_cycle
     }
 
-    /// Cycle period `τ` in seconds.
-    pub fn period(&self) -> f64 {
+    /// Cycle period `τ`.
+    pub fn period(&self) -> Seconds {
         self.period
     }
 
-    /// Number of whole cycles in `total_time` seconds (at least 1 when
+    /// Number of whole cycles in `total_time` (at least 1 when
     /// `total_time ≥ period`, clamped to 1 below that).
-    pub fn cycles_in(&self, total_time: f64) -> u64 {
-        ((total_time / self.period).floor() as u64).max(1)
+    pub fn cycles_in(&self, total_time: Seconds) -> u64 {
+        ((total_time.0 / self.period.0).floor() as u64).max(1)
     }
 
     /// The dimensionless trap factor `S_n · τ^(1/4)` after `n` cycles, i.e.
     /// `N_it / A`. Multiplying by `K_v` instead of `A` yields `ΔV_th`.
     pub fn trap_factor(&self, n: u64) -> f64 {
-        s_n(self.duty_cycle, n) * self.period.powf(0.25)
+        s_n(self.duty_cycle, n) * self.period.0.powf(0.25)
     }
 }
 
@@ -249,9 +251,9 @@ mod tests {
     fn trap_factor_is_period_insensitive_at_fixed_total_time() {
         // The long-time limit N_it ≈ A (c t / (1+β))^(1/4) does not depend
         // on how the same total time is chopped into cycles.
-        let total = 1.0e8;
-        let a = AcStress::new(0.5, 100.0).unwrap();
-        let b = AcStress::new(0.5, 10_000.0).unwrap();
+        let total = Seconds(1.0e8);
+        let a = AcStress::new(0.5, Seconds(100.0)).unwrap();
+        let b = AcStress::new(0.5, Seconds(10_000.0)).unwrap();
         let fa = a.trap_factor(a.cycles_in(total));
         let fb = b.trap_factor(b.cycles_in(total));
         assert!((fa - fb).abs() / fa < 1e-2, "fa={fa} fb={fb}");
@@ -259,16 +261,16 @@ mod tests {
 
     #[test]
     fn ac_stress_validation() {
-        assert!(AcStress::new(1.5, 1.0).is_err());
-        assert!(AcStress::new(0.5, 0.0).is_err());
-        assert!(AcStress::new(0.5, -1.0).is_err());
+        assert!(AcStress::new(1.5, Seconds(1.0)).is_err());
+        assert!(AcStress::new(0.5, Seconds(0.0)).is_err());
+        assert!(AcStress::new(0.5, Seconds(-1.0)).is_err());
     }
 
     #[test]
     fn cycles_in_clamps_to_one() {
-        let a = AcStress::new(0.5, 100.0).unwrap();
-        assert_eq!(a.cycles_in(5.0), 1);
-        assert_eq!(a.cycles_in(250.0), 2);
+        let a = AcStress::new(0.5, Seconds(100.0)).unwrap();
+        assert_eq!(a.cycles_in(Seconds(5.0)), 1);
+        assert_eq!(a.cycles_in(Seconds(250.0)), 2);
     }
 
     #[test]

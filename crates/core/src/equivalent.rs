@@ -80,8 +80,8 @@ impl std::fmt::Display for Ras {
 /// at which steady-state temperature each mode runs.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ModeSchedule {
-    t_active: f64,
-    t_standby: f64,
+    t_active: Seconds,
+    t_standby: Seconds,
     temp_active: Kelvin,
     temp_standby: Kelvin,
 }
@@ -124,8 +124,8 @@ impl ModeSchedule {
         check_temp("temp_active", temp_active)?;
         check_temp("temp_standby", temp_standby)?;
         Ok(ModeSchedule {
-            t_active: ras.active_fraction() * period.0,
-            t_standby: ras.standby_fraction() * period.0,
+            t_active: Seconds(ras.active_fraction() * period.0),
+            t_standby: Seconds(ras.standby_fraction() * period.0),
             temp_active,
             temp_standby,
         })
@@ -136,18 +136,19 @@ impl ModeSchedule {
     /// `temp_active`.
     pub fn always_active(period: Seconds, temp_active: Kelvin) -> Result<Self, ModelError> {
         // Ras::new(1, 0) cannot fail.
+        // relia-lint: allow(unwrap-in-lib)
         let ras = Ras::new(1.0, 0.0).expect("constant ratio is valid");
         ModeSchedule::new(ras, period, temp_active, temp_active)
     }
 
     /// Active time per mode cycle.
     pub fn t_active(&self) -> Seconds {
-        Seconds(self.t_active)
+        self.t_active
     }
 
     /// Standby time per mode cycle.
     pub fn t_standby(&self) -> Seconds {
-        Seconds(self.t_standby)
+        self.t_standby
     }
 
     /// Steady-state active-mode temperature.
@@ -162,7 +163,7 @@ impl ModeSchedule {
 
     /// Mode-cycle period `t_active + t_standby`.
     pub fn period(&self) -> Seconds {
-        Seconds(self.t_active + self.t_standby)
+        Seconds(self.t_active.0 + self.t_standby.0)
     }
 }
 
@@ -281,7 +282,7 @@ impl EquivalentCycle {
         }
         let duty = t_eq_stress / period;
         Ok(EquivalentCycle {
-            stress: AcStress::new(duty, period)?,
+            stress: AcStress::new(duty, Seconds(period))?,
             t_eq_stress,
             t_eq_recovery,
             diffusion_ratio: r,
@@ -289,17 +290,17 @@ impl EquivalentCycle {
     }
 }
 
-/// One interval of an arbitrary operating trace: `duration` seconds at
-/// temperature `temp`, with the device under stress for `stress_fraction`
-/// of the interval.
+/// One interval of an arbitrary operating trace: `duration` at temperature
+/// `temp`, with the device under stress for `stress_fraction` of the
+/// interval.
 ///
 /// Traces generalize the two-mode [`ModeSchedule`]: a measured thermal
 /// profile (e.g. from `relia-thermal`) can be replayed directly instead of
 /// being collapsed to two steady-state temperatures.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StressInterval {
-    /// Interval length in seconds.
-    pub duration: f64,
+    /// Interval length.
+    pub duration: Seconds,
     /// Die temperature during the interval.
     pub temp: Kelvin,
     /// Fraction of the interval the PMOS spends at `V_gs = −V_dd`.
@@ -316,7 +317,7 @@ impl StressInterval {
     pub fn validated(self) -> Result<Self, ModelError> {
         check_range(
             "duration",
-            self.duration,
+            self.duration.0,
             f64::MIN_POSITIVE,
             f64::MAX,
             "positive seconds",
@@ -354,8 +355,8 @@ impl EquivalentCycle {
         for interval in trace {
             let iv = interval.validated()?;
             let r = diffusion_ratio(params.e_d, iv.temp, temp_ref);
-            t_eq_stress += iv.stress_fraction * r * iv.duration;
-            t_eq_recovery += (1.0 - iv.stress_fraction) * iv.duration;
+            t_eq_stress += iv.stress_fraction * r * iv.duration.0;
+            t_eq_recovery += (1.0 - iv.stress_fraction) * iv.duration.0;
         }
         let period = t_eq_stress + t_eq_recovery;
         if period <= 0.0 {
@@ -366,7 +367,7 @@ impl EquivalentCycle {
             });
         }
         Ok(EquivalentCycle {
-            stress: AcStress::new(t_eq_stress / period, period)?,
+            stress: AcStress::new(t_eq_stress / period, Seconds(period))?,
             t_eq_stress,
             t_eq_recovery,
             diffusion_ratio: f64::NAN, // trace spans many temperatures
@@ -421,7 +422,7 @@ mod tests {
             EquivalentCycle::build(&params(), &schedule(9.0, 400.0), &PmosStress::worst_case())
                 .unwrap();
         assert!((eq.stress.duty_cycle() - 0.95).abs() < 1e-12);
-        assert!((eq.stress.period() - 1000.0).abs() < 1e-9);
+        assert!((eq.stress.period().0 - 1000.0).abs() < 1e-9);
         assert!((eq.diffusion_ratio - 1.0).abs() < 1e-12);
     }
 
@@ -476,12 +477,12 @@ mod tests {
         let two_mode = EquivalentCycle::build(&p, &sched, &PmosStress::worst_case()).unwrap();
         let trace = [
             StressInterval {
-                duration: 100.0,
+                duration: Seconds(100.0),
                 temp: Kelvin(400.0),
                 stress_fraction: 0.5,
             },
             StressInterval {
-                duration: 900.0,
+                duration: Seconds(900.0),
                 temp: Kelvin(330.0),
                 stress_fraction: 1.0,
             },
@@ -496,13 +497,13 @@ mod tests {
         // Splitting an interval does not change the equivalent stress.
         let p = params();
         let coarse = [StressInterval {
-            duration: 10.0,
+            duration: Seconds(10.0),
             temp: Kelvin(360.0),
             stress_fraction: 0.7,
         }];
         let fine: Vec<StressInterval> = (0..10)
             .map(|_| StressInterval {
-                duration: 1.0,
+                duration: Seconds(1.0),
                 temp: Kelvin(360.0),
                 stress_fraction: 0.7,
             })
@@ -518,13 +519,13 @@ mod tests {
         let p = params();
         assert!(EquivalentCycle::from_trace(&p, &[], Kelvin(400.0)).is_err());
         let bad = [StressInterval {
-            duration: -1.0,
+            duration: Seconds(-1.0),
             temp: Kelvin(360.0),
             stress_fraction: 0.5,
         }];
         assert!(EquivalentCycle::from_trace(&p, &bad, Kelvin(400.0)).is_err());
         let bad_frac = [StressInterval {
-            duration: 1.0,
+            duration: Seconds(1.0),
             temp: Kelvin(360.0),
             stress_fraction: 1.5,
         }];

@@ -97,7 +97,7 @@ impl NbtiModel {
         if total_time.0 == 0.0 {
             return Ok(0.0);
         }
-        let n = stress.cycles_in(total_time.0);
+        let n = stress.cycles_in(total_time);
         check_finite("delta_vth", self.kv(temp) * stress.trap_factor(n))
     }
 
@@ -203,7 +203,7 @@ impl NbtiModel {
         if eq.stress.duty_cycle() == 0.0 {
             return Ok(0.0);
         }
-        let real_period: f64 = trace.iter().map(|iv| iv.duration).sum();
+        let real_period: f64 = trace.iter().map(|iv| iv.duration.0).sum();
         let n = ((total_time.0 / real_period).floor() as u64).max(1);
         check_finite("delta_vth", self.kv(temp_ref) * eq.stress.trap_factor(n))
     }
@@ -304,7 +304,7 @@ mod tests {
     #[test]
     fn ac_is_below_dc() {
         let m = model();
-        let ac = AcStress::new(0.5, 1.0e-3).unwrap();
+        let ac = AcStress::new(0.5, Seconds(1.0e-3)).unwrap();
         let dc = m.delta_vth_dc(Seconds(1.0e8), Kelvin(400.0)).unwrap();
         let acv = m.delta_vth_ac(Seconds(1.0e8), Kelvin(400.0), &ac).unwrap();
         assert!(acv < dc);
@@ -508,12 +508,12 @@ mod tests {
             .unwrap();
         let trace = [
             StressInterval {
-                duration: 100.0,
+                duration: Seconds(100.0),
                 temp: Kelvin(400.0),
                 stress_fraction: 0.5,
             },
             StressInterval {
-                duration: 900.0,
+                duration: Seconds(900.0),
                 temp: Kelvin(330.0),
                 stress_fraction: 1.0,
             },
@@ -530,7 +530,7 @@ mod tests {
         let m = model();
         let mk = |temp: f64| {
             [StressInterval {
-                duration: 1000.0,
+                duration: Seconds(1000.0),
                 temp: Kelvin(temp),
                 stress_fraction: 0.5,
             }]
@@ -540,12 +540,12 @@ mod tests {
             .unwrap();
         let mixed = [
             StressInterval {
-                duration: 500.0,
+                duration: Seconds(500.0),
                 temp: Kelvin(330.0),
                 stress_fraction: 0.5,
             },
             StressInterval {
-                duration: 500.0,
+                duration: Seconds(500.0),
                 temp: Kelvin(400.0),
                 stress_fraction: 0.5,
             },

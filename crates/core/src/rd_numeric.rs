@@ -16,6 +16,7 @@
 //! stable for `dt ≤ dx²/(2 D_H)`.
 
 use crate::error::ModelError;
+use crate::units::Seconds;
 
 /// Dimensionless parameters of the R-D system.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -292,11 +293,12 @@ pub fn integrate_stress_recovery(
 pub fn integrate_ac(
     sys: &RdSystem,
     duty: f64,
-    period: f64,
+    period: Seconds,
     cycles: usize,
     grid_points: usize,
     dx: f64,
 ) -> Result<Vec<f64>, ModelError> {
+    let period = period.0;
     if !(0.0..=1.0).contains(&duty) || period <= 0.0 || cycles == 0 || grid_points < 8 || dx <= 0.0
     {
         return Err(ModelError::SolverDiverged {
@@ -445,7 +447,7 @@ mod tests {
         // i.e. the recovery phases genuinely erase damage.
         let sys = RdSystem::default();
         let cycles = 25;
-        let period = 4.0;
+        let period = Seconds(4.0);
         let ac = integrate_ac(&sys, 0.5, period, cycles, 200, 0.2).unwrap();
         let dc = integrate_ac(&sys, 1.0, period, cycles, 200, 0.2).unwrap();
         let ratio = ac.last().unwrap() / dc.last().unwrap();
@@ -463,7 +465,7 @@ mod tests {
     #[test]
     fn numeric_ac_is_monotone_at_cycle_ends() {
         let sys = RdSystem::default();
-        let ends = integrate_ac(&sys, 0.5, 4.0, 10, 200, 0.2).unwrap();
+        let ends = integrate_ac(&sys, 0.5, Seconds(4.0), 10, 200, 0.2).unwrap();
         for w in ends.windows(2) {
             assert!(w[1] > w[0]);
         }
@@ -472,8 +474,8 @@ mod tests {
     #[test]
     fn numeric_ac_rejects_bad_params() {
         let sys = RdSystem::default();
-        assert!(integrate_ac(&sys, 1.5, 4.0, 10, 200, 0.2).is_err());
-        assert!(integrate_ac(&sys, 0.5, -1.0, 10, 200, 0.2).is_err());
-        assert!(integrate_ac(&sys, 0.5, 4.0, 0, 200, 0.2).is_err());
+        assert!(integrate_ac(&sys, 1.5, Seconds(4.0), 10, 200, 0.2).is_err());
+        assert!(integrate_ac(&sys, 0.5, Seconds(-1.0), 10, 200, 0.2).is_err());
+        assert!(integrate_ac(&sys, 0.5, Seconds(4.0), 0, 200, 0.2).is_err());
     }
 }

@@ -1,12 +1,14 @@
 //! Property-based tests for the NBTI model invariants.
 
+#![allow(clippy::unwrap_used)]
 use proptest::prelude::*;
 use relia_core::ac::{ac_to_dc_ratio, s_n, s_n_exact};
 use relia_core::arrhenius::diffusion_ratio;
 use relia_core::rd::recovery_fraction;
 use relia_core::units::{ElectronVolts, Kelvin, Seconds, Volts};
 use relia_core::{
-    DelayDegradation, ModeSchedule, NbtiModel, NbtiParams, PmosStress, Ras, VthDistribution,
+    DelayDegradation, EquivalentCycle, ModeSchedule, NbtiModel, NbtiParams, PmosStress, Ras,
+    VthDistribution,
 };
 
 proptest! {
@@ -96,6 +98,45 @@ proptest! {
         let ex = dd.exact(dvth).unwrap();
         prop_assert!(lin >= 0.0);
         prop_assert!(ex + 1e-15 >= lin);
+    }
+
+    /// Celsius↔kelvin conversion round-trips across the full practical
+    /// range (cryogenic to die-melting), so the `Kelvin` newtype boundary
+    /// never drifts a temperature.
+    #[test]
+    fn kelvin_celsius_round_trip(c in -273.0f64..1000.0) {
+        let k = Kelvin::from_celsius(c);
+        prop_assert!((k.to_celsius() - c).abs() < 1e-9, "c={c} k={}", k.0);
+        prop_assert!((Kelvin(k.0).to_celsius() - c).abs() < 1e-9);
+    }
+
+    /// At a fixed RAS split, the equivalent stress time per mode cycle is
+    /// monotone in the standby temperature: a hotter standby mode diffuses
+    /// hydrogen faster, so its seconds count for more (eq. 17).
+    #[test]
+    fn equivalent_stress_monotone_in_standby_temp(
+        temp_s in 280.0f64..395.0,
+        standby_weight in 0.1f64..20.0,
+        p_s in 0.05f64..1.0,
+    ) {
+        let params = NbtiParams::ptm90().unwrap();
+        let ras = Ras::new(1.0, standby_weight).unwrap();
+        let stress = PmosStress::new(0.5, p_s).unwrap();
+        let mk = |t: f64| ModeSchedule::new(
+            ras,
+            Seconds(1000.0),
+            Kelvin(400.0),
+            Kelvin(t),
+        ).unwrap();
+        let cool = EquivalentCycle::build(&params, &mk(temp_s), &stress).unwrap();
+        let warm = EquivalentCycle::build(&params, &mk(temp_s + 5.0), &stress).unwrap();
+        prop_assert!(
+            warm.t_eq_stress > cool.t_eq_stress,
+            "t_s={temp_s} w={standby_weight} p_s={p_s}: {} !> {}",
+            warm.t_eq_stress,
+            cool.t_eq_stress
+        );
+        prop_assert!(warm.diffusion_ratio > cool.diffusion_ratio);
     }
 
     /// Box–Muller samples respect the 3.5-sigma clamp.

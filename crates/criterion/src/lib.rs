@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 //! Offline stand-in for the `criterion` crate.
 //!
 //! The public registry is unreachable from this build environment, so the
@@ -128,6 +130,8 @@ fn run_bench<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, f: &mut F) 
     per_iter.sort_by(|a, b| a.total_cmp(b));
     let median = per_iter[per_iter.len() / 2];
     let (lo, hi) = (per_iter[0], per_iter[per_iter.len() - 1]);
+    // The offline criterion stand-in reports to stdout like the real one.
+    // relia-lint: allow(print-in-lib)
     println!(
         "{name:<40} time: [{} {} {}]  ({iters} iters/sample, {} samples)",
         fmt_time(lo),

@@ -94,7 +94,7 @@ pub fn assign_dual_vth(
     order.sort_by(|a, b| {
         let sa = slacks[circuit.gate(*a).output().index()];
         let sb = slacks[circuit.gate(*b).output().index()];
-        sb.partial_cmp(&sa).expect("slacks are finite")
+        sb.total_cmp(&sa)
     });
 
     let mut is_high = vec![false; circuit.gates().len()];

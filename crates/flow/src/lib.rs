@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 //! # relia-flow
 //!
 //! The NBTI/leakage analysis and optimization platform — the paper's Fig. 6

@@ -118,15 +118,18 @@ impl VariationStudy {
             }
         }
 
-        Ok(times
+        times
             .iter()
             .zip(per_time)
-            .map(|(&time, delays)| VariationPoint {
-                time,
-                delay: SampleStats::from_values(&delays)
-                    .expect("samples is validated nonzero by construction"),
+            .map(|(&time, delays)| {
+                let delay =
+                    SampleStats::from_values(&delays).ok_or(FlowError::InvalidParameter {
+                        name: "variation.samples",
+                        value: 0.0,
+                    })?;
+                Ok(VariationPoint { time, delay })
             })
-            .collect())
+            .collect()
     }
 }
 

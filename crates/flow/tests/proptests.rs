@@ -1,5 +1,6 @@
 //! Property-based tests for the analysis platform.
 
+#![allow(clippy::unwrap_used)]
 use proptest::prelude::*;
 use relia_core::{Kelvin, Ras, Seconds};
 use relia_flow::{AgingAnalysis, FlowConfig, StandbyPolicy};

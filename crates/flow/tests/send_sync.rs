@@ -7,6 +7,7 @@
 //! by an `Rc` sneaking into a field) must fail compilation here rather than
 //! in a downstream crate.
 
+#![allow(clippy::unwrap_used)]
 use relia_flow::{
     AgingAnalysis, AgingReport, AnalysisPrep, DeltaVthCache, FlowConfig, NoCache, StandbyPolicy,
 };

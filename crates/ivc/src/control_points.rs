@@ -66,11 +66,7 @@ pub fn greedy_control_points(
             .copied()
             .filter(|g| !forced.contains(g))
             .filter(|g| base_flags[g.index()].iter().any(|&s| s))
-            .max_by(|a, b| {
-                shifts[a.index()]
-                    .partial_cmp(&shifts[b.index()])
-                    .expect("shifts are finite")
-            });
+            .max_by(|a, b| shifts[a.index()].total_cmp(&shifts[b.index()]));
         match candidate {
             Some(g) => forced.push(g),
             None => break, // nothing stressed on the critical path

@@ -81,13 +81,9 @@ pub fn co_optimize(
     let best_for_nbti = evaluations
         .iter()
         .enumerate()
-        .min_by(|a, b| {
-            a.1.degradation
-                .partial_cmp(&b.1.degradation)
-                .expect("degradation is finite")
-        })
+        .min_by(|a, b| a.1.degradation.total_cmp(&b.1.degradation))
         .map(|(i, _)| i)
-        .expect("nonempty set");
+        .unwrap_or(0);
     Ok(CoOptimization {
         evaluations,
         best_for_nbti,

@@ -105,7 +105,7 @@ pub fn search_mlv_set(
             }
         }
     }
-    merged.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("leakage is finite"));
+    merged.sort_by(|a, b| a.1.total_cmp(&b.1));
     let min = merged[0].1;
     merged.retain(|(_, l)| *l <= min * (1.0 + config.epsilon));
     let vectors = diversify(merged, min, config.max_set_size.max(1));
@@ -173,7 +173,7 @@ fn search_once(
             let leakage = analysis.standby_leakage(&v)?;
             set.push((v, leakage));
         }
-        set.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("leakage is finite"));
+        set.sort_by(|a, b| a.1.total_cmp(&b.1));
         let min = set[0].1;
         set.retain(|(_, l)| *l <= min * (1.0 + config.epsilon));
         set = diversify(set, min, config.max_set_size.max(1));

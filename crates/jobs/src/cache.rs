@@ -79,6 +79,7 @@ impl ShardedCache {
             entries: self
                 .shards
                 .iter()
+                // relia-lint: allow(unwrap-in-lib)
                 .map(|s| s.lock().expect("cache shard poisoned").len())
                 .sum(),
         }
@@ -101,6 +102,8 @@ impl ShardedCache {
         }
         self.shard(&key)
             .lock()
+            // Poisoned-lock recovery is meaningless for a memo table.
+            // relia-lint: allow(unwrap-in-lib)
             .expect("cache shard poisoned")
             .insert(key, value);
         Ok(value)
@@ -110,6 +113,7 @@ impl ShardedCache {
 impl DeltaVthCache for ShardedCache {
     fn delta_vth(&self, key: StressKey, model: &NbtiModel) -> Result<f64, ModelError> {
         let shard = self.shard(&key);
+        // relia-lint: allow(unwrap-in-lib)
         if let Some(&v) = shard.lock().expect("cache shard poisoned").get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(v);

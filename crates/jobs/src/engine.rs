@@ -200,6 +200,7 @@ where
 
     // --- Prepare phase: one circuit + AnalysisPrep per distinct name. ---
     let mut prepared: HashMap<String, Arc<(Circuit, AnalysisPrep)>> = HashMap::new();
+    // relia-lint: allow(unwrap-in-lib)
     let base_config = FlowConfig::paper_defaults().expect("paper defaults are valid");
     if let Workload::CircuitAging { circuits, .. } = &spec.workload {
         for name in circuits {
@@ -218,6 +219,7 @@ where
             prepared.insert(name.clone(), Arc::new((circuit, prep)));
         }
     }
+    // relia-lint: allow(unwrap-in-lib)
     let model = NbtiModel::ptm90().expect("built-in calibration is valid");
     let prepare_secs = t_prepare.elapsed().as_secs_f64();
 
@@ -231,13 +233,6 @@ where
             Some(salvaged) => {
                 let ckpt = salvaged.checkpoint;
                 salvaged_dropped = salvaged.dropped_records;
-                if salvaged_dropped > 0 {
-                    eprintln!(
-                        "checkpoint {}: dropped {salvaged_dropped} corrupt trailing record(s), \
-                         resuming from the valid prefix",
-                        path.display()
-                    );
-                }
                 if ckpt.fingerprint != fingerprint || ckpt.total != points.len() {
                     return Err(SweepError::CheckpointMismatch {
                         expected: fingerprint,
@@ -319,6 +314,8 @@ where
 
     let statuses: Vec<JobStatus> = statuses
         .into_iter()
+        // Every index is either resumed from the checkpoint or executed.
+        // relia-lint: allow(unwrap-in-lib)
         .map(|s| s.expect("every index resolved or executed"))
         .collect();
     let failed_jobs = statuses
@@ -377,9 +374,9 @@ fn execute_point(
             let pair = prepared.get(circuit).ok_or_else(|| {
                 JobFailure::permanent(format!("circuit {circuit:?} was not prepared"))
             })?;
-            let mut config = FlowConfig::with_schedule(ras, Kelvin(point.t_standby))
+            let mut config = FlowConfig::with_schedule(ras, point.t_standby)
                 .map_err(|e| JobFailure::permanent(e.to_string()))?;
-            config.lifetime = Seconds(point.lifetime);
+            config.lifetime = point.lifetime;
             let analysis = AgingAnalysis::from_prep(&config, &pair.0, pair.1.clone());
             let report = analysis
                 .run_with_cache_cancellable(&policy.to_policy(), cache, token)
@@ -401,12 +398,12 @@ fn execute_point(
                 ras,
                 Seconds(SWEEP_PERIOD_S),
                 Kelvin(SWEEP_TEMP_ACTIVE_K),
-                Kelvin(point.t_standby),
+                point.t_standby,
             )
             .map_err(|e| JobFailure::permanent(e.to_string()))?;
             let stress = PmosStress::new(*p_active, *p_standby)
                 .map_err(|e| JobFailure::permanent(e.to_string()))?;
-            let key = StressKey::quantize(&schedule, &stress, Seconds(point.lifetime));
+            let key = StressKey::quantize(&schedule, &stress, point.lifetime);
             let delta_vth = cache
                 .delta_vth(key, model)
                 .map_err(|e| JobFailure::permanent(e.to_string()))?;
@@ -427,11 +424,11 @@ fn poison_point(point: &JobPoint, cache: &ShardedCache) -> Result<JobResult, Job
         ras,
         Seconds(SWEEP_PERIOD_S),
         Kelvin(SWEEP_TEMP_ACTIVE_K),
-        Kelvin(point.t_standby),
+        point.t_standby,
     )
     .map_err(|e| JobFailure::permanent(e.to_string()))?;
     let stress = PmosStress::new(0.5, 1.0).map_err(|e| JobFailure::permanent(e.to_string()))?;
-    let key = StressKey::quantize(&schedule, &stress, Seconds(point.lifetime));
+    let key = StressKey::quantize(&schedule, &stress, point.lifetime);
     cache
         .insert_checked(key, f64::NAN)
         .map(|_| unreachable!("NaN cannot pass the admission guardrail"))

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 //! # relia-jobs
 //!
 //! The parallel batch sweep engine: evaluates a cartesian grid of
@@ -37,6 +39,7 @@
 //! exactly. See `tests/determinism.rs` and `tests/fault_injection.rs`.
 //!
 //! ```
+//! use relia_core::units::{Kelvin, Seconds};
 //! use relia_jobs::{builtin_resolver, run_sweep, PolicySpec, SweepOptions, SweepSpec, Workload};
 //!
 //! let spec = SweepSpec {
@@ -45,15 +48,13 @@
 //!         policies: vec![PolicySpec::Worst, PolicySpec::Best],
 //!     },
 //!     ras: vec![(1.0, 9.0)],
-//!     t_standby: vec![330.0, 400.0],
-//!     lifetimes: vec![1.0e8],
+//!     t_standby: vec![Kelvin(330.0), Kelvin(400.0)],
+//!     lifetimes: vec![Seconds(1.0e8)],
 //! };
 //! let outcome = run_sweep(&spec, &SweepOptions::default(), builtin_resolver).unwrap();
 //! assert_eq!(outcome.statuses.len(), 4);
 //! assert_eq!(outcome.metrics.failed_jobs, 0);
 //! ```
-
-#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod cache;
 pub mod checkpoint;

@@ -321,6 +321,8 @@ where
     PoolRun {
         outcomes: out
             .into_iter()
+            // The pool joins all workers before draining the slots.
+            // relia-lint: allow(unwrap-in-lib)
             .map(|slot| slot.expect("every claimed job reports exactly once"))
             .collect(),
         retries: retries.load(Ordering::Relaxed),

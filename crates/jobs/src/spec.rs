@@ -9,6 +9,7 @@
 //! determinism guarantees build on.
 
 use crate::pool::JobOutcome;
+use relia_core::units::{Kelvin, Seconds};
 use relia_flow::StandbyPolicy;
 
 /// A standby policy named in a sweep grid (the realizable subset of
@@ -95,10 +96,10 @@ pub struct SweepSpec {
     pub workload: Workload,
     /// `(active, standby)` RAS weights, e.g. `(1.0, 9.0)` for 1:9.
     pub ras: Vec<(f64, f64)>,
-    /// Standby temperatures in kelvin.
-    pub t_standby: Vec<f64>,
-    /// Total operating lifetimes in seconds.
-    pub lifetimes: Vec<f64>,
+    /// Standby temperatures.
+    pub t_standby: Vec<Kelvin>,
+    /// Total operating lifetimes.
+    pub lifetimes: Vec<Seconds>,
 }
 
 /// One enumerated grid point.
@@ -106,10 +107,10 @@ pub struct SweepSpec {
 pub struct JobPoint {
     /// `(active, standby)` RAS weights.
     pub ras: (f64, f64),
-    /// Standby temperature in kelvin.
-    pub t_standby: f64,
-    /// Lifetime in seconds.
-    pub lifetime: f64,
+    /// Standby temperature.
+    pub t_standby: Kelvin,
+    /// Lifetime.
+    pub lifetime: Seconds,
     /// The workload-specific part of the point.
     pub task: JobTask,
 }
@@ -291,11 +292,11 @@ impl SweepSpec {
         }
         text.push(';');
         for t in &self.t_standby {
-            text.push_str(&format!("{t},"));
+            text.push_str(&format!("{},", t.0));
         }
         text.push(';');
         for l in &self.lifetimes {
-            text.push_str(&format!("{l},"));
+            text.push_str(&format!("{},", l.0));
         }
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         for b in text.bytes() {
@@ -317,8 +318,8 @@ mod tests {
                 policies: vec![PolicySpec::Worst, PolicySpec::Best],
             },
             ras: vec![(1.0, 1.0), (1.0, 9.0)],
-            t_standby: vec![330.0, 400.0],
-            lifetimes: vec![1.0e8],
+            t_standby: vec![Kelvin(330.0), Kelvin(400.0)],
+            lifetimes: vec![Seconds(1.0e8)],
         }
     }
 
@@ -335,8 +336,8 @@ mod tests {
         assert_eq!(a, b);
         // First block: first circuit, first policy, first ras, sweeping
         // t_standby then lifetime.
-        assert_eq!(a[0].t_standby, 330.0);
-        assert_eq!(a[1].t_standby, 400.0);
+        assert_eq!(a[0].t_standby, Kelvin(330.0));
+        assert_eq!(a[1].t_standby, Kelvin(400.0));
         match (&a[0].task, &a[4].task) {
             (
                 JobTask::Aging {
@@ -361,7 +362,7 @@ mod tests {
     fn fingerprint_distinguishes_specs() {
         let base = spec();
         let mut other = spec();
-        other.t_standby.push(370.0);
+        other.t_standby.push(Kelvin(370.0));
         assert_ne!(base.fingerprint(), other.fingerprint());
         let mut reordered = spec();
         reordered.ras.reverse();

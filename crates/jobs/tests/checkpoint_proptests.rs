@@ -8,6 +8,7 @@
 //!
 //! [`salvage`]: relia_jobs::salvage_checkpoint
 
+#![allow(clippy::unwrap_used)]
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 

@@ -1,8 +1,10 @@
 //! The engine's headline guarantees: scheduling determinism, bit-exact
 //! checkpoint/resume, per-job fault isolation, and a working memo cache.
 
+#![allow(clippy::unwrap_used)]
 use std::path::PathBuf;
 
+use relia_core::units::{Kelvin, Seconds};
 use relia_jobs::{
     builtin_resolver, load_checkpoint, run_sweep, CheckpointWriter, JobStatus, PolicySpec,
     SweepError, SweepOptions, SweepSpec, Workload,
@@ -15,8 +17,8 @@ fn aging_spec() -> SweepSpec {
             policies: vec![PolicySpec::Worst, PolicySpec::Best, PolicySpec::Footer],
         },
         ras: vec![(1.0, 1.0), (1.0, 9.0)],
-        t_standby: vec![330.0, 400.0],
-        lifetimes: vec![1.0e7, 1.0e8],
+        t_standby: vec![Kelvin(330.0), Kelvin(400.0)],
+        lifetimes: vec![Seconds(1.0e7), Seconds(1.0e8)],
     }
 }
 
@@ -27,8 +29,8 @@ fn model_spec() -> SweepSpec {
             p_standby: 1.0,
         },
         ras: vec![(1.0, 1.0), (1.0, 5.0), (1.0, 9.0)],
-        t_standby: vec![330.0, 360.0, 400.0],
-        lifetimes: vec![1.0e6, 1.0e8],
+        t_standby: vec![Kelvin(330.0), Kelvin(360.0), Kelvin(400.0)],
+        lifetimes: vec![Seconds(1.0e6), Seconds(1.0e8)],
     }
 }
 

@@ -13,12 +13,14 @@
 //! 4. an injected NaN surfaces as a structured failure and never enters
 //!    the memo cache.
 
+#![allow(clippy::unwrap_used)]
 #![cfg(feature = "fault-inject")]
 
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use relia_core::units::{Kelvin, Seconds};
 use relia_jobs::fault::{self, Fault, FaultPlan};
 use relia_jobs::{
     builtin_resolver, load_checkpoint, run_sweep, JobStatus, SweepOptions, SweepSpec, Workload,
@@ -32,8 +34,8 @@ fn model_spec() -> SweepSpec {
             p_standby: 1.0,
         },
         ras: vec![(1.0, 1.0), (1.0, 5.0), (1.0, 9.0)],
-        t_standby: vec![330.0, 360.0, 400.0],
-        lifetimes: vec![1.0e6, 1.0e8],
+        t_standby: vec![Kelvin(330.0), Kelvin(360.0), Kelvin(400.0)],
+        lifetimes: vec![Seconds(1.0e6), Seconds(1.0e8)],
     }
 }
 

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 //! # relia-leakage
 //!
 //! Standby-leakage substrate: input-vector-dependent subthreshold and

@@ -1,5 +1,6 @@
 //! Property-based tests for leakage invariants.
 
+#![allow(clippy::unwrap_used)]
 use proptest::prelude::*;
 use relia_cells::{Library, MosType, Network, Vector};
 use relia_core::Kelvin;

@@ -1,0 +1,122 @@
+//! Diagnostics: the linter's output records and their two render formats.
+
+use std::fmt;
+
+/// One finding: a rule violation (or a meta problem with a pragma).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Path of the offending file, as walked (workspace-relative when the
+    /// walk root is the workspace).
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Stable rule identifier (`unit-leak`, `unwrap-in-lib`, …).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// The rustc-style one-line text form:
+    /// `path:line:col: rule-id: message`.
+    pub fn render_text(&self) -> String {
+        format!(
+            "{}:{}:{}: {}: {}",
+            self.file, self.line, self.col, self.rule, self.message
+        )
+    }
+
+    /// One JSON object (for `--format json` JSONL output).
+    pub fn render_json(&self) -> String {
+        format!(
+            "{{\"file\":\"{}\",\"line\":{},\"col\":{},\"rule\":\"{}\",\"message\":\"{}\"}}",
+            escape_json(&self.file),
+            self.line,
+            self.col,
+            self.rule,
+            escape_json(&self.message)
+        )
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render_text())
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Sorts diagnostics into the stable report order: file, then line, then
+/// column, then rule id.
+pub fn sort(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.rule).cmp(&(b.file.as_str(), b.line, b.col, b.rule))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d() -> Diagnostic {
+        Diagnostic {
+            file: "crates/x/src/lib.rs".into(),
+            line: 3,
+            col: 9,
+            rule: "float-eq",
+            message: "float `==` comparison".into(),
+        }
+    }
+
+    #[test]
+    fn text_form_is_rustc_style() {
+        assert_eq!(
+            d().render_text(),
+            "crates/x/src/lib.rs:3:9: float-eq: float `==` comparison"
+        );
+    }
+
+    #[test]
+    fn json_form_escapes() {
+        let mut diag = d();
+        diag.message = "bad \"quote\"\n".into();
+        let json = diag.render_json();
+        assert!(json.contains("\\\"quote\\\""));
+        assert!(json.contains("\\n"));
+        assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+
+    #[test]
+    fn sort_orders_by_file_line_col() {
+        let mut v = vec![
+            Diagnostic { line: 9, ..d() },
+            Diagnostic {
+                file: "a.rs".into(),
+                ..d()
+            },
+            d(),
+        ];
+        sort(&mut v);
+        assert_eq!(v[0].file, "a.rs");
+        assert_eq!(v[1].line, 3);
+        assert_eq!(v[2].line, 9);
+    }
+}

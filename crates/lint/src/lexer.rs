@@ -1,0 +1,592 @@
+//! A small, comment- and string-aware Rust lexer.
+//!
+//! The linter does not need a full parser: every rule works on a flat token
+//! stream plus the list of line comments (for suppression pragmas). The
+//! lexer's one job is to be *accurate about what is code*: text inside
+//! comments, string literals, char literals and doc examples must never
+//! produce tokens, and every token must carry its 1-based line and column.
+
+/// What a token is, at the granularity the rules care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Lifetime (`'a`) — kept distinct so char-literal handling stays honest.
+    Lifetime,
+    /// Integer literal.
+    Int,
+    /// Float literal (has a fractional part, an exponent, or an `f32`/`f64`
+    /// suffix).
+    Float,
+    /// String, raw-string, byte-string or char literal (contents opaque).
+    Literal,
+    /// Any punctuation. Multi-character operators the rules match on
+    /// (`==`, `!=`, `->`, `::`) are single tokens; everything else is one
+    /// character per token.
+    Punct,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokKind,
+    /// Source text of the token.
+    pub text: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column (in characters).
+    pub col: u32,
+}
+
+/// One `//` line comment (block comments never carry pragmas).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comment {
+    /// Comment body with the leading slashes (and any `/` / `!` doc marker)
+    /// stripped, untrimmed.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+}
+
+/// The lexed form of one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All code tokens, in order.
+    pub tokens: Vec<Token>,
+    /// All `//` comments, in order.
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor<'a> {
+    chars: Vec<char>,
+    src: std::marker::PhantomData<&'a str>,
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Cursor<'_> {
+    fn new(src: &str) -> Self {
+        Cursor {
+            chars: src.chars().collect(),
+            src: std::marker::PhantomData,
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into tokens and comments. Never fails: malformed input
+/// degrades to single-character punct tokens rather than an error, which is
+/// the right trade for a linter that must not crash on the tree it guards.
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor::new(src);
+    let mut out = Lexed::default();
+
+    while let Some(c) = cur.peek(0) {
+        let line = cur.line;
+        let col = cur.col;
+
+        // Whitespace.
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+
+        // Comments.
+        if c == '/' && cur.peek(1) == Some('/') {
+            cur.bump();
+            cur.bump();
+            // Strip one doc marker (`/` or `!`) so `/// text` and `//! text`
+            // read the same as `// text`.
+            if matches!(cur.peek(0), Some('/') | Some('!')) {
+                cur.bump();
+            }
+            let mut text = String::new();
+            while let Some(ch) = cur.peek(0) {
+                if ch == '\n' {
+                    break;
+                }
+                text.push(ch);
+                cur.bump();
+            }
+            out.comments.push(Comment { text, line });
+            continue;
+        }
+        if c == '/' && cur.peek(1) == Some('*') {
+            cur.bump();
+            cur.bump();
+            let mut depth = 1usize;
+            while depth > 0 {
+                match (cur.peek(0), cur.peek(1)) {
+                    (Some('/'), Some('*')) => {
+                        cur.bump();
+                        cur.bump();
+                        depth += 1;
+                    }
+                    (Some('*'), Some('/')) => {
+                        cur.bump();
+                        cur.bump();
+                        depth -= 1;
+                    }
+                    (Some(_), _) => {
+                        cur.bump();
+                    }
+                    (None, _) => break,
+                }
+            }
+            continue;
+        }
+
+        // Identifiers — including the raw/byte string prefixes r", r#",
+        // b", br", rb".
+        if is_ident_start(c) {
+            let mut ident = String::new();
+            while let Some(ch) = cur.peek(0) {
+                if is_ident_continue(ch) {
+                    ident.push(ch);
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+            let next = cur.peek(0);
+            let is_raw_prefix = matches!(ident.as_str(), "r" | "br" | "rb") && {
+                next == Some('#') || next == Some('"')
+            };
+            let is_byte_prefix = ident == "b" && next == Some('"');
+            if is_raw_prefix && consume_raw_string(&mut cur) {
+                out.tokens.push(Token {
+                    kind: TokKind::Literal,
+                    text: String::new(),
+                    line,
+                    col,
+                });
+                continue;
+            }
+            if is_byte_prefix {
+                cur.bump(); // opening quote
+                consume_quoted(&mut cur, '"');
+                out.tokens.push(Token {
+                    kind: TokKind::Literal,
+                    text: String::new(),
+                    line,
+                    col,
+                });
+                continue;
+            }
+            out.tokens.push(Token {
+                kind: TokKind::Ident,
+                text: ident,
+                line,
+                col,
+            });
+            continue;
+        }
+
+        // Numbers.
+        if c.is_ascii_digit() {
+            let (text, kind) = consume_number(&mut cur);
+            out.tokens.push(Token {
+                kind,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+
+        // Strings.
+        if c == '"' {
+            cur.bump();
+            consume_quoted(&mut cur, '"');
+            out.tokens.push(Token {
+                kind: TokKind::Literal,
+                text: String::new(),
+                line,
+                col,
+            });
+            continue;
+        }
+
+        // Char literal vs. lifetime.
+        if c == '\'' {
+            cur.bump();
+            match cur.peek(0) {
+                Some('\\') => {
+                    // Escaped char literal.
+                    consume_quoted(&mut cur, '\'');
+                    out.tokens.push(Token {
+                        kind: TokKind::Literal,
+                        text: String::new(),
+                        line,
+                        col,
+                    });
+                }
+                Some(ch) if is_ident_start(ch) && cur.peek(1) != Some('\'') => {
+                    // Lifetime: 'a, 'static, '_.
+                    let mut text = String::from("'");
+                    while let Some(k) = cur.peek(0) {
+                        if is_ident_continue(k) {
+                            text.push(k);
+                            cur.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    out.tokens.push(Token {
+                        kind: TokKind::Lifetime,
+                        text,
+                        line,
+                        col,
+                    });
+                }
+                Some(_) => {
+                    // Plain char literal like 'x' or ','.
+                    cur.bump();
+                    if cur.peek(0) == Some('\'') {
+                        cur.bump();
+                    }
+                    out.tokens.push(Token {
+                        kind: TokKind::Literal,
+                        text: String::new(),
+                        line,
+                        col,
+                    });
+                }
+                None => {}
+            }
+            continue;
+        }
+
+        // Punctuation; combine the few multi-char operators rules match on.
+        let two: Option<&str> = match (c, cur.peek(1)) {
+            ('=', Some('=')) => Some("=="),
+            ('!', Some('=')) => Some("!="),
+            ('-', Some('>')) => Some("->"),
+            ('=', Some('>')) => Some("=>"),
+            (':', Some(':')) => Some("::"),
+            ('.', Some('.')) => Some(".."),
+            _ => None,
+        };
+        if let Some(op) = two {
+            cur.bump();
+            cur.bump();
+            out.tokens.push(Token {
+                kind: TokKind::Punct,
+                text: op.to_owned(),
+                line,
+                col,
+            });
+            continue;
+        }
+        cur.bump();
+        out.tokens.push(Token {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+            col,
+        });
+    }
+    out
+}
+
+/// Consumes up to and including the closing `quote`, honoring backslash
+/// escapes. The cursor sits just past the opening quote on entry.
+fn consume_quoted(cur: &mut Cursor<'_>, quote: char) {
+    while let Some(ch) = cur.bump() {
+        if ch == '\\' {
+            cur.bump();
+        } else if ch == quote {
+            break;
+        }
+    }
+}
+
+/// Consumes a raw string (`#`* `"` … `"` `#`*). The cursor sits on the
+/// first `#` or the opening quote. Returns false if this is not actually a
+/// raw string (e.g. `r#foo` raw identifiers), leaving unknown input to be
+/// lexed as punctuation.
+fn consume_raw_string(cur: &mut Cursor<'_>) -> bool {
+    let mut hashes = 0usize;
+    while cur.peek(hashes) == Some('#') {
+        hashes += 1;
+    }
+    if cur.peek(hashes) != Some('"') {
+        return false;
+    }
+    for _ in 0..=hashes {
+        cur.bump();
+    }
+    // Scan for `"` followed by `hashes` hashes.
+    'outer: while let Some(ch) = cur.bump() {
+        if ch == '"' {
+            for k in 0..hashes {
+                if cur.peek(k) != Some('#') {
+                    continue 'outer;
+                }
+            }
+            for _ in 0..hashes {
+                cur.bump();
+            }
+            return true;
+        }
+    }
+    true
+}
+
+/// Consumes a numeric literal, classifying it as int or float.
+fn consume_number(cur: &mut Cursor<'_>) -> (String, TokKind) {
+    let mut text = String::new();
+    let mut kind = TokKind::Int;
+
+    // Hex/octal/binary stay ints.
+    if cur.peek(0) == Some('0') && matches!(cur.peek(1), Some('x') | Some('o') | Some('b')) {
+        text.push(cur.bump().unwrap_or('0'));
+        text.push(cur.bump().unwrap_or('x'));
+        while let Some(ch) = cur.peek(0) {
+            if ch.is_ascii_hexdigit() || ch == '_' {
+                text.push(ch);
+                cur.bump();
+            } else {
+                break;
+            }
+        }
+        return (text, kind);
+    }
+
+    while let Some(ch) = cur.peek(0) {
+        if ch.is_ascii_digit() || ch == '_' {
+            text.push(ch);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    // Fractional part — but not `..` ranges and not method calls `1.max(2)`.
+    if cur.peek(0) == Some('.') {
+        if let Some(after) = cur.peek(1) {
+            if after.is_ascii_digit() {
+                kind = TokKind::Float;
+                text.push('.');
+                cur.bump();
+                while let Some(ch) = cur.peek(0) {
+                    if ch.is_ascii_digit() || ch == '_' {
+                        text.push(ch);
+                        cur.bump();
+                    } else {
+                        break;
+                    }
+                }
+            } else if !is_ident_start(after) && after != '.' {
+                // Trailing-dot float like `1.`.
+                kind = TokKind::Float;
+                text.push('.');
+                cur.bump();
+            }
+        } else {
+            kind = TokKind::Float;
+            text.push('.');
+            cur.bump();
+        }
+    }
+    // Exponent.
+    if matches!(cur.peek(0), Some('e') | Some('E')) {
+        let sign = matches!(cur.peek(1), Some('+') | Some('-'));
+        let digit_at = if sign { 2 } else { 1 };
+        if cur.peek(digit_at).is_some_and(|d| d.is_ascii_digit()) {
+            kind = TokKind::Float;
+            text.push(cur.bump().unwrap_or('e'));
+            if sign {
+                text.push(cur.bump().unwrap_or('+'));
+            }
+            while let Some(ch) = cur.peek(0) {
+                if ch.is_ascii_digit() || ch == '_' {
+                    text.push(ch);
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+    // Type suffix (`f64`, `u32`, …).
+    let mut suffix = String::new();
+    while let Some(ch) = cur.peek(0) {
+        if is_ident_continue(ch) {
+            suffix.push(ch);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    if suffix == "f32" || suffix == "f64" {
+        kind = TokKind::Float;
+    }
+    text.push_str(&suffix);
+    (text, kind)
+}
+
+/// Parses the numeric value of an int/float token's text (underscores and
+/// type suffixes stripped). Returns `None` for hex/octal/binary forms.
+pub fn literal_value(text: &str) -> Option<f64> {
+    if text.starts_with("0x") || text.starts_with("0o") || text.starts_with("0b") {
+        return None;
+    }
+    let cleaned: String = text.chars().filter(|c| *c != '_').collect();
+    let cleaned = cleaned
+        .trim_end_matches("f64")
+        .trim_end_matches("f32")
+        .trim_end_matches("u64")
+        .trim_end_matches("u32")
+        .trim_end_matches("i64")
+        .trim_end_matches("i32")
+        .trim_end_matches("usize");
+    cleaned.parse::<f64>().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn comments_are_not_tokens() {
+        let l = lex("let x = 1; // unwrap() here is fine\n/* and .expect( too */ let y;");
+        assert!(l
+            .tokens
+            .iter()
+            .all(|t| t.text != "unwrap" && t.text != "expect"));
+        assert_eq!(l.comments.len(), 1);
+        assert!(l.comments[0].text.contains("unwrap"));
+    }
+
+    #[test]
+    fn doc_comments_hide_code_examples() {
+        let src = "/// let t = x.unwrap();\nfn real() {}\n";
+        let l = lex(src);
+        assert!(l.tokens.iter().all(|t| t.text != "unwrap"));
+        assert_eq!(l.tokens[0].text, "fn");
+        assert_eq!(l.tokens[0].line, 2);
+    }
+
+    #[test]
+    fn strings_are_opaque() {
+        let l = lex("let s = \"a.unwrap() == 1.5\"; let r = r\"println!(x)\";");
+        assert!(l
+            .tokens
+            .iter()
+            .all(|t| t.text != "unwrap" && t.text != "println"));
+    }
+
+    #[test]
+    fn hashed_raw_strings_are_opaque() {
+        let l = lex("let r = r#\"quote \" inside .expect( \"#; x.unwrap();");
+        assert!(l.tokens.iter().all(|t| t.text != "expect"));
+        assert!(l.tokens.iter().any(|t| t.text == "unwrap"));
+    }
+
+    #[test]
+    fn escaped_quote_in_string() {
+        let l = lex(r#"let s = "he said \"hi\""; x.unwrap();"#);
+        assert!(l.tokens.iter().any(|t| t.text == "unwrap"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert!(toks.contains(&(TokKind::Lifetime, "'a".to_owned())));
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokKind::Literal).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn float_classification() {
+        assert_eq!(kinds("1.5")[0].0, TokKind::Float);
+        assert_eq!(kinds("1e3")[0].0, TokKind::Float);
+        assert_eq!(kinds("1.0e-3")[0].0, TokKind::Float);
+        assert_eq!(kinds("2f64")[0].0, TokKind::Float);
+        assert_eq!(kinds("42")[0].0, TokKind::Int);
+        assert_eq!(kinds("0x1f")[0].0, TokKind::Int);
+    }
+
+    #[test]
+    fn ranges_and_method_calls_are_not_floats() {
+        let toks = kinds("0..10");
+        assert_eq!(toks[0], (TokKind::Int, "0".to_owned()));
+        assert_eq!(toks[1], (TokKind::Punct, "..".to_owned()));
+        let toks = kinds("1.max(2)");
+        assert_eq!(toks[0], (TokKind::Int, "1".to_owned()));
+        assert_eq!(toks[1], (TokKind::Punct, ".".to_owned()));
+        assert_eq!(toks[2], (TokKind::Ident, "max".to_owned()));
+    }
+
+    #[test]
+    fn multi_char_operators() {
+        let toks = kinds("a == b != c -> d :: e");
+        let puncts: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Punct)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(puncts, vec!["==", "!=", "->", "::"]);
+    }
+
+    #[test]
+    fn positions_are_line_accurate() {
+        let l = lex("a\n  b\n\tc == 1.5\n");
+        let b = l.tokens.iter().find(|t| t.text == "b").expect("b");
+        assert_eq!((b.line, b.col), (2, 3));
+        let eq = l.tokens.iter().find(|t| t.text == "==").expect("==");
+        assert_eq!(eq.line, 3);
+    }
+
+    #[test]
+    fn literal_values_parse() {
+        assert_eq!(literal_value("1_000.5"), Some(1000.5));
+        assert_eq!(literal_value("85.0f64"), Some(85.0));
+        assert_eq!(literal_value("1e2"), Some(100.0));
+        assert_eq!(literal_value("0x1f"), None);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* outer /* inner */ still comment */ fn x() {}");
+        assert_eq!(l.tokens[0].text, "fn");
+    }
+}

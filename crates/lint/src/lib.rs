@@ -1,0 +1,108 @@
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+//! # relia-lint
+//!
+//! An offline, std-only static analyzer for the relia workspace's
+//! physical-unit and reliability invariants. The paper's model is a
+//! minefield of silently confusable scalars — kelvin vs. celsius, stress
+//! seconds vs. wall seconds, duty cycles vs. RAS ratios — and a single
+//! mixed-up unit reproduces the figures *plausibly but wrongly*. These
+//! rules turn that class of bug into a build failure:
+//!
+//! * **R1 `unit-leak`** — unit-named `pub fn` parameters or struct fields
+//!   (`temp*`, `t_active`, `t_standby`, `*_k`, `duration`, `period`,
+//!   `lifetime`) typed as bare `f64` instead of `Kelvin`/`Seconds`.
+//! * **R2 `unwrap-in-lib`** — `.unwrap()`/`.expect(` in library code
+//!   (binaries, benches and `#[cfg(test)]` modules exempt).
+//! * **R3 `float-eq`** — `==`/`!=` against a non-zero float literal.
+//! * **R4 `print-in-lib`** — `println!`/`eprintln!` in library crates.
+//! * **R5 `missing-forbid-unsafe`** — crate root without
+//!   `#![forbid(unsafe_code)]`.
+//! * **R6 `celsius-kelvin`** — a literal in (0, 150] wrapped directly in
+//!   `Kelvin(...)`: 85 K is cryogenic, 85 °C is a die temperature.
+//!
+//! Violations are suppressed per line with
+//! `// relia-lint: allow(rule-id)` — trailing on the offending line, or
+//! standalone on the line above it. A pragma that suppresses nothing is
+//! itself an error (`stale-allow`), so allows cannot outlive their reason.
+//!
+//! The analyzer is a hand-rolled lexer plus token-stream rules — no
+//! rustc internals, no syn, no network — so it runs identically in the
+//! offline container and in CI (`relia lint`, or
+//! `cargo run -q -p relia-lint`).
+
+pub mod diag;
+pub mod lexer;
+pub mod pragma;
+pub mod rules;
+pub mod walker;
+
+use std::path::Path;
+
+pub use diag::Diagnostic;
+pub use rules::{FileKind, FileOpts, RULE_IDS};
+
+/// Lints one in-memory source file: lex, run every rule, apply pragmas.
+/// This is the unit the fixture self-tests drive.
+pub fn lint_source(file: &str, source: &str, opts: &FileOpts) -> Vec<Diagnostic> {
+    let lexed = lexer::lex(source);
+    let (mut pragmas, mut diags) = pragma::parse(file, &lexed);
+    let violations = rules::check(file, &lexed, opts);
+    diags.extend(pragma::apply(file, &mut pragmas, violations));
+    diag::sort(&mut diags);
+    diags
+}
+
+/// Lints every workspace source file under `root`, returning the sorted
+/// diagnostics.
+///
+/// # Errors
+///
+/// Returns an error string when the walk or a file read fails — an I/O
+/// problem, not a lint finding.
+pub fn lint_workspace(root: &Path) -> Result<Vec<Diagnostic>, String> {
+    let files = walker::discover(root).map_err(|e| format!("walking {}: {e}", root.display()))?;
+    let mut diags = Vec::new();
+    for f in &files {
+        let source = std::fs::read_to_string(&f.abs_path)
+            .map_err(|e| format!("reading {}: {e}", f.abs_path.display()))?;
+        diags.extend(lint_source(&f.rel_path, &source, &f.opts));
+    }
+    diag::sort(&mut diags);
+    Ok(diags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lint_source_ties_rules_to_pragmas() {
+        let src = "pub fn f() {\n    x.unwrap(); // relia-lint: allow(unwrap-in-lib)\n    y.unwrap();\n}\n";
+        let opts = FileOpts {
+            kind: FileKind::Library,
+            crate_root: false,
+        };
+        let diags = lint_source("f.rs", src, &opts);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].line, 3);
+    }
+
+    #[test]
+    fn the_workspace_is_clean() {
+        // The acceptance bar: `relia lint` reports zero violations on the
+        // tree this crate ships in.
+        let root = walker::find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+            .expect("workspace root");
+        let diags = lint_workspace(&root).expect("workspace lints");
+        assert!(
+            diags.is_empty(),
+            "workspace has lint violations:\n{}",
+            diags
+                .iter()
+                .map(Diagnostic::render_text)
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}

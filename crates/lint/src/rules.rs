@@ -1,0 +1,553 @@
+//! The domain rules.
+//!
+//! | id | rule | scope |
+//! |----|------|-------|
+//! | R1 `unit-leak` | unit-named `pub fn` param / struct field typed bare `f64` | everywhere |
+//! | R2 `unwrap-in-lib` | `.unwrap()` / `.expect(` | library code (bins, `#[cfg(test)]` exempt) |
+//! | R3 `float-eq` | `==` / `!=` against a non-zero float literal | non-test code |
+//! | R4 `print-in-lib` | `println!` / `eprintln!` | library code (bins, `#[cfg(test)]` exempt) |
+//! | R5 `missing-forbid-unsafe` | crate root lacks `#![forbid(unsafe_code)]` | `lib.rs` files |
+//! | R6 `celsius-kelvin` | literal in (0, 150] wrapped directly in `Kelvin(...)` | everywhere |
+//!
+//! Comparisons against exactly `0.0` are exempt from R3: an exact-zero
+//! sentinel check is well-defined in IEEE-754 and idiomatic in this
+//! codebase (`duty_cycle == 0.0`). R6's lower bound is likewise exclusive
+//! so `Kelvin(0.0)` (absolute zero, used by physicality tests) stays legal
+//! while `Kelvin(85.0)` — almost certainly 85 °C — is caught.
+
+use crate::diag::Diagnostic;
+use crate::lexer::{literal_value, Lexed, TokKind, Token};
+
+/// How a file participates in the build, for rule scoping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Part of a library crate's `src/` tree.
+    Library,
+    /// A binary target (`src/bin/*`, `main.rs`).
+    Binary,
+}
+
+/// Per-file lint context.
+#[derive(Debug, Clone, Copy)]
+pub struct FileOpts {
+    /// Library or binary.
+    pub kind: FileKind,
+    /// True for a crate root (`lib.rs`), where R5 applies.
+    pub crate_root: bool,
+}
+
+/// Canonical rule ids, in rule order.
+pub const RULE_IDS: [&str; 6] = [
+    "unit-leak",
+    "unwrap-in-lib",
+    "float-eq",
+    "print-in-lib",
+    "missing-forbid-unsafe",
+    "celsius-kelvin",
+];
+
+/// Resolves a rule name or `R1`–`R6` alias to the canonical id.
+pub fn rule_by_name(name: &str) -> Option<&'static str> {
+    match name {
+        "R1" | "r1" => Some(RULE_IDS[0]),
+        "R2" | "r2" => Some(RULE_IDS[1]),
+        "R3" | "r3" => Some(RULE_IDS[2]),
+        "R4" | "r4" => Some(RULE_IDS[3]),
+        "R5" | "r5" => Some(RULE_IDS[4]),
+        "R6" | "r6" => Some(RULE_IDS[5]),
+        other => RULE_IDS.iter().find(|id| **id == other).copied(),
+    }
+}
+
+/// Field/parameter names that denote a physical quantity and therefore must
+/// carry a unit newtype instead of a bare `f64`.
+fn is_unit_name(name: &str) -> bool {
+    matches!(
+        name,
+        "temp" | "t_active" | "t_standby" | "duration" | "period" | "lifetime" | "lifetimes"
+    ) || name.starts_with("temp_")
+        || (name.len() > 2 && name.ends_with("_k"))
+}
+
+/// Runs every rule over one lexed file, returning raw (pre-pragma)
+/// violations.
+pub fn check(file: &str, lexed: &Lexed, opts: &FileOpts) -> Vec<Diagnostic> {
+    let toks = &lexed.tokens;
+    let test_spans = test_mod_spans(toks);
+    let in_test = |line: u32| test_spans.iter().any(|&(a, b)| line >= a && line <= b);
+    let mut out = Vec::new();
+
+    let mut push = |tok: &Token, rule: &'static str, message: String| {
+        out.push(Diagnostic {
+            file: file.to_owned(),
+            line: tok.line,
+            col: tok.col,
+            rule,
+            message,
+        });
+    };
+
+    // --- R1: unit-named f64 struct fields and pub fn params. ---
+    for (tok, context) in raw_unit_leaks(toks) {
+        push(
+            tok,
+            RULE_IDS[0],
+            format!(
+                "{context} `{}` is a bare `f64` — use `Kelvin`/`Seconds` from relia-core so \
+                 kelvin/celsius and stress/wall seconds cannot be confused",
+                tok.text
+            ),
+        );
+    }
+
+    // --- R2: unwrap/expect in library code. ---
+    if opts.kind == FileKind::Library {
+        for w in toks.windows(2) {
+            if w[0].kind == TokKind::Punct
+                && w[0].text == "."
+                && w[1].kind == TokKind::Ident
+                && (w[1].text == "unwrap" || w[1].text == "expect")
+                && !in_test(w[1].line)
+            {
+                push(
+                    &w[1],
+                    RULE_IDS[1],
+                    format!(
+                        "`.{}(...)` in library code — return a typed error, or justify the \
+                         invariant with `// relia-lint: allow(unwrap-in-lib)`",
+                        w[1].text
+                    ),
+                );
+            }
+        }
+    }
+
+    // --- R3: float equality. ---
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Punct || (t.text != "==" && t.text != "!=") || in_test(t.line) {
+            continue;
+        }
+        let float_operand = |tok: Option<&Token>| -> bool {
+            tok.is_some_and(|tok| {
+                tok.kind == TokKind::Float && literal_value(&tok.text).is_some_and(|v| v != 0.0)
+            })
+        };
+        if float_operand(i.checked_sub(1).and_then(|k| toks.get(k)))
+            || float_operand(toks.get(i + 1))
+        {
+            push(
+                t,
+                RULE_IDS[2],
+                format!(
+                    "float `{}` against a non-zero literal — compare with a tolerance \
+                     (rounding makes exact equality fragile)",
+                    t.text
+                ),
+            );
+        }
+    }
+
+    // --- R4: println!/eprintln! in library code. ---
+    if opts.kind == FileKind::Library {
+        for w in toks.windows(2) {
+            if w[0].kind == TokKind::Ident
+                && (w[0].text == "println" || w[0].text == "eprintln")
+                && w[1].text == "!"
+                && !in_test(w[0].line)
+            {
+                push(
+                    &w[0],
+                    RULE_IDS[3],
+                    format!(
+                        "`{}!` in library code — return data or thread a sink; only binaries \
+                         own stdout/stderr",
+                        w[0].text
+                    ),
+                );
+            }
+        }
+    }
+
+    // --- R5: crate root must forbid unsafe code. ---
+    if opts.crate_root && !has_forbid_unsafe(toks) {
+        out.push(Diagnostic {
+            file: file.to_owned(),
+            line: 1,
+            col: 1,
+            rule: RULE_IDS[4],
+            message: "crate root lacks `#![forbid(unsafe_code)]`".to_owned(),
+        });
+    }
+
+    // --- R6: celsius-looking literal inside Kelvin(...). ---
+    for i in 0..toks.len() {
+        if toks[i].kind == TokKind::Ident
+            && toks[i].text == "Kelvin"
+            && toks.get(i + 1).is_some_and(|t| t.text == "(")
+            && toks.get(i + 3).is_some_and(|t| t.text == ")")
+        {
+            if let Some(lit) = toks.get(i + 2) {
+                if matches!(lit.kind, TokKind::Int | TokKind::Float) {
+                    if let Some(v) = literal_value(&lit.text) {
+                        if v > 0.0 && v <= 150.0 {
+                            out.push(Diagnostic {
+                                file: file.to_owned(),
+                                line: lit.line,
+                                col: lit.col,
+                                rule: RULE_IDS[5],
+                                message: format!(
+                                    "`Kelvin({})` is {v} K — cryogenic; this looks like a \
+                                     celsius value, use `Kelvin::from_celsius({})`",
+                                    lit.text, lit.text
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    out
+}
+
+/// Line spans `[start, end]` of `#[cfg(test)] mod … { … }` blocks.
+fn test_mod_spans(toks: &[Token]) -> Vec<(u32, u32)> {
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i + 6 < toks.len() {
+        let is_cfg_test = toks[i].text == "#"
+            && toks[i + 1].text == "["
+            && toks[i + 2].text == "cfg"
+            && toks[i + 3].text == "("
+            && toks[i + 4].text == "test"
+            && toks[i + 5].text == ")"
+            && toks[i + 6].text == "]";
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        // Find the `{` that opens the annotated item (skipping further
+        // attributes and the item header), then brace-match.
+        let mut j = i + 7;
+        while j < toks.len() && toks[j].text != "{" && toks[j].text != ";" {
+            j += 1;
+        }
+        if j >= toks.len() || toks[j].text == ";" {
+            i = j;
+            continue;
+        }
+        let start = toks[i].line;
+        let mut depth = 0i32;
+        let mut end = toks[j].line;
+        while j < toks.len() {
+            match toks[j].text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = toks[j].line;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        spans.push((start, end));
+        i = j + 1;
+    }
+    spans
+}
+
+/// True when the token stream opens with (or anywhere contains) the inner
+/// attribute `#![forbid(unsafe_code)]`.
+fn has_forbid_unsafe(toks: &[Token]) -> bool {
+    toks.windows(8).any(|w| {
+        w[0].text == "#"
+            && w[1].text == "!"
+            && w[2].text == "["
+            && w[3].text == "forbid"
+            && w[4].text == "("
+            && w[5].text == "unsafe_code"
+            && w[6].text == ")"
+            && w[7].text == "]"
+    })
+}
+
+/// Finds R1 sites: unit-named `ident : f64` (or `Vec<f64>`) in struct bodies
+/// and `pub fn` parameter lists. Returns the offending name token plus a
+/// context label.
+fn raw_unit_leaks(toks: &[Token]) -> Vec<(&Token, &'static str)> {
+    let mut hits = Vec::new();
+
+    // Struct fields.
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].kind == TokKind::Ident && toks[i].text == "struct" {
+            // Skip name and any generics, find `{` (tuple/unit structs end
+            // at `(` or `;` and carry no named fields).
+            let mut j = i + 1;
+            let mut angle = 0i32;
+            while j < toks.len() {
+                match toks[j].text.as_str() {
+                    "<" => angle += 1,
+                    ">" => angle -= 1,
+                    "{" if angle == 0 => break,
+                    "(" | ";" if angle == 0 => {
+                        j = toks.len();
+                        break;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            if j < toks.len() {
+                let mut depth = 0i32;
+                let mut k = j;
+                while k + 2 < toks.len() {
+                    match toks[k].text.as_str() {
+                        "{" => depth += 1,
+                        "}" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    // A field at depth 1: `name : f64` with `name` starting
+                    // a field (previous token is `{`, `,`, or `]` from an
+                    // attribute, or `pub`/`)` from a visibility modifier).
+                    if depth == 1
+                        && toks[k + 1].kind == TokKind::Ident
+                        && toks[k + 2].text == ":"
+                        && matches!(toks[k].text.as_str(), "{" | "," | "]" | "pub" | ")")
+                        && is_unit_name(&toks[k + 1].text)
+                        && bare_f64_type(&toks[k + 3..])
+                    {
+                        hits.push((&toks[k + 1], "struct field"));
+                    }
+                    k += 1;
+                }
+                i = k;
+            } else {
+                i = j;
+            }
+        }
+        i += 1;
+    }
+
+    // pub fn parameters.
+    let mut i = 0;
+    while i + 1 < toks.len() {
+        if !(toks[i].kind == TokKind::Ident && toks[i].text == "pub") {
+            i += 1;
+            continue;
+        }
+        // Skip `pub(crate)` / `pub(in …)`.
+        let mut j = i + 1;
+        if toks.get(j).is_some_and(|t| t.text == "(") {
+            let mut depth = 0i32;
+            while j < toks.len() {
+                match toks[j].text.as_str() {
+                    "(" => depth += 1,
+                    ")" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        if toks.get(j).is_none_or(|t| t.text != "fn") {
+            i += 1;
+            continue;
+        }
+        // Skip fn name + generics to the opening paren.
+        let mut k = j + 1;
+        let mut angle = 0i32;
+        while k < toks.len() {
+            match toks[k].text.as_str() {
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                "(" if angle == 0 => break,
+                _ => {}
+            }
+            k += 1;
+        }
+        // Scan params at paren depth 1.
+        let mut depth = 0i32;
+        while k < toks.len() {
+            match toks[k].text.as_str() {
+                "(" => depth += 1,
+                ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            if depth == 1
+                && k + 2 < toks.len()
+                && toks[k + 1].kind == TokKind::Ident
+                && toks[k + 2].text == ":"
+                && matches!(toks[k].text.as_str(), "(" | ",")
+                && is_unit_name(&toks[k + 1].text)
+                && bare_f64_type(&toks[k + 3..])
+            {
+                hits.push((&toks[k + 1], "pub fn parameter"));
+            }
+            k += 1;
+        }
+        i = k + 1;
+    }
+
+    hits
+}
+
+/// True when the type starting at `rest[0]` is exactly `f64` or `Vec<f64>`
+/// (terminated by `,`, `)`, or `}`).
+fn bare_f64_type(rest: &[Token]) -> bool {
+    let ends = |t: Option<&Token>| t.is_none_or(|t| matches!(t.text.as_str(), "," | ")" | "}"));
+    if rest.first().is_some_and(|t| t.text == "f64") {
+        return ends(rest.get(1));
+    }
+    if rest.len() >= 4
+        && rest[0].text == "Vec"
+        && rest[1].text == "<"
+        && rest[2].text == "f64"
+        && rest[3].text == ">"
+    {
+        return ends(rest.get(4));
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn lib() -> FileOpts {
+        FileOpts {
+            kind: FileKind::Library,
+            crate_root: false,
+        }
+    }
+
+    fn check_src(src: &str, opts: FileOpts) -> Vec<Diagnostic> {
+        check("f.rs", &lex(src), &opts)
+    }
+
+    #[test]
+    fn rule_aliases_resolve() {
+        assert_eq!(rule_by_name("R1"), Some("unit-leak"));
+        assert_eq!(rule_by_name("unwrap-in-lib"), Some("unwrap-in-lib"));
+        assert_eq!(rule_by_name("R9"), None);
+        assert_eq!(rule_by_name("bogus"), None);
+    }
+
+    #[test]
+    fn r1_flags_struct_fields_and_pub_fn_params() {
+        let src = "pub struct S { pub t_standby: f64, ok: Kelvin }\n\
+                   pub fn f(temp: f64, watts: f64) {}\n";
+        let d = check_src(src, lib());
+        let r1: Vec<_> = d.iter().filter(|d| d.rule == "unit-leak").collect();
+        assert_eq!(r1.len(), 2, "{d:?}");
+        assert_eq!(r1[0].line, 1);
+        assert_eq!(r1[1].line, 2);
+    }
+
+    #[test]
+    fn r1_flags_vec_f64_axes_and_k_suffix() {
+        let src = "pub struct Grid { lifetimes: Vec<f64> }\npub fn g(ambient_k: f64) {}\n";
+        let d = check_src(src, lib());
+        assert_eq!(d.iter().filter(|d| d.rule == "unit-leak").count(), 2);
+    }
+
+    #[test]
+    fn r1_ignores_private_fns_closures_and_typed_params() {
+        let src = "fn private(temp: f64) {}\n\
+                   pub fn typed(temp: Kelvin, period: Seconds) {}\n\
+                   pub fn closure() { let f = |temp: f64| temp; }\n";
+        let d = check_src(src, lib());
+        assert!(d.iter().all(|d| d.rule != "unit-leak"), "{d:?}");
+    }
+
+    #[test]
+    fn r2_flags_library_unwrap_but_not_tests_or_bins() {
+        let src = "pub fn f() { x.unwrap(); y.expect(\"m\"); }\n\
+                   #[cfg(test)]\nmod tests { fn t() { z.unwrap(); } }\n";
+        let d = check_src(src, lib());
+        assert_eq!(d.iter().filter(|d| d.rule == "unwrap-in-lib").count(), 2);
+        let bin = check_src(
+            src,
+            FileOpts {
+                kind: FileKind::Binary,
+                crate_root: false,
+            },
+        );
+        assert!(bin.iter().all(|d| d.rule != "unwrap-in-lib"));
+    }
+
+    #[test]
+    fn r3_flags_nonzero_float_eq_only() {
+        let src = "fn f() { if x == 1.5 {} if x != 2e3 {} if x == 0.0 {} if n == 3 {} }\n";
+        let d = check_src(src, lib());
+        assert_eq!(d.iter().filter(|d| d.rule == "float-eq").count(), 2);
+    }
+
+    #[test]
+    fn r4_flags_println_in_lib_only() {
+        let src = "pub fn f() { println!(\"x\"); eprintln!(\"y\"); }\n";
+        assert_eq!(check_src(src, lib()).len(), 2);
+        let bin = check_src(
+            src,
+            FileOpts {
+                kind: FileKind::Binary,
+                crate_root: false,
+            },
+        );
+        assert!(bin.is_empty());
+    }
+
+    #[test]
+    fn r5_checks_crate_roots() {
+        let root = FileOpts {
+            kind: FileKind::Library,
+            crate_root: true,
+        };
+        let missing = check_src("pub fn f() {}\n", root);
+        assert_eq!(missing.len(), 1);
+        assert_eq!(missing[0].rule, "missing-forbid-unsafe");
+        let present = check_src("#![forbid(unsafe_code)]\npub fn f() {}\n", root);
+        assert!(present.is_empty());
+        assert!(check_src("pub fn f() {}\n", lib()).is_empty());
+    }
+
+    #[test]
+    fn r6_flags_cryogenic_kelvin_literals() {
+        let src = "fn f() { let a = Kelvin(85.0); let b = Kelvin(330.0); \
+                   let c = Kelvin(0.0); let d = Kelvin(t_c + 273.15); }\n";
+        let d = check_src(src, lib());
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "celsius-kelvin");
+        assert!(d[0].message.contains("from_celsius"));
+    }
+
+    #[test]
+    fn test_mod_exemption_covers_nested_braces() {
+        let src = "#[cfg(test)]\nmod tests {\n fn a() { if x { y.unwrap(); } }\n}\n\
+                   pub fn real() { z.unwrap(); }\n";
+        let d = check_src(src, lib());
+        assert_eq!(d.iter().filter(|d| d.rule == "unwrap-in-lib").count(), 1);
+        assert_eq!(d[0].line, 5);
+    }
+}

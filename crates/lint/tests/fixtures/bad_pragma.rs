@@ -1,0 +1,5 @@
+// relia-lint: allow(not-a-rule)
+// relia-lint: allow unwrap-in-lib
+pub fn f() -> u32 {
+    7
+}

@@ -1,0 +1,19 @@
+pub struct Profile {
+    pub temp: Kelvin,
+    pub t_standby: Seconds,
+    pub lifetimes: Vec<Seconds>,
+    watts: f64,
+}
+
+pub fn schedule(duration: Seconds, temp: Kelvin, watts: f64) -> f64 {
+    duration.0 * temp.0 * watts
+}
+
+fn private_helper(temp: f64) -> f64 {
+    temp
+}
+
+pub fn with_closure() -> f64 {
+    let f = |temp: f64| temp + 1.0;
+    f(0.0)
+}

@@ -1,0 +1,11 @@
+pub struct Profile {
+    pub temp: f64,
+    pub t_standby: f64,
+    pub lifetimes: Vec<f64>,
+    watts: f64,
+    label: String,
+}
+
+pub fn schedule(duration: f64, ambient_k: f64, watts: f64) -> f64 {
+    duration + ambient_k + watts
+}

@@ -1,0 +1,9 @@
+pub struct Profile {
+    pub temp: f64, // relia-lint: allow(unit-leak)
+    pub t_standby: f64, // relia-lint: allow(R1)
+}
+
+// relia-lint: allow(unit-leak)
+pub fn schedule(duration: f64) -> f64 {
+    duration
+}

@@ -1,0 +1,7 @@
+pub fn load(data: Option<u32>) -> Result<u32, String> {
+    data.ok_or_else(|| "missing".to_owned())
+}
+
+pub fn fallback(data: Option<u32>) -> u32 {
+    data.unwrap_or(0)
+}

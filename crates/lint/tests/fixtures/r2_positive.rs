@@ -1,0 +1,14 @@
+pub fn load(data: Option<u32>) -> u32 {
+    let a = data.unwrap();
+    let b = data.expect("present");
+    a + b
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt_in_test_mod() {
+        let z = Some(1).unwrap();
+        assert_eq!(z, 1);
+    }
+}

@@ -1,0 +1,7 @@
+pub fn load(data: Option<u32>) -> u32 {
+    // The constant below is structurally valid by construction.
+    // relia-lint: allow(unwrap-in-lib)
+    let a = data.unwrap();
+    let b = data.expect("present"); // relia-lint: allow(R2)
+    a + b
+}

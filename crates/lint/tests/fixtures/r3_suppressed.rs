@@ -1,0 +1,8 @@
+pub fn classify(x: f64) -> bool {
+    // The sentinel is set from the same literal, so equality is exact.
+    // relia-lint: allow(float-eq)
+    if x == 1.5 {
+        return true;
+    }
+    x != 2e3 // relia-lint: allow(R3)
+}

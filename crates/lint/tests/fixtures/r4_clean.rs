@@ -1,0 +1,3 @@
+pub fn report(rows: usize) -> String {
+    format!("{rows} rows")
+}

@@ -1,0 +1,12 @@
+pub fn report(rows: usize) {
+    println!("{rows} rows");
+    eprintln!("warning: slow path");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt_in_test_mod() {
+        println!("debugging a test is fine");
+    }
+}

@@ -1,0 +1,5 @@
+pub fn report(rows: usize) {
+    println!("{rows} rows"); // relia-lint: allow(print-in-lib)
+    // relia-lint: allow(R4)
+    eprintln!("warning: slow path");
+}

@@ -1,0 +1,5 @@
+//! A crate root that forgot to forbid unsafe code.
+
+pub fn f() -> u32 {
+    7
+}

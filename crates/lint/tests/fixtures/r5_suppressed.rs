@@ -1,0 +1,5 @@
+#![allow(dead_code)] // relia-lint: allow(missing-forbid-unsafe)
+
+pub fn f() -> u32 {
+    7
+}

@@ -1,0 +1,7 @@
+pub fn temperatures(t_c: f64) -> (Kelvin, Kelvin, Kelvin, Kelvin) {
+    let die = Kelvin(358.15);
+    let absolute_zero = Kelvin(0.0);
+    let converted = Kelvin::from_celsius(85.0);
+    let computed = Kelvin(t_c + 273.15);
+    (die, absolute_zero, converted, computed)
+}

@@ -1,0 +1,6 @@
+pub fn temperatures() -> (Kelvin, Kelvin, Kelvin) {
+    let hot = Kelvin(85.0);
+    let cryo = Kelvin(4.2);
+    let int_lit = Kelvin(120);
+    (hot, cryo, int_lit)
+}

@@ -1,0 +1,4 @@
+pub fn liquid_nitrogen() -> Kelvin {
+    // This one really is cryogenic.
+    Kelvin(77.0) // relia-lint: allow(celsius-kelvin)
+}

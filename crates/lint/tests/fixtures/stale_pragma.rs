@@ -1,0 +1,4 @@
+// relia-lint: allow(unwrap-in-lib)
+pub fn fixed() -> u32 {
+    7
+}

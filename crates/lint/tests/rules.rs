@@ -1,0 +1,205 @@
+//! Fixture-driven self-tests: every rule gets a positive fixture (known
+//! violations at known lines), a suppressed fixture (the same code made
+//! clean with `// relia-lint: allow(...)` pragmas), and a clean fixture
+//! (idiomatic code that must not trip the rule). Fixtures live under
+//! `tests/fixtures/` and are linted in memory — they are never compiled.
+
+#![allow(clippy::unwrap_used)]
+
+use relia_lint::{lint_source, Diagnostic, FileKind, FileOpts};
+
+const LIB: FileOpts = FileOpts {
+    kind: FileKind::Library,
+    crate_root: false,
+};
+
+const BIN: FileOpts = FileOpts {
+    kind: FileKind::Binary,
+    crate_root: false,
+};
+
+const ROOT: FileOpts = FileOpts {
+    kind: FileKind::Library,
+    crate_root: true,
+};
+
+fn lint(source: &str, opts: FileOpts) -> Vec<Diagnostic> {
+    lint_source("fixture.rs", source, &opts)
+}
+
+/// (rule, line) pairs for compact assertions.
+fn shape(diags: &[Diagnostic]) -> Vec<(&'static str, u32)> {
+    diags.iter().map(|d| (d.rule, d.line)).collect()
+}
+
+#[test]
+fn r1_positive_flags_fields_and_params() {
+    let d = lint(include_str!("fixtures/r1_positive.rs"), LIB);
+    assert_eq!(
+        shape(&d),
+        vec![
+            ("unit-leak", 2),
+            ("unit-leak", 3),
+            ("unit-leak", 4),
+            ("unit-leak", 9),
+            ("unit-leak", 9),
+        ],
+        "{d:?}"
+    );
+}
+
+#[test]
+fn r1_suppressed_is_clean() {
+    let d = lint(include_str!("fixtures/r1_suppressed.rs"), LIB);
+    assert!(d.is_empty(), "{d:?}");
+}
+
+#[test]
+fn r1_clean_is_clean() {
+    let d = lint(include_str!("fixtures/r1_clean.rs"), LIB);
+    assert!(d.is_empty(), "{d:?}");
+}
+
+#[test]
+fn r2_positive_flags_lib_but_not_tests_or_bins() {
+    let src = include_str!("fixtures/r2_positive.rs");
+    let d = lint(src, LIB);
+    assert_eq!(
+        shape(&d),
+        vec![("unwrap-in-lib", 2), ("unwrap-in-lib", 3)],
+        "{d:?}"
+    );
+    let bin = lint(src, BIN);
+    assert!(bin.is_empty(), "binaries own their panics: {bin:?}");
+}
+
+#[test]
+fn r2_suppressed_is_clean() {
+    let d = lint(include_str!("fixtures/r2_suppressed.rs"), LIB);
+    assert!(d.is_empty(), "{d:?}");
+}
+
+#[test]
+fn r2_clean_is_clean() {
+    let d = lint(include_str!("fixtures/r2_clean.rs"), LIB);
+    assert!(d.is_empty(), "{d:?}");
+}
+
+#[test]
+fn r3_positive_flags_nonzero_float_comparisons() {
+    let d = lint(include_str!("fixtures/r3_positive.rs"), LIB);
+    assert_eq!(shape(&d), vec![("float-eq", 2), ("float-eq", 5)], "{d:?}");
+}
+
+#[test]
+fn r3_suppressed_is_clean() {
+    let d = lint(include_str!("fixtures/r3_suppressed.rs"), LIB);
+    assert!(d.is_empty(), "{d:?}");
+}
+
+#[test]
+fn r3_clean_is_clean() {
+    let d = lint(include_str!("fixtures/r3_clean.rs"), LIB);
+    assert!(d.is_empty(), "{d:?}");
+}
+
+#[test]
+fn r4_positive_flags_lib_prints_but_not_bins() {
+    let src = include_str!("fixtures/r4_positive.rs");
+    let d = lint(src, LIB);
+    assert_eq!(
+        shape(&d),
+        vec![("print-in-lib", 2), ("print-in-lib", 3)],
+        "{d:?}"
+    );
+    let bin = lint(src, BIN);
+    assert!(bin.is_empty(), "binaries own stdout: {bin:?}");
+}
+
+#[test]
+fn r4_suppressed_is_clean() {
+    let d = lint(include_str!("fixtures/r4_suppressed.rs"), LIB);
+    assert!(d.is_empty(), "{d:?}");
+}
+
+#[test]
+fn r4_clean_is_clean() {
+    let d = lint(include_str!("fixtures/r4_clean.rs"), LIB);
+    assert!(d.is_empty(), "{d:?}");
+}
+
+#[test]
+fn r5_positive_flags_crate_root_only() {
+    let src = include_str!("fixtures/r5_positive.rs");
+    let d = lint(src, ROOT);
+    assert_eq!(shape(&d), vec![("missing-forbid-unsafe", 1)], "{d:?}");
+    let non_root = lint(src, LIB);
+    assert!(
+        non_root.is_empty(),
+        "R5 only applies to lib.rs: {non_root:?}"
+    );
+}
+
+#[test]
+fn r5_suppressed_is_clean() {
+    let d = lint(include_str!("fixtures/r5_suppressed.rs"), ROOT);
+    assert!(d.is_empty(), "{d:?}");
+}
+
+#[test]
+fn r5_clean_is_clean() {
+    let d = lint(include_str!("fixtures/r5_clean.rs"), ROOT);
+    assert!(d.is_empty(), "{d:?}");
+}
+
+#[test]
+fn r6_positive_flags_celsius_looking_literals() {
+    let d = lint(include_str!("fixtures/r6_positive.rs"), LIB);
+    assert_eq!(
+        shape(&d),
+        vec![
+            ("celsius-kelvin", 2),
+            ("celsius-kelvin", 3),
+            ("celsius-kelvin", 4),
+        ],
+        "{d:?}"
+    );
+    assert!(d[0].message.contains("from_celsius"), "{:?}", d[0]);
+}
+
+#[test]
+fn r6_suppressed_is_clean() {
+    let d = lint(include_str!("fixtures/r6_suppressed.rs"), LIB);
+    assert!(d.is_empty(), "{d:?}");
+}
+
+#[test]
+fn r6_clean_is_clean() {
+    let d = lint(include_str!("fixtures/r6_clean.rs"), LIB);
+    assert!(d.is_empty(), "{d:?}");
+}
+
+#[test]
+fn stale_pragma_is_itself_reported() {
+    let d = lint(include_str!("fixtures/stale_pragma.rs"), LIB);
+    assert_eq!(shape(&d), vec![("stale-allow", 1)], "{d:?}");
+}
+
+#[test]
+fn malformed_pragmas_are_reported() {
+    let d = lint(include_str!("fixtures/bad_pragma.rs"), LIB);
+    assert_eq!(
+        shape(&d),
+        vec![("bad-pragma", 1), ("bad-pragma", 2)],
+        "{d:?}"
+    );
+}
+
+#[test]
+fn json_rendering_round_trips_the_fixture_shape() {
+    let d = lint(include_str!("fixtures/r6_positive.rs"), LIB);
+    let line = d[0].render_json();
+    for key in ["\"file\":", "\"line\":2,", "\"rule\":\"celsius-kelvin\""] {
+        assert!(line.contains(key), "{line}");
+    }
+}

@@ -117,6 +117,7 @@ pub const SPECS: [BenchmarkSpec; 10] = [
 /// assert_eq!(c.stats(), (5, 2, 6, 3));
 /// ```
 pub fn c17() -> Circuit {
+    // relia-lint: allow(unwrap-in-lib)
     try_c17().expect("c17 is valid by construction")
 }
 
@@ -174,6 +175,7 @@ fn name_seed(name: &str) -> u64 {
 
 /// Generates the synthetic stand-in for `spec` (deterministic per name).
 pub fn synthesize(spec: &BenchmarkSpec) -> Circuit {
+    // relia-lint: allow(unwrap-in-lib)
     try_synthesize(spec).expect("generated circuits are valid by construction")
 }
 
@@ -221,6 +223,8 @@ pub fn try_synthesize(spec: &BenchmarkSpec) -> Result<Circuit, NetlistError> {
             let mut inputs = Vec::with_capacity(arity);
             // The first gate of each level anchors the depth: its first
             // input comes from the previous level.
+            // The primary-input level is pushed before this loop runs.
+            // relia-lint: allow(unwrap-in-lib)
             let prev = levels.last().expect("level 0 exists");
             let first = if k == 0 || rng.gen_bool(0.7) {
                 tournament_pick(&mut rng, prev, &use_count)

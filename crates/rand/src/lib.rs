@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 //! Offline stand-in for the `rand` crate.
 //!
 //! The public registry is unreachable from this build environment, so the

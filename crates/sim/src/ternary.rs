@@ -128,6 +128,8 @@ fn eval_ternary(cell: &relia_cells::Cell, inputs: &[Trit]) -> Trit {
     if unknown.is_empty() {
         let bools: Vec<bool> = inputs
             .iter()
+            // The unknown-index set is empty, so every trit is definite.
+            // relia-lint: allow(unwrap-in-lib)
             .map(|t| t.to_bool().expect("definite"))
             .collect();
         return Trit::from_bool(cell.eval(&bools));
@@ -148,6 +150,8 @@ fn eval_ternary(cell: &relia_cells::Cell, inputs: &[Trit]) -> Trit {
             Some(_) => {}
         }
     }
+    // Vector::all yields at least one completion, so `seen` is set.
+    // relia-lint: allow(unwrap-in-lib)
     Trit::from_bool(seen.expect("at least one completion"))
 }
 

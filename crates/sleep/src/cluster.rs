@@ -62,6 +62,7 @@ pub fn bbsti_blocks(
         let peak = level_current.values().cloned().fold(0.0, f64::max);
         let st_size = sizing
             .min_size(peak)
+            // relia-lint: allow(unwrap-in-lib)
             .expect("peak current of a nonempty block is positive");
         blocks.push(Block {
             gates: chunk.to_vec(),
@@ -86,6 +87,7 @@ pub fn fgsti_sizes(circuit: &Circuit, report: &TimingReport, sizing: &StSizing) 
             let delay = report.gate_delays()[g.index()].max(1e-9);
             let slack = slacks[circuit.gate(g).output().index()].max(0.0);
             let relax = (1.0 + slack / delay).min(3.0);
+            // relia-lint: allow(unwrap-in-lib)
             let base = sizing.min_size(i_on).expect("gate current is positive");
             base / relax
         })

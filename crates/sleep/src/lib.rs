@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 //! # relia-sleep
 //!
 //! Sleep-transistor insertion for standby leakage reduction, with

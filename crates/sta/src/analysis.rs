@@ -70,11 +70,11 @@ impl TimingReport {
                 .fold(0.0, f64::max);
             arrival[gate.output().index()] = input_arrival + gate_delays[gid.index()];
         }
-        let critical_po = circuit.primary_outputs().iter().copied().max_by(|a, b| {
-            arrival[a.index()]
-                .partial_cmp(&arrival[b.index()])
-                .expect("arrival times are finite")
-        });
+        let critical_po = circuit
+            .primary_outputs()
+            .iter()
+            .copied()
+            .max_by(|a, b| arrival[a.index()].total_cmp(&arrival[b.index()]));
         let max_delay = critical_po.map(|po| arrival[po.index()]).unwrap_or(0.0);
 
         // Trace the critical path backwards from the critical PO.
@@ -86,11 +86,11 @@ impl TimingReport {
                 NetDriver::Gate(gid) => {
                     critical_path.push(gid);
                     let gate = circuit.gate(gid);
-                    net = gate.inputs().iter().copied().max_by(|a, b| {
-                        arrival[a.index()]
-                            .partial_cmp(&arrival[b.index()])
-                            .expect("arrival times are finite")
-                    });
+                    net = gate
+                        .inputs()
+                        .iter()
+                        .copied()
+                        .max_by(|a, b| arrival[a.index()].total_cmp(&arrival[b.index()]));
                 }
             }
         }

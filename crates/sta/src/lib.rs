@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 //! # relia-sta
 //!
 //! Static timing analysis over a [`relia_netlist::Circuit`], with support

@@ -53,9 +53,7 @@ impl PartialOrd for Partial {
 }
 impl Ord for Partial {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.bound
-            .partial_cmp(&other.bound)
-            .expect("bounds are finite")
+        self.bound.total_cmp(&other.bound)
     }
 }
 

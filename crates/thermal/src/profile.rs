@@ -3,14 +3,15 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use relia_core::units::Seconds;
 
 /// A constant-power phase of a profile.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PowerPhase {
     /// Power in watts.
     pub watts: f64,
-    /// Duration in seconds.
-    pub duration: f64,
+    /// Phase duration.
+    pub duration: Seconds,
 }
 
 /// A sequence of tasks with random power draws.
@@ -40,7 +41,7 @@ impl TaskSet {
         let phases = (0..tasks)
             .map(|_| PowerPhase {
                 watts: rng.gen_range(Self::POWER_RANGE.0..=Self::POWER_RANGE.1),
-                duration: rng.gen_range(Self::DURATION_RANGE.0..=Self::DURATION_RANGE.1),
+                duration: Seconds(rng.gen_range(Self::DURATION_RANGE.0..=Self::DURATION_RANGE.1)),
             })
             .collect();
         TaskSet { phases }
@@ -56,9 +57,9 @@ impl TaskSet {
         &self.phases
     }
 
-    /// Total duration in seconds.
-    pub fn total_duration(&self) -> f64 {
-        self.phases.iter().map(|p| p.duration).sum()
+    /// Total duration across all phases.
+    pub fn total_duration(&self) -> Seconds {
+        Seconds(self.phases.iter().map(|p| p.duration.0).sum())
     }
 
     /// An alternating active/standby duty profile: `cycles` repetitions of
@@ -67,8 +68,8 @@ impl TaskSet {
     pub fn duty_cycle(
         active_watts: f64,
         standby_watts: f64,
-        t_active: f64,
-        t_standby: f64,
+        t_active: Seconds,
+        t_standby: Seconds,
         cycles: usize,
     ) -> Self {
         let mut phases = Vec::with_capacity(cycles * 2);
@@ -95,7 +96,7 @@ mod tests {
         let set = TaskSet::random(50, 7);
         for p in set.profile() {
             assert!(p.watts >= 10.0 && p.watts <= 130.0);
-            assert!(p.duration >= 0.05 && p.duration <= 0.5);
+            assert!(p.duration.0 >= 0.05 && p.duration.0 <= 0.5);
         }
     }
 
@@ -106,9 +107,9 @@ mod tests {
 
     #[test]
     fn duty_cycle_shape() {
-        let set = TaskSet::duty_cycle(110.0, 15.0, 0.1, 0.9, 3);
+        let set = TaskSet::duty_cycle(110.0, 15.0, Seconds(0.1), Seconds(0.9), 3);
         assert_eq!(set.profile().len(), 6);
-        assert!((set.total_duration() - 3.0).abs() < 1e-12);
+        assert!((set.total_duration().0 - 3.0).abs() < 1e-12);
         assert_eq!(set.profile()[0].watts, 110.0);
         assert_eq!(set.profile()[1].watts, 15.0);
     }
@@ -118,13 +119,13 @@ mod tests {
         let set = TaskSet::from_phases(vec![
             PowerPhase {
                 watts: 50.0,
-                duration: 0.25,
+                duration: Seconds(0.25),
             },
             PowerPhase {
                 watts: 70.0,
-                duration: 0.75,
+                duration: Seconds(0.75),
             },
         ]);
-        assert!((set.total_duration() - 1.0).abs() < 1e-12);
+        assert!((set.total_duration().0 - 1.0).abs() < 1e-12);
     }
 }

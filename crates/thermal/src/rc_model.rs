@@ -1,6 +1,8 @@
 //! The lumped-RC die thermal model.
 
 use relia_core::units::Kelvin;
+#[cfg(test)]
+use relia_core::units::Seconds;
 
 use crate::profile::PowerPhase;
 
@@ -69,7 +71,7 @@ impl RcThermalModel {
         let mut temp = self.steady_state(first.watts);
         let mut now = 0.0;
         for phase in profile {
-            let steps = (phase.duration / dt).ceil() as usize;
+            let steps = (phase.duration.0 / dt).ceil() as usize;
             for _ in 0..steps.max(1) {
                 temp = self.step(temp, phase.watts, dt);
                 now += dt;
@@ -147,11 +149,11 @@ mod tests {
         let profile = [
             PowerPhase {
                 watts: 20.0,
-                duration: 0.2,
+                duration: Seconds(0.2),
             },
             PowerPhase {
                 watts: 120.0,
-                duration: 0.2,
+                duration: Seconds(0.2),
             },
         ];
         let trace = m.simulate(&profile, 1e-3);

@@ -1,5 +1,6 @@
 //! Property-based tests for the thermal model.
 
+#![allow(clippy::unwrap_used)]
 use proptest::prelude::*;
 use relia_core::units::Kelvin;
 use relia_thermal::{PowerPhase, RcThermalModel, TaskSet};
@@ -40,7 +41,7 @@ proptest! {
         let m = RcThermalModel::air_cooled();
         let phases: Vec<PowerPhase> = powers
             .iter()
-            .map(|&watts| PowerPhase { watts, duration: 0.05 })
+            .map(|&watts| PowerPhase { watts, duration: relia_core::Seconds(0.05) })
             .collect();
         let trace = m.simulate(TaskSet::from_phases(phases.clone()).profile(), 1e-3);
         let lo = phases.iter().map(|p| m.steady_state(p.watts).0).fold(f64::MAX, f64::min);

@@ -7,6 +7,7 @@
 //!
 //! Run with: `cargo run --release --example aging_aware_signoff`
 
+#![allow(clippy::unwrap_used)]
 use relia::core::Seconds;
 use relia::flow::{AgingAnalysis, FlowConfig, StandbyPolicy, VariationConfig, VariationStudy};
 use relia::netlist::iscas;

@@ -7,6 +7,7 @@
 //!
 //! Run with: `cargo run --release --example calibrate_model`
 
+#![allow(clippy::unwrap_used)]
 use relia::core::calib::{fit_dc_measurements, Measurement};
 use relia::core::{Kelvin, NbtiModel, NbtiParams, Seconds};
 use relia::flow::{AgingAnalysis, FlowConfig, StandbyPolicy};

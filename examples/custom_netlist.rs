@@ -3,6 +3,7 @@
 //!
 //! Run with: `cargo run --release --example custom_netlist`
 
+#![allow(clippy::unwrap_used)]
 use relia::cells::Library;
 use relia::flow::{AgingAnalysis, FlowConfig, StandbyPolicy};
 use relia::netlist::bench;

@@ -7,6 +7,7 @@
 //!
 //! Run with: `cargo run --release --example thermal_trace_aging`
 
+#![allow(clippy::unwrap_used)]
 use relia::core::{Kelvin, NbtiModel, Seconds, StressInterval};
 use relia::thermal::{RcThermalModel, TaskSet};
 
@@ -33,7 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let intervals: Vec<StressInterval> = trace
         .iter()
         .map(|pt| StressInterval {
-            duration: 2.0e-3,
+            duration: Seconds(2.0e-3),
             temp: pt.temp,
             stress_fraction: 0.5,
         })

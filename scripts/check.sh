@@ -21,4 +21,7 @@ echo "==> cargo clippy -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 cargo clippy --offline -p relia-jobs --all-targets --features fault-inject -- -D warnings
 
+echo "==> relia-lint (unit & reliability invariants)"
+cargo run -q --offline -p relia-lint
+
 echo "==> all checks passed"

@@ -80,6 +80,8 @@ const USAGE: &str = "usage:
   relia csv     <netlist> [aging flags]          per-gate aging report
   relia liberty                                  characterized library export
   relia lib                                      cell-library leakage/MLV table
+  relia lint    [--root PATH] [--format text|json]
+                                                 workspace static analysis
   relia list                                     built-in benchmarks
   relia help                                     this message
 
@@ -103,6 +105,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
             Ok(())
         }
         "sweep" => run_sweep_command(&args[1..]),
+        "lint" => run_lint_command(&args[1..]),
         "list" => {
             for name in iscas::names() {
                 let c = iscas::circuit(name).expect("known name");
@@ -419,6 +422,65 @@ impl SweepArgs {
     }
 }
 
+/// `relia lint [--root PATH] [--format text|json]` — the in-CLI face of
+/// `relia-lint`. Violations print to stdout (rustc-style text or JSONL)
+/// and the command exits 1, matching the analysis-failure convention;
+/// flag mistakes exit 2 like every other subcommand.
+fn run_lint_command(args: &[String]) -> Result<(), CliError> {
+    use relia::lint::{lint_workspace, walker};
+
+    let mut root: Option<PathBuf> = None;
+    let mut json = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--root" => {
+                root =
+                    Some(PathBuf::from(iter.next().ok_or_else(|| {
+                        CliError::Usage("--root needs a path".into())
+                    })?));
+            }
+            "--format" => match iter.next().map(String::as_str) {
+                Some("text") => json = false,
+                Some("json") => json = true,
+                other => {
+                    return Err(CliError::Usage(format!(
+                        "--format wants text|json, got {:?}",
+                        other.unwrap_or("<missing>")
+                    )))
+                }
+            },
+            other => return Err(CliError::Usage(format!("unknown lint flag {other:?}"))),
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir()
+                .map_err(|e| CliError::Usage(format!("cannot read current dir: {e}")))?;
+            walker::find_workspace_root(&cwd).ok_or_else(|| {
+                CliError::Usage("no workspace Cargo.toml above the current directory".into())
+            })?
+        }
+    };
+    let diags = lint_workspace(&root).map_err(CliError::Usage)?;
+    for d in &diags {
+        if json {
+            println!("{}", d.render_json());
+        } else {
+            println!("{}", d.render_text());
+        }
+    }
+    if diags.is_empty() {
+        Ok(())
+    } else {
+        Err(CliError::Analysis(format!(
+            "{} lint violation(s)",
+            diags.len()
+        )))
+    }
+}
+
 fn run_sweep_command(args: &[String]) -> Result<(), CliError> {
     let parsed = SweepArgs::parse(args).map_err(CliError::Usage)?;
     let spec = SweepSpec {
@@ -427,11 +489,11 @@ fn run_sweep_command(args: &[String]) -> Result<(), CliError> {
             policies: parsed.standby,
         },
         ras: parsed.ras,
-        t_standby: parsed.tstandby,
+        t_standby: parsed.tstandby.into_iter().map(Kelvin).collect(),
         lifetimes: parsed
             .years
             .iter()
-            .map(|&y| Seconds::from_years(y).0)
+            .map(|&y| Seconds::from_years(y))
             .collect(),
     };
     // The spread covers the fault-injection field that only exists when
@@ -469,8 +531,8 @@ fn run_sweep_command(args: &[String]) -> Result<(), CliError> {
             circuit,
             policy,
             format!("{}:{}", point.ras.0, point.ras.1),
-            point.t_standby,
-            Seconds(point.lifetime).to_years()
+            point.t_standby.0,
+            point.lifetime.to_years()
         );
         match status {
             JobStatus::Completed(JobResult::Aging {

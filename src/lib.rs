@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 //! # relia — facade crate
 //!
 //! Re-exports the full relia toolkit: temperature-aware NBTI modeling and
@@ -31,7 +33,9 @@
 //! * [`ivc`] / [`sleep`] — the standby-leakage-reduction techniques the
 //!   paper evaluates for NBTI mitigation;
 //! * [`jobs`] — the parallel batch sweep engine (worker pool, degradation
-//!   memoization, checkpoint/resume).
+//!   memoization, checkpoint/resume);
+//! * [`lint`] — the offline static analyzer for unit and reliability
+//!   invariants (`relia lint`).
 
 pub use relia_cells as cells;
 pub use relia_core as core;
@@ -39,6 +43,7 @@ pub use relia_flow as flow;
 pub use relia_ivc as ivc;
 pub use relia_jobs as jobs;
 pub use relia_leakage as leakage;
+pub use relia_lint as lint;
 pub use relia_netlist as netlist;
 pub use relia_sim as sim;
 pub use relia_sleep as sleep;

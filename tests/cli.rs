@@ -1,5 +1,6 @@
 //! Integration tests for the `relia` command-line front end.
 
+#![allow(clippy::unwrap_used)]
 use std::process::Command;
 
 fn relia(args: &[&str]) -> (bool, String, String) {
