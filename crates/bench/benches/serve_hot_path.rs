@@ -1,0 +1,90 @@
+//! Criterion bench: the `relia-serve` hot request path.
+//!
+//! The serving claim is that a warm degrade query costs parse + cache
+//! lookup + render, not a model evaluation. These benches isolate each
+//! stage — HTTP request framing, JSON body parsing, and the full
+//! `handle()` dispatch on a warm cache — plus the cold-evaluation
+//! baseline, so a regression in any stage of the hot path is visible in
+//! isolation.
+
+#![allow(clippy::unwrap_used)]
+use std::io::Cursor;
+use std::time::{Duration, Instant};
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use relia_core::{CancelToken, Deadline, Kelvin};
+use relia_serve::{handle, parse_degrade, read_request, DegradeQuery, Limits, Request, ServeState};
+
+const QUERY: DegradeQuery = DegradeQuery {
+    ras: (1.0, 9.0),
+    t_standby_k: Kelvin(330.0),
+    lifetime_s: 1.0e8,
+    p_active: 0.5,
+    p_standby: 1.0,
+};
+
+fn raw_request(body: &str) -> Vec<u8> {
+    format!(
+        "POST /v1/degrade HTTP/1.1\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
+fn degrade_request(body: &str) -> Request {
+    Request {
+        method: "POST".to_owned(),
+        target: "/v1/degrade".to_owned(),
+        http11: true,
+        headers: vec![],
+        body: body.as_bytes().to_vec(),
+    }
+}
+
+fn deadline() -> Deadline {
+    Deadline::new(CancelToken::new(), Instant::now() + Duration::from_secs(60))
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_hot_path");
+    let body = QUERY.to_body();
+
+    // Stage 1: HTTP framing alone.
+    let wire = raw_request(&body);
+    let limits = Limits::default();
+    group.bench_function("http_parse_degrade", |b| {
+        b.iter(|| {
+            let mut reader = Cursor::new(black_box(wire.as_slice()));
+            read_request(&mut reader, &limits).unwrap()
+        })
+    });
+
+    // Stage 2: JSON body → validated query.
+    group.bench_function("json_parse_degrade", |b| {
+        b.iter(|| parse_degrade(black_box(body.as_bytes())).unwrap())
+    });
+
+    // Stage 3: full dispatch on a warm cache — the steady-state cost of a
+    // served query.
+    let state = ServeState::new(Duration::from_secs(60)).unwrap();
+    let request = degrade_request(&body);
+    let warmup = handle(&state, &request, &deadline());
+    assert_eq!(warmup.0.status, 200);
+    group.bench_function("handle_degrade_warm_cache", |b| {
+        b.iter(|| handle(black_box(&state), &request, &deadline()))
+    });
+
+    // Baseline: the same dispatch with a cold cache every iteration (one
+    // real model evaluation per call). The warm/cold gap is what the
+    // shared memo cache buys each served request.
+    group.bench_function("handle_degrade_cold_cache", |b| {
+        b.iter(|| {
+            let cold = ServeState::new(Duration::from_secs(60)).unwrap();
+            handle(black_box(&cold), &request, &deadline())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

@@ -10,6 +10,7 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// A shared cancellation flag.
 ///
@@ -46,9 +47,55 @@ impl CancelToken {
     }
 }
 
+/// A [`CancelToken`] paired with the wall-clock instant at which it should
+/// fire.
+///
+/// Supervisors (a worker-pool watchdog, a server's request-deadline
+/// sweeper) hold a set of deadlines and call [`Deadline::fire_if_due`]
+/// periodically; the owning computation polls the token as usual. The pair
+/// is intentionally dumb — no thread of its own — so any ticking strategy
+/// (scan loop, condvar wait, test clock) can drive it.
+#[derive(Debug, Clone)]
+pub struct Deadline {
+    token: CancelToken,
+    at: Instant,
+}
+
+impl Deadline {
+    /// A deadline firing `token` at instant `at`.
+    pub fn new(token: CancelToken, at: Instant) -> Self {
+        Deadline { token, at }
+    }
+
+    /// The instant this deadline is due.
+    pub fn at(&self) -> Instant {
+        self.at
+    }
+
+    /// The token this deadline fires.
+    pub fn token(&self) -> &CancelToken {
+        &self.token
+    }
+
+    /// True once `now` has reached the deadline.
+    pub fn is_due(&self, now: Instant) -> bool {
+        now >= self.at
+    }
+
+    /// Cancels the token if the deadline has passed; returns whether the
+    /// token is now cancelled (due to this call or an earlier one).
+    pub fn fire_if_due(&self, now: Instant) -> bool {
+        if self.is_due(now) {
+            self.token.cancel();
+        }
+        self.token.is_cancelled()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     #[test]
     fn fresh_token_is_not_cancelled() {
@@ -82,5 +129,28 @@ mod tests {
             .join()
             .expect("no panic");
         assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn deadline_fires_only_once_due() {
+        let now = Instant::now();
+        let d = Deadline::new(CancelToken::new(), now + Duration::from_secs(60));
+        assert!(!d.is_due(now));
+        assert!(!d.fire_if_due(now));
+        assert!(!d.token().is_cancelled());
+        let later = now + Duration::from_secs(61);
+        assert!(d.is_due(later));
+        assert!(d.fire_if_due(later));
+        assert!(d.token().is_cancelled());
+        // Sticky: still reported as fired for any later poll.
+        assert!(d.fire_if_due(now));
+    }
+
+    #[test]
+    fn deadline_reports_externally_cancelled_tokens() {
+        let token = CancelToken::new();
+        let d = Deadline::new(token.clone(), Instant::now() + Duration::from_secs(60));
+        token.cancel();
+        assert!(d.fire_if_due(Instant::now()));
     }
 }

@@ -76,7 +76,7 @@ pub mod variation;
 pub use ac::AcStress;
 pub use arrhenius::diffusion_ratio;
 pub use calib::{fit_dc_measurements, CalibrationFit, Measurement};
-pub use cancel::CancelToken;
+pub use cancel::{CancelToken, Deadline};
 pub use degradation::DelayDegradation;
 pub use equivalent::{EquivalentCycle, ModeSchedule, PmosStress, Ras, StressInterval};
 pub use error::ModelError;

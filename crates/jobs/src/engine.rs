@@ -66,7 +66,14 @@ pub struct SweepOptions {
     /// corrupted tail) if present.
     pub checkpoint: Option<PathBuf>,
     /// Memo-cache shard count; 0 means [`crate::cache::DEFAULT_SHARDS`].
+    /// Ignored when [`SweepOptions::shared_cache`] is set.
     pub cache_shards: usize,
+    /// A process-wide ΔV_th memo cache to evaluate through instead of a
+    /// run-private one. A long-lived host (e.g. `relia-serve`) passes its
+    /// cache here so batch sweeps and point queries share one memo table —
+    /// results are unchanged either way, because cached values are
+    /// canonical per [`StressKey`].
+    pub shared_cache: Option<Arc<ShardedCache>>,
     /// Extra attempts for transiently failing jobs (0 disables retrying).
     pub retries: u32,
     /// Per-job soft deadline; stragglers become [`JobStatus::TimedOut`].
@@ -264,11 +271,14 @@ where
     } else {
         options.workers
     };
-    let cache = ShardedCache::new(if options.cache_shards == 0 {
-        crate::cache::DEFAULT_SHARDS
-    } else {
-        options.cache_shards
-    });
+    let cache: Arc<ShardedCache> = match &options.shared_cache {
+        Some(shared) => Arc::clone(shared),
+        None => Arc::new(ShardedCache::new(if options.cache_shards == 0 {
+            crate::cache::DEFAULT_SHARDS
+        } else {
+            options.cache_shards
+        })),
+    };
     let pool_config = PoolConfig {
         workers,
         retry: RetryPolicy::retries(options.retries),

@@ -76,10 +76,10 @@ pub use engine::{
 };
 #[cfg(feature = "fault-inject")]
 pub use fault::{Fault, FaultPlan};
-pub use metrics::SweepMetrics;
+pub use metrics::{MetricsSnapshot, SweepMetrics};
 pub use pool::{
     default_workers, run_ordered, run_ordered_with, run_pool, Attempt, JobFailure, JobOutcome,
-    PoolConfig, PoolRun, RetryPolicy,
+    PoolConfig, PoolRun, RetryPolicy, SubmitError, TaskPool,
 };
 pub use relia_core::CancelToken;
 pub use spec::{JobPoint, JobResult, JobStatus, JobTask, PolicySpec, SweepSpec, Workload};

@@ -1,8 +1,65 @@
-//! Summary statistics of one sweep run.
+//! Summary statistics of one sweep run, and the typed snapshot API that
+//! every renderer (the CLI sweep summary, `relia-serve`'s Prometheus
+//! `/metrics` endpoint) draws from.
 
 use std::fmt;
 
 use crate::cache::CacheStats;
+
+/// A typed, named snapshot of counters and gauges.
+///
+/// This is the **one source of truth** for exposing operational numbers:
+/// anything that renders metrics — the sweep summary, a Prometheus
+/// exposition, a JSON status endpoint — iterates these typed pairs instead
+/// of `Debug`-formatting internal structs, so names stay stable and no
+/// renderer can drift from the counters themselves.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters as `(name, value)`, in declaration order.
+    pub counters: Vec<(&'static str, u64)>,
+    /// Point-in-time gauges as `(name, value)`, in declaration order.
+    pub gauges: Vec<(&'static str, f64)>,
+}
+
+impl MetricsSnapshot {
+    /// The counter named `name`, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// The gauge named `name`, if present.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Appends every series of `other` after this snapshot's own (callers
+    /// namespace their series, so concatenation is collision-free).
+    pub fn merged(mut self, other: MetricsSnapshot) -> MetricsSnapshot {
+        self.counters.extend(other.counters);
+        self.gauges.extend(other.gauges);
+        self
+    }
+}
+
+impl CacheStats {
+    /// Typed snapshot of the memo-cache counters.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: vec![
+                ("cache_hits", self.hits),
+                ("cache_misses", self.misses),
+                ("cache_entries", self.entries as u64),
+            ],
+            gauges: vec![("cache_hit_rate", self.hit_rate())],
+        }
+    }
+}
 
 /// What a sweep did, for the operator: job counts, resilience accounting
 /// (retries, timeouts, salvaged checkpoint damage), cache effectiveness,
@@ -34,6 +91,33 @@ pub struct SweepMetrics {
     pub prepare_secs: f64,
     /// Seconds spent in the worker pool.
     pub execute_secs: f64,
+}
+
+impl SweepMetrics {
+    /// Typed snapshot of every field, cache counters included.
+    ///
+    /// The `Display` rendering below and any external exposition (e.g.
+    /// `relia-serve`'s `/metrics`) must both derive from this method, so a
+    /// field added here is never silently missing from one of them.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: vec![
+                ("sweep_total_jobs", self.total_jobs as u64),
+                ("sweep_executed_jobs", self.executed_jobs as u64),
+                ("sweep_resumed_jobs", self.resumed_jobs as u64),
+                ("sweep_failed_jobs", self.failed_jobs as u64),
+                ("sweep_timed_out_jobs", self.timed_out_jobs as u64),
+                ("sweep_retried_jobs", self.retried_jobs),
+                ("sweep_salvaged_dropped", self.salvaged_dropped as u64),
+                ("sweep_workers", self.workers as u64),
+            ],
+            gauges: vec![
+                ("sweep_prepare_seconds", self.prepare_secs),
+                ("sweep_execute_seconds", self.execute_secs),
+            ],
+        }
+        .merged(self.cache.snapshot())
+    }
 }
 
 impl fmt::Display for SweepMetrics {
@@ -114,5 +198,63 @@ mod tests {
     fn resilience_line_is_omitted_when_quiet() {
         let m = SweepMetrics::default();
         assert!(!m.to_string().contains("resilience"));
+    }
+
+    #[test]
+    fn snapshot_exposes_every_field_with_stable_names() {
+        let m = SweepMetrics {
+            total_jobs: 40,
+            executed_jobs: 30,
+            resumed_jobs: 10,
+            failed_jobs: 2,
+            timed_out_jobs: 1,
+            retried_jobs: 3,
+            salvaged_dropped: 4,
+            workers: 8,
+            cache: CacheStats {
+                hits: 75,
+                misses: 25,
+                entries: 25,
+            },
+            prepare_secs: 0.25,
+            execute_secs: 1.5,
+        };
+        let s = m.snapshot();
+        assert_eq!(s.counter("sweep_total_jobs"), Some(40));
+        assert_eq!(s.counter("sweep_executed_jobs"), Some(30));
+        assert_eq!(s.counter("sweep_resumed_jobs"), Some(10));
+        assert_eq!(s.counter("sweep_failed_jobs"), Some(2));
+        assert_eq!(s.counter("sweep_timed_out_jobs"), Some(1));
+        assert_eq!(s.counter("sweep_retried_jobs"), Some(3));
+        assert_eq!(s.counter("sweep_salvaged_dropped"), Some(4));
+        assert_eq!(s.counter("sweep_workers"), Some(8));
+        assert_eq!(s.counter("cache_hits"), Some(75));
+        assert_eq!(s.counter("cache_misses"), Some(25));
+        assert_eq!(s.counter("cache_entries"), Some(25));
+        assert_eq!(s.gauge("sweep_prepare_seconds"), Some(0.25));
+        assert_eq!(s.gauge("sweep_execute_seconds"), Some(1.5));
+        assert_eq!(s.gauge("cache_hit_rate"), Some(0.75));
+        assert_eq!(s.counter("no_such_series"), None);
+        assert_eq!(s.gauge("no_such_series"), None);
+        // Guard against a field added to SweepMetrics but not the
+        // snapshot: counters cover all 8 integer fields + 3 cache series.
+        assert_eq!(s.counters.len(), 11);
+        assert_eq!(s.gauges.len(), 3);
+    }
+
+    #[test]
+    fn merged_snapshots_concatenate() {
+        let a = MetricsSnapshot {
+            counters: vec![("a_one", 1)],
+            gauges: vec![],
+        };
+        let b = MetricsSnapshot {
+            counters: vec![("b_two", 2)],
+            gauges: vec![("b_rate", 0.5)],
+        };
+        let m = a.merged(b);
+        assert_eq!(m.counter("a_one"), Some(1));
+        assert_eq!(m.counter("b_two"), Some(2));
+        assert_eq!(m.gauge("b_rate"), Some(0.5));
     }
 }

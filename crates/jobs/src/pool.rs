@@ -27,7 +27,7 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Mutex};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -199,6 +199,162 @@ pub struct PoolRun<T> {
 /// machine's available parallelism (1 if it cannot be determined).
 pub fn default_workers() -> usize {
     thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Why [`TaskPool::try_submit`] rejected a task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is at capacity; the caller should shed load
+    /// (retry later, or answer 503 in a serving context).
+    QueueFull,
+    /// The pool has begun draining and accepts no new work.
+    Draining,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull => write!(f, "task queue is full"),
+            SubmitError::Draining => write!(f, "task pool is draining"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// A long-lived worker pool with a **bounded** submission queue.
+///
+/// Where [`run_pool`] executes a finite job list and returns, `TaskPool`
+/// serves an open-ended stream of tasks — the shape a request-serving
+/// workload needs. The queue bound is the backpressure mechanism: when
+/// producers outrun the workers, [`TaskPool::try_submit`] fails with
+/// [`SubmitError::QueueFull`] *immediately* instead of buffering without
+/// limit, so the caller can shed load while the system is still healthy.
+///
+/// Every task runs under [`catch_unwind`]: a panicking task is counted
+/// ([`TaskPool::panics`]) and its worker keeps serving.
+///
+/// [`TaskPool::drain`] is the graceful shutdown: the queue closes (new
+/// submissions fail with [`SubmitError::Draining`]), queued and in-flight
+/// tasks run to completion, and the workers are joined.
+#[derive(Debug)]
+pub struct TaskPool {
+    tx: Option<mpsc::SyncSender<Task>>,
+    handles: Vec<thread::JoinHandle<()>>,
+    submitted: Arc<AtomicU64>,
+    completed: Arc<AtomicU64>,
+    panicked: Arc<AtomicU64>,
+}
+
+impl TaskPool {
+    /// A pool of `workers` threads (min 1) over a queue of `queue_depth`
+    /// waiting tasks (min 1).
+    pub fn new(workers: usize, queue_depth: usize) -> Self {
+        let (tx, rx) = mpsc::sync_channel::<Task>(queue_depth.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let completed = Arc::new(AtomicU64::new(0));
+        let panicked = Arc::new(AtomicU64::new(0));
+        let handles = (0..workers.max(1))
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let completed = Arc::clone(&completed);
+                let panicked = Arc::clone(&panicked);
+                thread::spawn(move || loop {
+                    let task = {
+                        let guard = match rx.lock() {
+                            Ok(g) => g,
+                            Err(_) => return, // a sibling panicked holding the lock
+                        };
+                        guard.recv()
+                    };
+                    match task {
+                        Ok(task) => {
+                            if catch_unwind(AssertUnwindSafe(task)).is_err() {
+                                panicked.fetch_add(1, Ordering::Relaxed);
+                            }
+                            completed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(_) => return, // queue closed: drain complete
+                    }
+                })
+            })
+            .collect();
+        TaskPool {
+            tx: Some(tx),
+            handles,
+            submitted: Arc::new(AtomicU64::new(0)),
+            completed,
+            panicked,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Submits a task without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::QueueFull`] when the bounded queue is at capacity,
+    /// [`SubmitError::Draining`] once [`TaskPool::drain`] has been called.
+    pub fn try_submit(&self, task: impl FnOnce() + Send + 'static) -> Result<(), SubmitError> {
+        let Some(tx) = self.tx.as_ref() else {
+            return Err(SubmitError::Draining);
+        };
+        match tx.try_send(Box::new(task)) {
+            Ok(()) => {
+                self.submitted.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(mpsc::TrySendError::Full(_)) => Err(SubmitError::QueueFull),
+            Err(mpsc::TrySendError::Disconnected(_)) => Err(SubmitError::Draining),
+        }
+    }
+
+    /// Tasks accepted so far.
+    pub fn submitted(&self) -> u64 {
+        self.submitted.load(Ordering::Relaxed)
+    }
+
+    /// Tasks finished (including panicked ones).
+    pub fn completed(&self) -> u64 {
+        self.completed.load(Ordering::Relaxed)
+    }
+
+    /// Tasks that panicked (their workers survived).
+    pub fn panics(&self) -> u64 {
+        self.panicked.load(Ordering::Relaxed)
+    }
+
+    /// Tasks accepted but not yet finished (queued + in flight).
+    pub fn in_flight(&self) -> u64 {
+        self.submitted().saturating_sub(self.completed())
+    }
+
+    /// Graceful shutdown: closes the queue, lets queued and in-flight
+    /// tasks finish, and joins every worker.
+    pub fn drain(mut self) {
+        self.close_and_join();
+    }
+
+    fn close_and_join(&mut self) {
+        self.tx = None; // closes the channel; workers exit once drained
+        for handle in self.handles.drain(..) {
+            // A worker only panics if the runtime itself is broken — every
+            // task body is already caught.
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for TaskPool {
+    fn drop(&mut self) {
+        self.close_and_join();
+    }
 }
 
 /// How often the watchdog scans the running-job slots.
@@ -612,6 +768,113 @@ mod tests {
         assert_eq!(p.backoff(3), Duration::from_millis(40));
         assert_eq!(p.backoff(4), Duration::from_millis(65), "clamped");
         assert_eq!(p.backoff(63), Duration::from_millis(65), "shift saturates");
+    }
+
+    #[test]
+    fn task_pool_runs_every_submitted_task() {
+        let pool = TaskPool::new(4, 64);
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..100 {
+            let counter = Arc::clone(&counter);
+            loop {
+                let c = Arc::clone(&counter);
+                match pool.try_submit(move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                }) {
+                    Ok(()) => break,
+                    Err(SubmitError::QueueFull) => thread::yield_now(),
+                    Err(e) => panic!("unexpected {e}"),
+                }
+            }
+        }
+        pool.drain();
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn task_pool_sheds_load_when_the_queue_is_full() {
+        // One worker wedged on a gate, queue depth 1: the first task
+        // occupies the worker, the second fills the queue, the third must
+        // be rejected with QueueFull.
+        let pool = TaskPool::new(1, 1);
+        let gate = Arc::new((Mutex::new(false), std::sync::Condvar::new()));
+        let g = Arc::clone(&gate);
+        pool.try_submit(move || {
+            let (lock, cv) = &*g;
+            let mut open = lock.lock().unwrap();
+            while !*open {
+                open = cv.wait(open).unwrap();
+            }
+        })
+        .unwrap();
+        // Whether or not the worker has picked the blocker up yet, the
+        // queue holds at most one waiting task — repeated submissions must
+        // hit the bound almost immediately.
+        let mut saw_full = false;
+        for _ in 0..1000 {
+            match pool.try_submit(|| {}) {
+                Ok(()) => {}
+                Err(SubmitError::QueueFull) => {
+                    saw_full = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        assert!(saw_full, "a bounded queue must eventually reject");
+        let (lock, cv) = &*gate;
+        *lock.lock().unwrap() = true;
+        cv.notify_all();
+        pool.drain();
+    }
+
+    #[test]
+    fn task_pool_survives_panicking_tasks() {
+        let pool = TaskPool::new(2, 16);
+        pool.try_submit(|| panic!("task exploded")).unwrap();
+        let ran = Arc::new(AtomicU64::new(0));
+        let r = Arc::clone(&ran);
+        // Submission may race the panic; retry on a full queue only.
+        loop {
+            let r2 = Arc::clone(&r);
+            match pool.try_submit(move || {
+                r2.fetch_add(1, Ordering::Relaxed);
+            }) {
+                Ok(()) => break,
+                Err(SubmitError::QueueFull) => thread::yield_now(),
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        pool.drain();
+        assert_eq!(ran.load(Ordering::Relaxed), 1, "worker survived the panic");
+    }
+
+    #[test]
+    fn drained_pool_rejects_and_drop_is_clean() {
+        let pool = TaskPool::new(1, 4);
+        assert_eq!(pool.workers(), 1);
+        pool.try_submit(|| {}).unwrap();
+        pool.drain();
+        let pool = TaskPool::new(1, 4);
+        drop(pool); // Drop also joins
+    }
+
+    #[test]
+    fn task_pool_counters_add_up() {
+        let pool = TaskPool::new(2, 32);
+        for _ in 0..10 {
+            while pool.try_submit(|| {}) == Err(SubmitError::QueueFull) {
+                thread::yield_now();
+            }
+        }
+        while pool.completed() < 10 {
+            thread::yield_now();
+        }
+        assert_eq!(pool.submitted(), 10);
+        assert_eq!(pool.completed(), 10);
+        assert_eq!(pool.panics(), 0);
+        assert_eq!(pool.in_flight(), 0);
+        pool.drain();
     }
 
     #[test]

@@ -20,6 +20,10 @@
 //!   `#![forbid(unsafe_code)]`.
 //! * **R6 `celsius-kelvin`** — a literal in (0, 150] wrapped directly in
 //!   `Kelvin(...)`: 85 K is cryogenic, 85 °C is a die temperature.
+//! * **R7 `blocking-in-handler`** — `thread::sleep` or unbounded
+//!   `.read_to_end(` in request-handler library code (`crates/serve/src/`):
+//!   a blocked handler pins a worker-pool slot and defeats the server's
+//!   deadline and backpressure design.
 //!
 //! Violations are suppressed per line with
 //! `// relia-lint: allow(rule-id)` — trailing on the offending line, or
@@ -82,6 +86,7 @@ mod tests {
         let opts = FileOpts {
             kind: FileKind::Library,
             crate_root: false,
+            handler: false,
         };
         let diags = lint_source("f.rs", src, &opts);
         assert_eq!(diags.len(), 1);

@@ -8,12 +8,20 @@
 //! | R4 `print-in-lib` | `println!` / `eprintln!` | library code (bins, `#[cfg(test)]` exempt) |
 //! | R5 `missing-forbid-unsafe` | crate root lacks `#![forbid(unsafe_code)]` | `lib.rs` files |
 //! | R6 `celsius-kelvin` | literal in (0, 150] wrapped directly in `Kelvin(...)` | everywhere |
+//! | R7 `blocking-in-handler` | `thread::sleep` / `.read_to_end(` | handler library code (`#[cfg(test)]` exempt) |
 //!
 //! Comparisons against exactly `0.0` are exempt from R3: an exact-zero
 //! sentinel check is well-defined in IEEE-754 and idiomatic in this
 //! codebase (`duty_cycle == 0.0`). R6's lower bound is likewise exclusive
 //! so `Kelvin(0.0)` (absolute zero, used by physicality tests) stays legal
 //! while `Kelvin(85.0)` — almost certainly 85 °C — is caught.
+//!
+//! R7 applies only to files classified as request-handler code (today:
+//! `crates/serve/src/`). A worker thread that sleeps or slurps an
+//! unbounded body holds a pool slot hostage and defeats the server's
+//! deadline/backpressure design; handlers must wait on
+//! `Condvar::wait_timeout` and read request bodies with bounded,
+//! incremental `read` calls instead.
 
 use crate::diag::Diagnostic;
 use crate::lexer::{literal_value, Lexed, TokKind, Token};
@@ -34,19 +42,23 @@ pub struct FileOpts {
     pub kind: FileKind,
     /// True for a crate root (`lib.rs`), where R5 applies.
     pub crate_root: bool,
+    /// True for request-handler library code (the serve crate), where R7
+    /// applies.
+    pub handler: bool,
 }
 
 /// Canonical rule ids, in rule order.
-pub const RULE_IDS: [&str; 6] = [
+pub const RULE_IDS: [&str; 7] = [
     "unit-leak",
     "unwrap-in-lib",
     "float-eq",
     "print-in-lib",
     "missing-forbid-unsafe",
     "celsius-kelvin",
+    "blocking-in-handler",
 ];
 
-/// Resolves a rule name or `R1`–`R6` alias to the canonical id.
+/// Resolves a rule name or `R1`–`R7` alias to the canonical id.
 pub fn rule_by_name(name: &str) -> Option<&'static str> {
     match name {
         "R1" | "r1" => Some(RULE_IDS[0]),
@@ -55,6 +67,7 @@ pub fn rule_by_name(name: &str) -> Option<&'static str> {
         "R4" | "r4" => Some(RULE_IDS[3]),
         "R5" | "r5" => Some(RULE_IDS[4]),
         "R6" | "r6" => Some(RULE_IDS[5]),
+        "R7" | "r7" => Some(RULE_IDS[6]),
         other => RULE_IDS.iter().find(|id| **id == other).copied(),
     }
 }
@@ -205,6 +218,49 @@ pub fn check(file: &str, lexed: &Lexed, opts: &FileOpts) -> Vec<Diagnostic> {
                         }
                     }
                 }
+            }
+        }
+    }
+
+    // --- R7: blocking primitives in request-handler library code. ---
+    if opts.handler && opts.kind == FileKind::Library {
+        for w in toks.windows(3) {
+            if w[0].kind == TokKind::Ident
+                && w[0].text == "thread"
+                && w[1].text == "::"
+                && w[2].kind == TokKind::Ident
+                && w[2].text == "sleep"
+                && !in_test(w[2].line)
+            {
+                out.push(Diagnostic {
+                    file: file.to_owned(),
+                    line: w[2].line,
+                    col: w[2].col,
+                    rule: RULE_IDS[6],
+                    message: "`thread::sleep` in handler code pins a worker-pool slot and \
+                              ignores the request deadline — wait on `Condvar::wait_timeout` \
+                              or check `Deadline::fire_if_due` instead"
+                        .to_owned(),
+                });
+            }
+        }
+        for w in toks.windows(2) {
+            if w[0].kind == TokKind::Punct
+                && w[0].text == "."
+                && w[1].kind == TokKind::Ident
+                && w[1].text == "read_to_end"
+                && !in_test(w[1].line)
+            {
+                out.push(Diagnostic {
+                    file: file.to_owned(),
+                    line: w[1].line,
+                    col: w[1].col,
+                    rule: RULE_IDS[6],
+                    message: "`.read_to_end(...)` in handler code reads without a byte bound \
+                              — an oversized or never-ending body wedges the worker; read \
+                              incrementally against `Limits::max_body`"
+                        .to_owned(),
+                });
             }
         }
     }
@@ -439,6 +495,14 @@ mod tests {
         FileOpts {
             kind: FileKind::Library,
             crate_root: false,
+            handler: false,
+        }
+    }
+
+    fn handler() -> FileOpts {
+        FileOpts {
+            handler: true,
+            ..lib()
         }
     }
 
@@ -450,6 +514,7 @@ mod tests {
     fn rule_aliases_resolve() {
         assert_eq!(rule_by_name("R1"), Some("unit-leak"));
         assert_eq!(rule_by_name("unwrap-in-lib"), Some("unwrap-in-lib"));
+        assert_eq!(rule_by_name("R7"), Some("blocking-in-handler"));
         assert_eq!(rule_by_name("R9"), None);
         assert_eq!(rule_by_name("bogus"), None);
     }
@@ -492,6 +557,7 @@ mod tests {
             FileOpts {
                 kind: FileKind::Binary,
                 crate_root: false,
+                handler: false,
             },
         );
         assert!(bin.iter().all(|d| d.rule != "unwrap-in-lib"));
@@ -513,6 +579,7 @@ mod tests {
             FileOpts {
                 kind: FileKind::Binary,
                 crate_root: false,
+                handler: false,
             },
         );
         assert!(bin.is_empty());
@@ -523,6 +590,7 @@ mod tests {
         let root = FileOpts {
             kind: FileKind::Library,
             crate_root: true,
+            handler: false,
         };
         let missing = check_src("pub fn f() {}\n", root);
         assert_eq!(missing.len(), 1);
@@ -540,6 +608,43 @@ mod tests {
         assert_eq!(d.len(), 1, "{d:?}");
         assert_eq!(d[0].rule, "celsius-kelvin");
         assert!(d[0].message.contains("from_celsius"));
+    }
+
+    #[test]
+    fn r7_flags_blocking_calls_in_handler_code_only() {
+        let src = "pub fn f(r: &mut impl Read) {\n\
+                   std::thread::sleep(d);\n\
+                   thread::sleep(d);\n\
+                   r.read_to_end(&mut buf);\n\
+                   }\n";
+        let d = check_src(src, handler());
+        let r7: Vec<_> = d
+            .iter()
+            .filter(|d| d.rule == "blocking-in-handler")
+            .collect();
+        assert_eq!(r7.len(), 3, "{d:?}");
+        assert_eq!(r7[0].line, 2);
+        assert_eq!(r7[1].line, 3);
+        assert_eq!(r7[2].line, 4);
+        // Same source outside handler scope — or in a binary — is legal.
+        assert!(check_src(src, lib())
+            .iter()
+            .all(|d| d.rule != "blocking-in-handler"));
+        let bin = FileOpts {
+            kind: FileKind::Binary,
+            ..handler()
+        };
+        assert!(check_src(src, bin)
+            .iter()
+            .all(|d| d.rule != "blocking-in-handler"));
+    }
+
+    #[test]
+    fn r7_exempts_test_modules_and_nonblocking_reads() {
+        let src = "pub fn ok(r: &mut impl Read) { r.read_exact(&mut buf); }\n\
+                   #[cfg(test)]\nmod tests {\n fn t() { thread::sleep(d); }\n}\n";
+        let d = check_src(src, handler());
+        assert!(d.iter().all(|d| d.rule != "blocking-in-handler"), "{d:?}");
     }
 
     #[test]

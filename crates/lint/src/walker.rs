@@ -91,6 +91,9 @@ pub fn classify(rel_path: &str) -> FileOpts {
             FileKind::Library
         },
         crate_root,
+        // Request handlers run on a bounded worker pool with per-request
+        // deadlines; R7 bans blocking primitives there.
+        handler: rel_path.starts_with("crates/serve/src/"),
     }
 }
 
@@ -119,6 +122,11 @@ mod tests {
         let lib = classify("crates/core/src/units.rs");
         assert_eq!(lib.kind, FileKind::Library);
         assert!(!lib.crate_root);
+        assert!(!lib.handler);
+
+        let serve = classify("crates/serve/src/service.rs");
+        assert_eq!(serve.kind, FileKind::Library);
+        assert!(serve.handler);
 
         let root = classify("crates/core/src/lib.rs");
         assert!(root.crate_root);

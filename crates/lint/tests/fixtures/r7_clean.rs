@@ -1,0 +1,12 @@
+pub fn handle(r: &mut impl std::io::Read, limit: usize) -> std::io::Result<Vec<u8>> {
+    let mut body = vec![0u8; limit];
+    r.read_exact(&mut body)?;
+    Ok(body)
+}
+
+pub fn wait(pair: &(std::sync::Mutex<bool>, std::sync::Condvar)) {
+    let guard = pair.0.lock().unwrap_or_else(|e| e.into_inner());
+    let _ = pair
+        .1
+        .wait_timeout(guard, std::time::Duration::from_millis(50));
+}

@@ -1,0 +1,15 @@
+pub fn handle(r: &mut impl std::io::Read) -> Vec<u8> {
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    thread::sleep(backoff);
+    let mut body = Vec::new();
+    r.read_to_end(&mut body).ok();
+    body
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt_in_test_mod() {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+}

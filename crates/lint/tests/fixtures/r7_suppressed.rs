@@ -1,0 +1,8 @@
+pub fn handle(r: &mut impl std::io::Read) -> Vec<u8> {
+    // Startup jitter before the listener exists; no request in flight yet.
+    // relia-lint: allow(blocking-in-handler)
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    let mut body = Vec::new();
+    r.read_to_end(&mut body).ok(); // relia-lint: allow(R7)
+    body
+}

@@ -11,16 +11,25 @@ use relia_lint::{lint_source, Diagnostic, FileKind, FileOpts};
 const LIB: FileOpts = FileOpts {
     kind: FileKind::Library,
     crate_root: false,
+    handler: false,
 };
 
 const BIN: FileOpts = FileOpts {
     kind: FileKind::Binary,
     crate_root: false,
+    handler: false,
 };
 
 const ROOT: FileOpts = FileOpts {
     kind: FileKind::Library,
     crate_root: true,
+    handler: false,
+};
+
+const HANDLER: FileOpts = FileOpts {
+    kind: FileKind::Library,
+    crate_root: false,
+    handler: true,
 };
 
 fn lint(source: &str, opts: FileOpts) -> Vec<Diagnostic> {
@@ -176,6 +185,38 @@ fn r6_suppressed_is_clean() {
 #[test]
 fn r6_clean_is_clean() {
     let d = lint(include_str!("fixtures/r6_clean.rs"), LIB);
+    assert!(d.is_empty(), "{d:?}");
+}
+
+#[test]
+fn r7_positive_flags_handler_code_but_not_plain_libs() {
+    let src = include_str!("fixtures/r7_positive.rs");
+    let d = lint(src, HANDLER);
+    assert_eq!(
+        shape(&d),
+        vec![
+            ("blocking-in-handler", 2),
+            ("blocking-in-handler", 3),
+            ("blocking-in-handler", 5),
+        ],
+        "{d:?}"
+    );
+    let plain = lint(src, LIB);
+    assert!(
+        plain.is_empty(),
+        "R7 only applies to handler code: {plain:?}"
+    );
+}
+
+#[test]
+fn r7_suppressed_is_clean() {
+    let d = lint(include_str!("fixtures/r7_suppressed.rs"), HANDLER);
+    assert!(d.is_empty(), "{d:?}");
+}
+
+#[test]
+fn r7_clean_is_clean() {
+    let d = lint(include_str!("fixtures/r7_clean.rs"), HANDLER);
     assert!(d.is_empty(), "{d:?}");
 }
 

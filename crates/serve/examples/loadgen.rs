@@ -1,0 +1,436 @@
+//! Load generator and end-to-end correctness check for `relia-serve`.
+//!
+//! Fires a mixed workload (degrade queries over a small grid, inline
+//! sweeps, health and metrics probes) at a server and verifies every
+//! response **byte for byte** against values computed by direct library
+//! calls — the served numbers must be indistinguishable from local ones.
+//! At the end it asserts the shared memo cache actually absorbed repeats
+//! (hit count > 0) and drains the server gracefully.
+//!
+//! ```text
+//! cargo run --release -p relia-serve --example loadgen            # self-hosted, 10k requests
+//! cargo run --release -p relia-serve --example loadgen -- \
+//!     --requests 1000 --threads 2 --addr 127.0.0.1:4599          # external server
+//! ```
+//!
+//! Exit code 0 only if every request succeeded, every body matched, and
+//! the cache hit rate was non-zero.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use relia_core::{DelayDegradation, Kelvin, NbtiModel, NbtiParams, Seconds};
+use relia_flow::{DeltaVthCache, NoCache};
+use relia_jobs::{JobTask, SweepSpec, Workload};
+use relia_serve::{
+    degrade_body, fmt_f64, DegradeQuery, ServeConfig, ServeState, Server, ServerHandle,
+};
+
+struct Args {
+    requests: usize,
+    threads: usize,
+    addr: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        requests: 10_000,
+        threads: 4,
+        addr: None,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let value = |i: usize| -> Result<&str, String> {
+            argv.get(i + 1)
+                .map(String::as_str)
+                .ok_or_else(|| format!("{} needs a value", argv[i]))
+        };
+        match argv[i].as_str() {
+            "--requests" => {
+                args.requests = value(i)?.parse().map_err(|e| format!("--requests: {e}"))?;
+                i += 2;
+            }
+            "--threads" => {
+                args.threads = value(i)?.parse().map_err(|e| format!("--threads: {e}"))?;
+                if args.threads == 0 {
+                    return Err("--threads must be >= 1".to_owned());
+                }
+                i += 2;
+            }
+            "--addr" => {
+                args.addr = Some(value(i)?.to_owned());
+                i += 2;
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+/// One expected request/response pair, precomputed from direct library
+/// calls before the first byte goes over the wire.
+#[derive(Clone)]
+struct Expected {
+    method: &'static str,
+    path: &'static str,
+    request_body: String,
+    /// Exact response body, or `None` for responses checked by content
+    /// (e.g. `/metrics`, which contains live counters).
+    response_body: Option<String>,
+}
+
+/// The degrade-query grid: small enough that every query repeats many
+/// times (exercising the memo cache), varied enough to cover the RAS,
+/// temperature and stress-probability axes.
+fn degrade_grid() -> Vec<DegradeQuery> {
+    let mut grid = Vec::new();
+    for ras in [(1.0, 9.0), (2.0, 8.0), (5.0, 5.0)] {
+        for t_standby in [320.0, 340.0, 360.0, 380.0] {
+            for p_active in [0.3, 0.6] {
+                grid.push(DegradeQuery {
+                    ras,
+                    t_standby_k: Kelvin(t_standby),
+                    lifetime_s: 1.0e8,
+                    p_active,
+                    p_standby: 1.0,
+                });
+            }
+        }
+    }
+    grid
+}
+
+/// Computes the exact expected `/v1/degrade` body with no server and no
+/// cache in the loop.
+fn expected_degrade(query: &DegradeQuery) -> Result<String, String> {
+    let model = NbtiModel::ptm90().map_err(|e| e.to_string())?;
+    let params = NbtiParams::ptm90().map_err(|e| e.to_string())?;
+    let key = query.stress_key()?;
+    let dvth = NoCache.delta_vth(key, &model).map_err(|e| e.to_string())?;
+    let frac = DelayDegradation::new(&params)
+        .linear(dvth)
+        .map_err(|e| e.to_string())?;
+    Ok(degrade_body(dvth, frac))
+}
+
+/// Builds the inline-sweep request plus its exact expected response, by
+/// walking the same canonical point order the server uses.
+fn expected_sweep() -> Result<Expected, String> {
+    let spec = SweepSpec {
+        workload: Workload::ModelDeltaVth {
+            p_active: 0.5,
+            p_standby: 1.0,
+        },
+        ras: vec![(1.0, 9.0), (5.0, 5.0)],
+        t_standby: vec![Kelvin(330.0), Kelvin(360.0)],
+        lifetimes: vec![Seconds(1.0e8)],
+    };
+    let model = NbtiModel::ptm90().map_err(|e| e.to_string())?;
+    let mut rendered = Vec::new();
+    for point in spec.points() {
+        let JobTask::Model {
+            p_active,
+            p_standby,
+        } = point.task
+        else {
+            return Err("model sweep produced a non-model task".to_owned());
+        };
+        let query = DegradeQuery {
+            ras: point.ras,
+            t_standby_k: point.t_standby,
+            lifetime_s: point.lifetime.0,
+            p_active,
+            p_standby,
+        };
+        let dvth = NoCache
+            .delta_vth(query.stress_key()?, &model)
+            .map_err(|e| e.to_string())?;
+        rendered.push(format!(
+            "{{\"ras\":[{},{}],\"t_standby_k\":{},\"lifetime_s\":{},\"delta_vth_v\":{}}}",
+            fmt_f64(point.ras.0),
+            fmt_f64(point.ras.1),
+            fmt_f64(point.t_standby.0),
+            fmt_f64(point.lifetime.0),
+            fmt_f64(dvth)
+        ));
+    }
+    Ok(Expected {
+        method: "POST",
+        path: "/v1/sweep",
+        request_body: "{\"workload\":{\"kind\":\"model\",\"p_active\":0.5,\"p_standby\":1},\
+                       \"ras\":[[1,9],[5,5]],\"t_standby_k\":[330,360],\"lifetime_s\":[1e8]}"
+            .to_owned(),
+        response_body: Some(format!(
+            "{{\"count\":{},\"points\":[{}]}}",
+            rendered.len(),
+            rendered.join(",")
+        )),
+    })
+}
+
+fn write_request(
+    stream: &mut TcpStream,
+    method: &str,
+    path: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+fn read_response(reader: &mut BufReader<TcpStream>) -> Result<(u16, Vec<u8>), String> {
+    let mut status_line = String::new();
+    reader
+        .read_line(&mut status_line)
+        .map_err(|e| format!("reading status line: {e}"))?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad status line {status_line:?}"))?;
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader
+            .read_line(&mut line)
+            .map_err(|e| format!("reading header: {e}"))?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(v) = line
+            .to_ascii_lowercase()
+            .strip_prefix("content-length:")
+            .map(str::trim)
+            .and_then(|v| v.parse().ok())
+        {
+            content_length = v;
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| format!("reading body: {e}"))?;
+    Ok((status, body))
+}
+
+/// One request over an existing keep-alive connection; returns an error
+/// string describing any status or byte mismatch.
+fn check_one(
+    stream: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    expected: &Expected,
+) -> Result<(), String> {
+    write_request(
+        stream,
+        expected.method,
+        expected.path,
+        expected.request_body.as_bytes(),
+    )
+    .map_err(|e| format!("{} {}: write: {e}", expected.method, expected.path))?;
+    let (status, body) =
+        read_response(reader).map_err(|e| format!("{} {}: {e}", expected.method, expected.path))?;
+    if status != 200 {
+        return Err(format!(
+            "{} {}: status {status}: {}",
+            expected.method,
+            expected.path,
+            String::from_utf8_lossy(&body)
+        ));
+    }
+    if let Some(want) = &expected.response_body {
+        if body != want.as_bytes() {
+            return Err(format!(
+                "{} {}: byte mismatch:\n  want {}\n  got  {}",
+                expected.method,
+                expected.path,
+                want,
+                String::from_utf8_lossy(&body)
+            ));
+        }
+    } else if body.is_empty() {
+        return Err(format!("{} {}: empty body", expected.method, expected.path));
+    }
+    Ok(())
+}
+
+/// Scrapes one counter value out of a Prometheus text exposition.
+fn scrape_counter(metrics_text: &str, name: &str) -> Option<u64> {
+    metrics_text.lines().find_map(|line| {
+        line.strip_prefix(name)
+            .and_then(|rest| rest.trim().parse().ok())
+    })
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+
+    // Precompute every expected byte sequence before opening a socket.
+    let grid = degrade_grid();
+    let degrade_expected: Vec<Expected> = grid
+        .iter()
+        .map(|q| {
+            Ok(Expected {
+                method: "POST",
+                path: "/v1/degrade",
+                request_body: q.to_body(),
+                response_body: Some(expected_degrade(q)?),
+            })
+        })
+        .collect::<Result<_, String>>()?;
+    let sweep_expected = expected_sweep()?;
+    let health_expected = Expected {
+        method: "GET",
+        path: "/healthz",
+        request_body: String::new(),
+        response_body: Some("{\"status\":\"ok\"}".to_owned()),
+    };
+    let metrics_expected = Expected {
+        method: "GET",
+        path: "/metrics",
+        request_body: String::new(),
+        response_body: None,
+    };
+
+    // Self-host unless pointed at an external server.
+    let mut hosted: Option<(ServerHandle, thread::JoinHandle<_>)> = None;
+    let addr = match &args.addr {
+        Some(addr) => addr.clone(),
+        None => {
+            let config = ServeConfig {
+                addr: "127.0.0.1:0".to_owned(),
+                threads: args.threads + 2,
+                queue_depth: 64,
+                request_timeout: Duration::from_secs(30),
+                ..ServeConfig::default()
+            };
+            let state = Arc::new(ServeState::new(config.request_timeout)?);
+            let server = Server::bind(config, state).map_err(|e| e.to_string())?;
+            let addr = server.local_addr().to_string();
+            let handle = server.handle();
+            let join = thread::spawn(move || server.run());
+            hosted = Some((handle, join));
+            addr
+        }
+    };
+
+    let failures = Arc::new(AtomicU64::new(0));
+    let completed = Arc::new(AtomicU64::new(0));
+    let per_thread = args.requests.div_ceil(args.threads);
+
+    let workers: Vec<_> = (0..args.threads)
+        .map(|t| {
+            let addr = addr.clone();
+            let degrade_expected = degrade_expected.clone();
+            let sweep_expected = sweep_expected.clone();
+            let health_expected = health_expected.clone();
+            let metrics_expected = metrics_expected.clone();
+            let failures = Arc::clone(&failures);
+            let completed = Arc::clone(&completed);
+            thread::spawn(move || {
+                let stream = match TcpStream::connect(&addr) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("thread {t}: connect {addr}: {e}");
+                        failures.fetch_add(per_thread as u64, Ordering::Relaxed);
+                        return;
+                    }
+                };
+                stream.set_nodelay(true).ok();
+                let mut reader = BufReader::new(match stream.try_clone() {
+                    Ok(c) => c,
+                    Err(e) => {
+                        eprintln!("thread {t}: clone: {e}");
+                        failures.fetch_add(per_thread as u64, Ordering::Relaxed);
+                        return;
+                    }
+                });
+                let mut stream = stream;
+                for i in 0..per_thread {
+                    let expected = if i % 97 == 11 {
+                        &sweep_expected
+                    } else if i % 31 == 7 {
+                        &health_expected
+                    } else if i % 53 == 5 {
+                        &metrics_expected
+                    } else {
+                        &degrade_expected[(i * 7 + t) % degrade_expected.len()]
+                    };
+                    match check_one(&mut stream, &mut reader, expected) {
+                        Ok(()) => {
+                            completed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => {
+                            eprintln!("thread {t} request {i}: {e}");
+                            failures.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for worker in workers {
+        worker.join().map_err(|_| "client thread panicked")?;
+    }
+
+    // Scrape the cache counters, then drain the server gracefully.
+    let stream = TcpStream::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let mut stream = stream;
+    write_request(&mut stream, "GET", "/metrics", b"").map_err(|e| e.to_string())?;
+    let (status, metrics_body) = read_response(&mut reader)?;
+    if status != 200 {
+        return Err(format!("final /metrics returned {status}"));
+    }
+    let metrics_text = String::from_utf8_lossy(&metrics_body);
+    let hits = scrape_counter(&metrics_text, "relia_cache_hits ").unwrap_or(0);
+    let misses = scrape_counter(&metrics_text, "relia_cache_misses ").unwrap_or(0);
+    let leads = scrape_counter(&metrics_text, "relia_serve_coalesce_leads ").unwrap_or(0);
+    let joins = scrape_counter(&metrics_text, "relia_serve_coalesce_joins ").unwrap_or(0);
+
+    write_request(&mut stream, "POST", "/admin/shutdown", b"").map_err(|e| e.to_string())?;
+    let (status, _) = read_response(&mut reader)?;
+    if status != 200 {
+        return Err(format!("/admin/shutdown returned {status}"));
+    }
+    if let Some((_handle, join)) = hosted {
+        join.join()
+            .map_err(|_| "server thread panicked")?
+            .map_err(|e| format!("server run: {e}"))?;
+    }
+
+    let completed = completed.load(Ordering::Relaxed);
+    let failures = failures.load(Ordering::Relaxed);
+    println!(
+        "loadgen: {completed} ok, {failures} failed; cache {hits} hits / {misses} misses; \
+         coalesce {leads} leads / {joins} joins"
+    );
+    if failures > 0 {
+        return Err(format!("{failures} requests failed or mismatched"));
+    }
+    if hits == 0 {
+        return Err("cache hit count is zero — memoization is not engaging".to_owned());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

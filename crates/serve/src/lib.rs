@@ -1,0 +1,69 @@
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+//! # relia-serve
+//!
+//! A std-only, offline HTTP/1.1 JSON service answering NBTI degradation
+//! queries from the paper's temperature-aware model — the long-lived
+//! counterpart of the batch engine in `relia-jobs`.
+//!
+//! ```text
+//! POST /v1/degrade      one stress point  → ΔV_th + delay degradation
+//! POST /v1/sweep        small inline grid → canonical-order results
+//! GET  /healthz         liveness / drain state
+//! GET  /metrics         Prometheus text exposition
+//! POST /admin/shutdown  graceful drain
+//! ```
+//!
+//! ## Design
+//!
+//! * **No dependencies.** HTTP framing ([`http`]) and JSON ([`json`]) are
+//!   hand-rolled subsets, hardened with byte caps on every input dimension
+//!   and fuzzed with proptest; the whole crate is `TcpListener` + threads.
+//! * **Shared memoization.** Queries evaluate through the same sharded
+//!   ΔV_th cache ([`relia_jobs::ShardedCache`]) the sweep engine uses, and
+//!   the server's cache can be handed to batch sweeps
+//!   ([`relia_jobs::SweepOptions::shared_cache`]) — one memo table per
+//!   process, identical values either way.
+//! * **Single-flight coalescing.** Concurrent identical queries on a cold
+//!   key share one model evaluation ([`coalesce`]).
+//! * **Backpressure, not backlog.** Connections run on a bounded
+//!   [`relia_jobs::TaskPool`]; a full queue sheds load with
+//!   `503 + Retry-After` at accept time ([`server`]).
+//! * **Deadlines end-to-end.** Socket read timeouts map a stalled peer to
+//!   `408`; a per-request [`relia_core::Deadline`] maps overlong
+//!   evaluation to `504`, cancelling aging analyses cooperatively.
+//! * **Byte parity.** Responses render floats with the shortest
+//!   round-trip convention, so a served value is byte-identical to one
+//!   computed by a direct library call — the `loadgen` example asserts
+//!   exactly that, response by response.
+//!
+//! ## Quick start
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use std::time::Duration;
+//! use relia_serve::{ServeConfig, ServeState, Server};
+//!
+//! let config = ServeConfig::default();
+//! let state = Arc::new(ServeState::new(config.request_timeout).unwrap());
+//! let server = Server::bind(config, state).unwrap();
+//! println!("relia-serve listening on {}", server.local_addr());
+//! server.run().unwrap();
+//! ```
+
+pub mod coalesce;
+pub mod http;
+pub mod json;
+pub mod metrics;
+pub mod server;
+pub mod service;
+
+pub use coalesce::SingleFlight;
+pub use http::{read_request, write_response, Limits, ParseError, Request, Response};
+pub use json::{fmt_f64, Json, JsonError};
+pub use metrics::{render_prometheus, ServeMetrics};
+pub use server::{ServeConfig, Server, ServerHandle};
+pub use service::{
+    degrade_body, handle, parse_degrade, parse_sweep, Action, CachedEval, DegradeQuery, ModelEval,
+    ServeState, MAX_SWEEP_POINTS,
+};

@@ -1,0 +1,129 @@
+//! Service-side counters and the Prometheus text exposition.
+//!
+//! The server's own counters (requests, responses by class, shed load,
+//! coalescing) become a [`MetricsSnapshot`] and are merged with the shared
+//! memo cache's snapshot from relia-jobs — one typed pipeline from atomic
+//! counter to `/metrics` body, no renderer-specific formatting of internal
+//! structs.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use relia_jobs::MetricsSnapshot;
+
+use crate::json::fmt_f64;
+
+/// Monotonic counters of one server instance. All methods are `Relaxed`
+/// atomics: these are statistics, not synchronization.
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    /// Connections accepted.
+    pub connections: AtomicU64,
+    /// Connections refused with 503 because the task queue was full.
+    pub shed: AtomicU64,
+    /// Requests parsed and routed.
+    pub requests: AtomicU64,
+    /// Responses with a 2xx status.
+    pub responses_ok: AtomicU64,
+    /// Responses with a 4xx status.
+    pub responses_client_error: AtomicU64,
+    /// Responses with a 5xx status (the shed 503s included).
+    pub responses_server_error: AtomicU64,
+    /// Requests that blew their evaluation deadline (504).
+    pub deadline_exceeded: AtomicU64,
+}
+
+impl ServeMetrics {
+    /// Bumps `counter` by one.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a finished response by status class.
+    pub fn record_status(&self, status: u16) {
+        match status {
+            200..=299 => Self::bump(&self.responses_ok),
+            400..=499 => Self::bump(&self.responses_client_error),
+            _ => Self::bump(&self.responses_server_error),
+        }
+        if status == 504 {
+            Self::bump(&self.deadline_exceeded);
+        }
+    }
+
+    /// Typed snapshot of every counter, in declaration order.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let c = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        MetricsSnapshot {
+            counters: vec![
+                ("serve_connections", c(&self.connections)),
+                ("serve_shed", c(&self.shed)),
+                ("serve_requests", c(&self.requests)),
+                ("serve_responses_ok", c(&self.responses_ok)),
+                (
+                    "serve_responses_client_error",
+                    c(&self.responses_client_error),
+                ),
+                (
+                    "serve_responses_server_error",
+                    c(&self.responses_server_error),
+                ),
+                ("serve_deadline_exceeded", c(&self.deadline_exceeded)),
+            ],
+            gauges: vec![],
+        }
+    }
+}
+
+/// Renders a snapshot in the Prometheus text exposition format
+/// (version 0.0.4): `# TYPE` line then `relia_<name> <value>` per series.
+pub fn render_prometheus(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snapshot.counters {
+        out.push_str(&format!(
+            "# TYPE relia_{name} counter\nrelia_{name} {value}\n"
+        ));
+    }
+    for (name, value) in &snapshot.gauges {
+        out.push_str(&format!(
+            "# TYPE relia_{name} gauge\nrelia_{name} {}\n",
+            fmt_f64(*value)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_names_every_counter() {
+        let m = ServeMetrics::default();
+        ServeMetrics::bump(&m.connections);
+        m.record_status(200);
+        m.record_status(404);
+        m.record_status(503);
+        m.record_status(504);
+        let s = m.snapshot();
+        assert_eq!(s.counter("serve_connections"), Some(1));
+        assert_eq!(s.counter("serve_responses_ok"), Some(1));
+        assert_eq!(s.counter("serve_responses_client_error"), Some(1));
+        assert_eq!(s.counter("serve_responses_server_error"), Some(2));
+        assert_eq!(s.counter("serve_deadline_exceeded"), Some(1));
+        assert_eq!(s.counters.len(), 7, "every declared counter is exposed");
+    }
+
+    #[test]
+    fn prometheus_rendering_has_type_lines_and_values() {
+        let m = ServeMetrics::default();
+        ServeMetrics::bump(&m.requests);
+        let merged = m
+            .snapshot()
+            .merged(relia_jobs::CacheStats::default().snapshot());
+        let text = render_prometheus(&merged);
+        assert!(text.contains("# TYPE relia_serve_requests counter\nrelia_serve_requests 1\n"));
+        assert!(text.contains("# TYPE relia_cache_hits counter\nrelia_cache_hits 0\n"));
+        assert!(text.contains("# TYPE relia_cache_hit_rate gauge\nrelia_cache_hit_rate 0\n"));
+        assert!(text.ends_with('\n'));
+    }
+}

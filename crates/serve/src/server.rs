@@ -1,0 +1,430 @@
+//! The TCP front end: accept loop, bounded worker queue, keep-alive
+//! connection handling, and graceful drain.
+//!
+//! ## Backpressure
+//!
+//! Accepted connections are handed to a bounded [`TaskPool`]
+//! (relia-jobs). When the queue is full, the accept loop *sheds* the
+//! connection immediately — `503` with `Retry-After`, then close — instead
+//! of letting an unbounded backlog grow. The queue depth is the server's
+//! entire buffering policy; nothing else queues.
+//!
+//! ## Deadlines
+//!
+//! The socket read timeout bounds how long a peer may dribble one request
+//! (mid-request stall → `408`); a [`Deadline`] created when the request is
+//! fully parsed bounds evaluation (`504`), checked cooperatively between
+//! sweep points and threaded into aging analyses as a [`CancelToken`].
+//!
+//! ## Graceful drain
+//!
+//! [`ServerHandle::shutdown`] (or `POST /admin/shutdown`) marks the state
+//! as draining, raises the stop flag, and pokes the listener with a local
+//! connection so `accept` wakes immediately. The accept loop stops taking
+//! work; keep-alive handlers send `Connection: close` on their next
+//! response or fall out of their idle read; [`Server::run`] then joins the
+//! pool and returns — every accepted request is answered, none are
+//! abandoned.
+//!
+//! [`CancelToken`]: relia_core::CancelToken
+
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use relia_core::{CancelToken, Deadline};
+use relia_jobs::{default_workers, TaskPool};
+
+use crate::http::{read_request, write_response, Limits, Response};
+use crate::metrics::ServeMetrics;
+use crate::service::{handle, Action, ServeState};
+
+/// Server knobs, all CLI-settable.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads; 0 means [`default_workers`].
+    pub threads: usize,
+    /// Bounded connection queue depth; beyond it, load is shed with 503.
+    pub queue_depth: usize,
+    /// Per-request deadline (socket reads and evaluation both).
+    pub request_timeout: Duration,
+    /// HTTP parse limits.
+    pub limits: Limits,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            threads: 0,
+            queue_depth: 64,
+            request_timeout: Duration::from_secs(5),
+            limits: Limits::default(),
+        }
+    }
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    state: Arc<ServeState>,
+    config: ServeConfig,
+    stop: Arc<AtomicBool>,
+}
+
+/// Triggers a graceful drain from another thread (or from a handler).
+#[derive(Clone)]
+pub struct ServerHandle {
+    state: Arc<ServeState>,
+    stop: Arc<AtomicBool>,
+    addr: SocketAddr,
+}
+
+impl ServerHandle {
+    /// Begins the drain: shed new work, wake the accept loop, let
+    /// [`Server::run`] finish in-flight requests and return.
+    pub fn shutdown(&self) {
+        self.state.begin_drain();
+        self.stop.store(true, Ordering::Release);
+        // Wake the blocking accept with a throwaway local connection.
+        let mut poke = self.addr;
+        if poke.ip().is_unspecified() {
+            poke.set_ip(std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST));
+        }
+        let _ = TcpStream::connect_timeout(&poke, Duration::from_millis(200));
+    }
+
+    /// The address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Server {
+    /// Binds the listener (without accepting yet).
+    ///
+    /// # Errors
+    ///
+    /// The bind failure, verbatim.
+    pub fn bind(config: ServeConfig, state: Arc<ServeState>) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        Ok(Server {
+            listener,
+            local_addr,
+            state,
+            config,
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (with the ephemeral port resolved).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A handle that can stop this server from anywhere.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            state: Arc::clone(&self.state),
+            stop: Arc::clone(&self.stop),
+            addr: self.local_addr,
+        }
+    }
+
+    /// Serves until [`ServerHandle::shutdown`] is called, then drains and
+    /// returns. Every accepted connection is either served or answered
+    /// with a shed 503; none are silently dropped.
+    ///
+    /// # Errors
+    ///
+    /// Only fatal listener errors; per-connection I/O failures are
+    /// absorbed (the peer is gone — nobody to report to).
+    pub fn run(self) -> io::Result<()> {
+        let threads = if self.config.threads == 0 {
+            default_workers()
+        } else {
+            self.config.threads
+        };
+        let pool = TaskPool::new(threads, self.config.queue_depth);
+        let handle = self.handle();
+
+        for incoming in self.listener.incoming() {
+            if self.stop.load(Ordering::Acquire) {
+                break;
+            }
+            let stream = match incoming {
+                Ok(s) => s,
+                // Transient accept errors (per-connection resets) are not
+                // fatal to the listener.
+                Err(e) if e.kind() == io::ErrorKind::ConnectionAborted => continue,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            };
+            ServeMetrics::bump(&self.state.metrics.connections);
+            let _ = stream.set_read_timeout(Some(self.config.request_timeout));
+            let _ = stream.set_write_timeout(Some(self.config.request_timeout));
+            let _ = stream.set_nodelay(true);
+
+            // Keep a dup of the socket so a shed connection can still be
+            // answered after the closure (owning the original) is dropped.
+            let shed_copy = stream.try_clone().ok();
+            let state = Arc::clone(&self.state);
+            let limits = self.config.limits;
+            let timeout = self.config.request_timeout;
+            let conn_handle = handle.clone();
+            let submit = pool.try_submit(move || {
+                serve_connection(&state, stream, &limits, timeout, &conn_handle);
+            });
+            if submit.is_err() {
+                ServeMetrics::bump(&self.state.metrics.shed);
+                self.state.metrics.record_status(503);
+                if let Some(mut s) = shed_copy {
+                    let mut shed = Response::error(503, "server is at capacity");
+                    shed.retry_after = Some(1);
+                    shed.close = true;
+                    let _ = write_response(&mut s, &shed);
+                }
+            }
+        }
+        // Finish everything that was accepted, then return.
+        pool.drain();
+        Ok(())
+    }
+}
+
+/// Serves one connection: read → route → respond, keep-alive until the
+/// peer closes, an error occurs, or the server starts draining.
+fn serve_connection(
+    state: &ServeState,
+    stream: TcpStream,
+    limits: &Limits,
+    timeout: Duration,
+    server_handle: &ServerHandle,
+) {
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        match read_request(&mut reader, limits) {
+            Ok(request) => {
+                let deadline = Deadline::new(CancelToken::new(), Instant::now() + timeout);
+                let (mut response, action) = handle(state, &request, &deadline);
+                let keep = request.keep_alive() && !response.close && !state.is_draining();
+                if !keep {
+                    response.close = true;
+                }
+                state.metrics.record_status(response.status);
+                let write_ok = write_response(&mut writer, &response).is_ok();
+                if action == Action::Shutdown {
+                    server_handle.shutdown();
+                }
+                if !write_ok || !keep {
+                    return;
+                }
+            }
+            Err(e) => {
+                if let Some(status) = e.status() {
+                    let mut response = Response::error(status, &e.to_string());
+                    response.close = true;
+                    state.metrics.record_status(status);
+                    let _ = write_response(&mut writer, &response);
+                }
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, Read, Write};
+    use std::thread;
+
+    fn boot(config: ServeConfig) -> (SocketAddr, ServerHandle, thread::JoinHandle<io::Result<()>>) {
+        let state = Arc::new(ServeState::new(config.request_timeout).unwrap());
+        let server = Server::bind(config, state).unwrap();
+        let addr = server.local_addr();
+        let handle = server.handle();
+        let runner = thread::spawn(move || server.run());
+        (addr, handle, runner)
+    }
+
+    fn roundtrip(addr: SocketAddr, request: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(request.as_bytes()).unwrap();
+        let mut reader = BufReader::new(stream);
+        read_one_response(&mut reader)
+    }
+
+    fn read_one_response(reader: &mut BufReader<TcpStream>) -> (u16, String) {
+        let mut status_line = String::new();
+        reader.read_line(&mut status_line).unwrap();
+        let status: u16 = status_line.split(' ').nth(1).unwrap().parse().unwrap();
+        let mut content_length = 0usize;
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+                content_length = v.trim().parse().unwrap();
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body).unwrap();
+        (status, String::from_utf8(body).unwrap())
+    }
+
+    #[test]
+    fn serves_health_and_drains_cleanly() {
+        let (addr, handle, runner) = boot(ServeConfig {
+            threads: 2,
+            queue_depth: 8,
+            request_timeout: Duration::from_secs(2),
+            ..ServeConfig::default()
+        });
+        let (status, body) = roundtrip(addr, "GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert_eq!(status, 200);
+        assert_eq!(body, "{\"status\":\"ok\"}");
+        handle.shutdown();
+        runner.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn keep_alive_serves_multiple_requests_on_one_connection() {
+        let (addr, handle, runner) = boot(ServeConfig {
+            threads: 2,
+            queue_depth: 8,
+            request_timeout: Duration::from_secs(2),
+            ..ServeConfig::default()
+        });
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut w = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        for _ in 0..3 {
+            w.write_all(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+            let (status, _) = read_one_response(&mut reader);
+            assert_eq!(status, 200);
+        }
+        drop(w);
+        drop(reader);
+        handle.shutdown();
+        runner.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn malformed_and_oversized_requests_get_their_statuses_over_the_wire() {
+        let (addr, handle, runner) = boot(ServeConfig {
+            threads: 2,
+            queue_depth: 8,
+            request_timeout: Duration::from_secs(2),
+            limits: Limits {
+                max_body: 128,
+                ..Limits::default()
+            },
+            ..ServeConfig::default()
+        });
+        let (status, _) = roundtrip(addr, "GARBAGE LINE\r\n\r\n");
+        assert_eq!(status, 400);
+        let big = format!(
+            "POST /v1/degrade HTTP/1.1\r\nContent-Length: 500\r\n\r\n{}",
+            "x".repeat(500)
+        );
+        let (status, _) = roundtrip(addr, &big);
+        assert_eq!(status, 413);
+        handle.shutdown();
+        runner.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn stalled_request_times_out_with_408() {
+        let (addr, handle, runner) = boot(ServeConfig {
+            threads: 2,
+            queue_depth: 8,
+            request_timeout: Duration::from_millis(200),
+            ..ServeConfig::default()
+        });
+        let mut stream = TcpStream::connect(addr).unwrap();
+        // Half a request line, then silence.
+        stream.write_all(b"POST /v1/degr").unwrap();
+        let mut reader = BufReader::new(stream);
+        let (status, _) = read_one_response(&mut reader);
+        assert_eq!(status, 408);
+        handle.shutdown();
+        runner.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn shutdown_endpoint_drains_the_server() {
+        let (addr, _handle, runner) = boot(ServeConfig {
+            threads: 2,
+            queue_depth: 8,
+            request_timeout: Duration::from_secs(2),
+            ..ServeConfig::default()
+        });
+        let (status, body) = roundtrip(addr, "POST /admin/shutdown HTTP/1.1\r\n\r\n");
+        assert_eq!(status, 200);
+        assert_eq!(body, "{\"status\":\"draining\"}");
+        // run() returns without any external shutdown() call.
+        runner.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn overload_is_shed_with_503_and_retry_after() {
+        // One worker, queue depth 1, and the worker is wedged by a slow
+        // request → the 3rd+ connection must be shed.
+        let (addr, handle, runner) = boot(ServeConfig {
+            threads: 1,
+            queue_depth: 1,
+            request_timeout: Duration::from_secs(2),
+            ..ServeConfig::default()
+        });
+        // Wedge the worker: open a connection and send nothing; the worker
+        // blocks in read for up to request_timeout.
+        let wedge1 = TcpStream::connect(addr).unwrap();
+        let wedge2 = TcpStream::connect(addr).unwrap();
+        // Now hammer until a shed 503 appears (the accept loop races the
+        // queue, so not every attempt is guaranteed to shed).
+        let mut saw_shed = false;
+        for _ in 0..20 {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream
+                .set_read_timeout(Some(Duration::from_millis(500)))
+                .unwrap();
+            stream.write_all(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+            let mut reader = BufReader::new(stream);
+            let mut status_line = String::new();
+            if reader.read_line(&mut status_line).is_err() {
+                continue;
+            }
+            if status_line.contains("503") {
+                let mut rest = String::new();
+                while reader.read_line(&mut rest).is_ok() && rest.trim_end() != "" {
+                    if rest.to_ascii_lowercase().starts_with("retry-after:") {
+                        saw_shed = true;
+                    }
+                    rest.clear();
+                }
+                if saw_shed {
+                    break;
+                }
+            }
+        }
+        assert!(saw_shed, "expected at least one 503 with retry-after");
+        drop(wedge1);
+        drop(wedge2);
+        handle.shutdown();
+        runner.join().unwrap().unwrap();
+    }
+}

@@ -1,0 +1,755 @@
+//! The service layer: request routing, wire schemas, and the degradation
+//! handlers — everything between a parsed [`Request`] and a [`Response`],
+//! with no sockets in sight (so tests drive it directly).
+//!
+//! ## Endpoints
+//!
+//! | Endpoint            | Meaning                                         |
+//! |---------------------|-------------------------------------------------|
+//! | `POST /v1/degrade`  | one stress point → ΔV_th and delay degradation  |
+//! | `POST /v1/sweep`    | a small inline grid (bounded, canonical order)  |
+//! | `GET /healthz`      | liveness and drain state                        |
+//! | `GET /metrics`      | Prometheus text exposition                      |
+//! | `POST /admin/shutdown` | begin graceful drain                         |
+//!
+//! ## Parity with the batch engine
+//!
+//! `/v1/degrade` evaluates through the *same* canonical path as the sweep
+//! engine's model workload: `ModeSchedule` at the engine's fixed period and
+//! active temperature, [`StressKey::quantize`], then the shared memo cache.
+//! A value served over HTTP is bit-equal to the one a batch sweep or a
+//! direct library call produces; responses render floats with the
+//! shortest-round-trip convention so the bytes match too.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use relia_core::{
+    Deadline, Kelvin, ModeSchedule, NbtiModel, NbtiParams, PmosStress, Ras, Seconds, StressKey,
+};
+use relia_flow::{AgingAnalysis, AnalysisPrep, DeltaVthCache, FlowConfig, FlowError};
+use relia_jobs::{
+    builtin_resolver, MetricsSnapshot, PolicySpec, ShardedCache, SweepSpec, Workload,
+    SWEEP_PERIOD_S, SWEEP_TEMP_ACTIVE_K,
+};
+use relia_netlist::Circuit;
+
+use crate::coalesce::SingleFlight;
+use crate::http::{Request, Response};
+use crate::json::{self, fmt_f64, Json};
+use crate::metrics::{render_prometheus, ServeMetrics};
+
+/// Largest grid `/v1/sweep` accepts inline; bigger grids belong to the
+/// batch engine (`relia sweep`), and get a 413 telling the caller so.
+pub const MAX_SWEEP_POINTS: usize = 256;
+
+/// How one model evaluation is produced. The production implementation is
+/// [`CachedEval`] (shared memo cache); tests inject gated/counting
+/// implementations to observe coalescing deterministically.
+pub trait ModelEval: Send + Sync {
+    /// ΔV_th in volts for the canonical point of `key`.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable reason; the service maps it to HTTP 500.
+    fn delta_vth(&self, key: StressKey) -> Result<f64, String>;
+}
+
+/// The production evaluator: the process-wide sharded memo cache in front
+/// of the NBTI model.
+pub struct CachedEval {
+    cache: Arc<ShardedCache>,
+    model: NbtiModel,
+}
+
+impl ModelEval for CachedEval {
+    fn delta_vth(&self, key: StressKey) -> Result<f64, String> {
+        self.cache
+            .delta_vth(key, &self.model)
+            .map_err(|e| e.to_string())
+    }
+}
+
+/// Everything the handlers share: evaluator, memo cache, single-flight
+/// gate, prepared circuits, counters, and limits.
+pub struct ServeState {
+    /// The process-wide ΔV_th memo table (also handed to batch sweeps via
+    /// [`relia_jobs::SweepOptions::shared_cache`]).
+    pub cache: Arc<ShardedCache>,
+    /// Service counters.
+    pub metrics: ServeMetrics,
+    eval: Arc<dyn ModelEval>,
+    flight: SingleFlight<StressKey, Result<f64, String>>,
+    degradation: relia_core::DelayDegradation,
+    preps: Mutex<HashMap<String, Arc<(Circuit, AnalysisPrep)>>>,
+    base_config: FlowConfig,
+    request_timeout: Duration,
+    draining: AtomicBool,
+}
+
+impl ServeState {
+    /// Production state: built-in PTM 90 nm calibration, a fresh shared
+    /// cache, `request_timeout` as every request's evaluation deadline.
+    ///
+    /// # Errors
+    ///
+    /// Only if the built-in calibration fails to validate (it cannot).
+    pub fn new(request_timeout: Duration) -> Result<Self, String> {
+        let cache = Arc::new(ShardedCache::default());
+        let model = NbtiModel::ptm90().map_err(|e| e.to_string())?;
+        let eval = Arc::new(CachedEval {
+            cache: Arc::clone(&cache),
+            model,
+        });
+        ServeState::with_eval(cache, eval, request_timeout)
+    }
+
+    /// State with an injected evaluator (tests observe or gate evaluations
+    /// through this seam; everything else is the production wiring).
+    ///
+    /// # Errors
+    ///
+    /// Only if the built-in calibration fails to validate (it cannot).
+    pub fn with_eval(
+        cache: Arc<ShardedCache>,
+        eval: Arc<dyn ModelEval>,
+        request_timeout: Duration,
+    ) -> Result<Self, String> {
+        let params = NbtiParams::ptm90().map_err(|e| e.to_string())?;
+        Ok(ServeState {
+            cache,
+            metrics: ServeMetrics::default(),
+            eval,
+            flight: SingleFlight::new(),
+            degradation: relia_core::DelayDegradation::new(&params),
+            preps: Mutex::new(HashMap::new()),
+            base_config: FlowConfig::paper_defaults().map_err(|e| e.to_string())?,
+            request_timeout,
+            draining: AtomicBool::new(false),
+        })
+    }
+
+    /// The per-request evaluation deadline.
+    pub fn request_timeout(&self) -> Duration {
+        self.request_timeout
+    }
+
+    /// True once a graceful drain has begun.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::Acquire)
+    }
+
+    /// Begins draining: subsequent requests are shed with 503.
+    pub fn begin_drain(&self) {
+        self.draining.store(true, Ordering::Release);
+    }
+
+    /// The merged metrics snapshot behind `GET /metrics`: service counters,
+    /// single-flight counters, and the shared memo cache.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.metrics
+            .snapshot()
+            .merged(MetricsSnapshot {
+                counters: vec![
+                    ("serve_coalesce_leads", self.flight.leads()),
+                    ("serve_coalesce_joins", self.flight.joins()),
+                ],
+                gauges: vec![],
+            })
+            .merged(self.cache.stats().snapshot())
+    }
+
+    fn prep_for(&self, name: &str) -> Result<Arc<(Circuit, AnalysisPrep)>, Response> {
+        // relia-lint: allow(unwrap-in-lib)
+        let mut preps = self.preps.lock().expect("prep table poisoned");
+        if let Some(found) = preps.get(name) {
+            return Ok(Arc::clone(found));
+        }
+        let circuit = builtin_resolver(name)
+            .map_err(|e| Response::error(400, &format!("unknown circuit {name:?}: {e}")))?;
+        let prep = AgingAnalysis::prep(&self.base_config, &circuit)
+            .map_err(|e| Response::error(500, &format!("cannot prepare {name:?}: {e}")))?;
+        let pair = Arc::new((circuit, prep));
+        preps.insert(name.to_owned(), Arc::clone(&pair));
+        Ok(pair)
+    }
+}
+
+/// What the connection loop must do after writing the response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Keep serving.
+    Continue,
+    /// Begin the graceful drain (stop accepting, finish in-flight work).
+    Shutdown,
+}
+
+/// One degradation query: the paper's operating schedule (RAS split,
+/// standby temperature, lifetime) plus the device's stress probabilities.
+/// The mode-cycle period and active temperature are fixed at the sweep
+/// engine's baseline so served values match batch results exactly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegradeQuery {
+    /// `(active, standby)` RAS weights.
+    pub ras: (f64, f64),
+    /// Standby temperature.
+    pub t_standby_k: Kelvin,
+    /// Operating lifetime in seconds.
+    pub lifetime_s: f64,
+    /// Active-mode stress probability.
+    pub p_active: f64,
+    /// Standby-mode stress probability.
+    pub p_standby: f64,
+}
+
+impl DegradeQuery {
+    /// The canonical JSON body for this query (what `loadgen` sends).
+    pub fn to_body(&self) -> String {
+        format!(
+            "{{\"ras\":[{},{}],\"t_standby_k\":{},\"lifetime_s\":{},\
+             \"p_active\":{},\"p_standby\":{}}}",
+            fmt_f64(self.ras.0),
+            fmt_f64(self.ras.1),
+            fmt_f64(self.t_standby_k.0),
+            fmt_f64(self.lifetime_s),
+            fmt_f64(self.p_active),
+            fmt_f64(self.p_standby)
+        )
+    }
+
+    /// The quantized stress key this query evaluates — the *same*
+    /// construction as the sweep engine's model workload.
+    ///
+    /// # Errors
+    ///
+    /// A parameter-validation message (maps to HTTP 400).
+    pub fn stress_key(&self) -> Result<StressKey, String> {
+        let ras = Ras::new(self.ras.0, self.ras.1).map_err(|e| e.to_string())?;
+        let schedule = ModeSchedule::new(
+            ras,
+            Seconds(SWEEP_PERIOD_S),
+            Kelvin(SWEEP_TEMP_ACTIVE_K),
+            self.t_standby_k,
+        )
+        .map_err(|e| e.to_string())?;
+        let stress = PmosStress::new(self.p_active, self.p_standby).map_err(|e| e.to_string())?;
+        Ok(StressKey::quantize(
+            &schedule,
+            &stress,
+            Seconds(self.lifetime_s),
+        ))
+    }
+}
+
+fn require_f64(obj: &Json, name: &'static str) -> Result<f64, Response> {
+    obj.get(name)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| Response::error(400, &format!("missing or non-numeric field {name:?}")))
+}
+
+fn parse_ras_pair(value: &Json) -> Result<(f64, f64), Response> {
+    match value.as_arr() {
+        Some([a, s]) => match (a.as_f64(), s.as_f64()) {
+            (Some(a), Some(s)) => Ok((a, s)),
+            _ => Err(Response::error(400, "ras entries must be numbers")),
+        },
+        _ => Err(Response::error(400, "ras must be a two-element array")),
+    }
+}
+
+/// Parses a `/v1/degrade` body.
+///
+/// # Errors
+///
+/// The 400 response describing what is malformed.
+pub fn parse_degrade(body: &[u8]) -> Result<DegradeQuery, Response> {
+    let root = json::parse(body).map_err(|e| Response::error(400, &e.to_string()))?;
+    let ras = parse_ras_pair(
+        root.get("ras")
+            .ok_or_else(|| Response::error(400, "missing field \"ras\""))?,
+    )?;
+    Ok(DegradeQuery {
+        ras,
+        t_standby_k: Kelvin(require_f64(&root, "t_standby_k")?),
+        lifetime_s: require_f64(&root, "lifetime_s")?,
+        p_active: require_f64(&root, "p_active")?,
+        p_standby: require_f64(&root, "p_standby")?,
+    })
+}
+
+/// Renders the `/v1/degrade` response body. Public so load generators can
+/// compute the expected bytes from direct library calls.
+pub fn degrade_body(delta_vth_v: f64, delay_degradation: f64) -> String {
+    format!(
+        "{{\"delta_vth_v\":{},\"delay_degradation\":{}}}",
+        fmt_f64(delta_vth_v),
+        fmt_f64(delay_degradation)
+    )
+}
+
+fn handle_degrade(state: &ServeState, request: &Request, deadline: &Deadline) -> Response {
+    let query = match parse_degrade(&request.body) {
+        Ok(q) => q,
+        Err(r) => return r,
+    };
+    let key = match query.stress_key() {
+        Ok(k) => k,
+        Err(e) => return Response::error(400, &e),
+    };
+    // The queue wait may already have consumed the deadline.
+    if deadline.fire_if_due(Instant::now()) {
+        return Response::error(504, "request deadline exceeded");
+    }
+    let delta_vth = match state.flight.run(key, || state.eval.delta_vth(key)) {
+        Ok(v) => v,
+        Err(e) => return Response::error(500, &e),
+    };
+    match state.degradation.linear(delta_vth) {
+        Ok(frac) => Response::json(200, degrade_body(delta_vth, frac)),
+        Err(e) => Response::error(500, &e.to_string()),
+    }
+}
+
+fn parse_f64_list(root: &Json, name: &'static str) -> Result<Vec<f64>, Response> {
+    let arr = root
+        .get(name)
+        .and_then(Json::as_arr)
+        .ok_or_else(|| Response::error(400, &format!("missing or non-array field {name:?}")))?;
+    arr.iter()
+        .map(|v| {
+            v.as_f64()
+                .ok_or_else(|| Response::error(400, &format!("{name:?} entries must be numbers")))
+        })
+        .collect()
+}
+
+fn parse_str_list(root: &Json, name: &'static str) -> Result<Vec<String>, Response> {
+    let arr = root
+        .get(name)
+        .and_then(Json::as_arr)
+        .ok_or_else(|| Response::error(400, &format!("missing or non-array field {name:?}")))?;
+    arr.iter()
+        .map(|v| {
+            v.as_str()
+                .map(str::to_owned)
+                .ok_or_else(|| Response::error(400, &format!("{name:?} entries must be strings")))
+        })
+        .collect()
+}
+
+/// Parses a `/v1/sweep` body into the batch engine's [`SweepSpec`] — same
+/// grid semantics, same canonical point order.
+///
+/// # Errors
+///
+/// The 400 (malformed) or 413 (grid too large) response.
+pub fn parse_sweep(body: &[u8]) -> Result<SweepSpec, Response> {
+    let root = json::parse(body).map_err(|e| Response::error(400, &e.to_string()))?;
+    let workload = root
+        .get("workload")
+        .ok_or_else(|| Response::error(400, "missing field \"workload\""))?;
+    let kind = workload
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or_else(|| Response::error(400, "workload needs a \"kind\" of model|aging"))?;
+    let workload = match kind {
+        "model" => Workload::ModelDeltaVth {
+            p_active: require_f64(workload, "p_active")?,
+            p_standby: require_f64(workload, "p_standby")?,
+        },
+        "aging" => {
+            let circuits = parse_str_list(workload, "circuits")?;
+            let policies = parse_str_list(workload, "policies")?
+                .iter()
+                .map(|s| PolicySpec::parse(s))
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(|e| Response::error(400, &e))?;
+            Workload::CircuitAging { circuits, policies }
+        }
+        other => {
+            return Err(Response::error(
+                400,
+                &format!("unknown workload kind {other:?} (want model|aging)"),
+            ))
+        }
+    };
+    let ras_values = root
+        .get("ras")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| Response::error(400, "missing or non-array field \"ras\""))?
+        .iter()
+        .map(parse_ras_pair)
+        .collect::<Result<Vec<_>, _>>()?;
+    let spec = SweepSpec {
+        workload,
+        ras: ras_values,
+        t_standby: parse_f64_list(&root, "t_standby_k")?
+            .into_iter()
+            .map(Kelvin)
+            .collect(),
+        lifetimes: parse_f64_list(&root, "lifetime_s")?
+            .into_iter()
+            .map(Seconds)
+            .collect(),
+    };
+    if spec.is_empty() {
+        return Err(Response::error(400, "sweep grid is empty"));
+    }
+    if spec.len() > MAX_SWEEP_POINTS {
+        return Err(Response::error(
+            413,
+            &format!(
+                "inline sweep of {} points exceeds the limit of {MAX_SWEEP_POINTS}; \
+                 use the batch engine (relia sweep) for large grids",
+                spec.len()
+            ),
+        ));
+    }
+    Ok(spec)
+}
+
+fn handle_sweep(state: &ServeState, request: &Request, deadline: &Deadline) -> Response {
+    let spec = match parse_sweep(&request.body) {
+        Ok(s) => s,
+        Err(r) => return r,
+    };
+    let points = spec.points();
+    let mut rendered: Vec<String> = Vec::with_capacity(points.len());
+    for point in &points {
+        // Cooperative deadline check between points: a sweep that blows
+        // its budget returns 504 instead of hogging a worker.
+        if deadline.fire_if_due(Instant::now()) {
+            return Response::error(504, "request deadline exceeded");
+        }
+        let prefix = format!(
+            "\"ras\":[{},{}],\"t_standby_k\":{},\"lifetime_s\":{}",
+            fmt_f64(point.ras.0),
+            fmt_f64(point.ras.1),
+            fmt_f64(point.t_standby.0),
+            fmt_f64(point.lifetime.0)
+        );
+        match &point.task {
+            relia_jobs::JobTask::Model {
+                p_active,
+                p_standby,
+            } => {
+                let query = DegradeQuery {
+                    ras: point.ras,
+                    t_standby_k: point.t_standby,
+                    lifetime_s: point.lifetime.0,
+                    p_active: *p_active,
+                    p_standby: *p_standby,
+                };
+                let key = match query.stress_key() {
+                    Ok(k) => k,
+                    Err(e) => return Response::error(400, &e),
+                };
+                let delta_vth = match state.flight.run(key, || state.eval.delta_vth(key)) {
+                    Ok(v) => v,
+                    Err(e) => return Response::error(500, &e),
+                };
+                rendered.push(format!(
+                    "{{{prefix},\"delta_vth_v\":{}}}",
+                    fmt_f64(delta_vth)
+                ));
+            }
+            relia_jobs::JobTask::Aging { circuit, policy } => {
+                match run_aging_point(state, circuit, policy, point, deadline) {
+                    Ok(body) => rendered.push(format!("{{{prefix},{body}}}")),
+                    Err(r) => return r,
+                }
+            }
+        }
+    }
+    Response::json(
+        200,
+        format!(
+            "{{\"count\":{},\"points\":[{}]}}",
+            rendered.len(),
+            rendered.join(",")
+        ),
+    )
+}
+
+fn run_aging_point(
+    state: &ServeState,
+    circuit: &str,
+    policy: &PolicySpec,
+    point: &relia_jobs::JobPoint,
+    deadline: &Deadline,
+) -> Result<String, Response> {
+    let pair = state.prep_for(circuit)?;
+    let ras =
+        Ras::new(point.ras.0, point.ras.1).map_err(|e| Response::error(400, &e.to_string()))?;
+    let mut config = FlowConfig::with_schedule(ras, point.t_standby)
+        .map_err(|e| Response::error(400, &e.to_string()))?;
+    config.lifetime = point.lifetime;
+    let analysis = AgingAnalysis::from_prep(&config, &pair.0, pair.1.clone());
+    let report = analysis
+        .run_with_cache_cancellable(&policy.to_policy(), state.cache.as_ref(), deadline.token())
+        .map_err(|e| match e {
+            FlowError::Cancelled => Response::error(504, "request deadline exceeded"),
+            other => Response::error(500, &other.to_string()),
+        })?;
+    Ok(format!(
+        "\"circuit\":\"{}\",\"policy\":\"{}\",\"worst_delta_vth_v\":{},\
+         \"delay_degradation\":{},\"nominal_delay_ps\":{},\"degraded_delay_ps\":{}",
+        json::escape(circuit),
+        json::escape(&policy.label()),
+        fmt_f64(report.worst_delta_vth()),
+        fmt_f64(report.degradation_fraction()),
+        fmt_f64(report.nominal.max_delay_ps()),
+        fmt_f64(report.degraded.max_delay_ps())
+    ))
+}
+
+fn handle_metrics(state: &ServeState) -> Response {
+    Response::text(200, render_prometheus(&state.snapshot()))
+}
+
+fn handle_health(state: &ServeState) -> Response {
+    let status = if state.is_draining() {
+        "draining"
+    } else {
+        "ok"
+    };
+    Response::json(200, format!("{{\"status\":\"{status}\"}}"))
+}
+
+/// Routes one request. The response is fully rendered; `Action` tells the
+/// connection loop whether a graceful drain was requested.
+pub fn handle(state: &ServeState, request: &Request, deadline: &Deadline) -> (Response, Action) {
+    ServeMetrics::bump(&state.metrics.requests);
+    if state.is_draining() && request.path() != "/healthz" {
+        let mut r = Response::error(503, "server is draining");
+        r.retry_after = Some(1);
+        r.close = true;
+        return (r, Action::Continue);
+    }
+    let response = match (request.method.as_str(), request.path()) {
+        ("GET", "/healthz") => handle_health(state),
+        ("GET", "/metrics") => handle_metrics(state),
+        ("POST", "/v1/degrade") => handle_degrade(state, request, deadline),
+        ("POST", "/v1/sweep") => handle_sweep(state, request, deadline),
+        ("POST", "/admin/shutdown") => {
+            state.begin_drain();
+            return (
+                Response::json(200, "{\"status\":\"draining\"}"),
+                Action::Shutdown,
+            );
+        }
+        (_, "/healthz" | "/metrics" | "/v1/degrade" | "/v1/sweep" | "/admin/shutdown") => {
+            Response::error(405, "method not allowed for this endpoint")
+        }
+        (_, path) => Response::error(404, &format!("no such endpoint: {path}")),
+    };
+    (response, Action::Continue)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relia_flow::NoCache;
+
+    fn state() -> ServeState {
+        ServeState::new(Duration::from_secs(5)).unwrap()
+    }
+
+    fn deadline(timeout: Duration) -> Deadline {
+        Deadline::new(relia_core::CancelToken::new(), Instant::now() + timeout)
+    }
+
+    fn post(path: &str, body: &str) -> Request {
+        Request {
+            method: "POST".to_owned(),
+            target: path.to_owned(),
+            http11: true,
+            headers: vec![],
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    fn get(path: &str) -> Request {
+        Request {
+            method: "GET".to_owned(),
+            target: path.to_owned(),
+            http11: true,
+            headers: vec![],
+            body: vec![],
+        }
+    }
+
+    const QUERY: DegradeQuery = DegradeQuery {
+        ras: (1.0, 9.0),
+        t_standby_k: Kelvin(330.0),
+        lifetime_s: 1.0e8,
+        p_active: 0.5,
+        p_standby: 1.0,
+    };
+
+    #[test]
+    fn degrade_matches_a_direct_library_call_byte_for_byte() {
+        let s = state();
+        let d = deadline(Duration::from_secs(5));
+        let (response, action) = handle(&s, &post("/v1/degrade", &QUERY.to_body()), &d);
+        assert_eq!(response.status, 200);
+        assert_eq!(action, Action::Continue);
+
+        // The independent ground truth: quantize + evaluate, no cache.
+        let model = NbtiModel::ptm90().unwrap();
+        let key = QUERY.stress_key().unwrap();
+        let dvth = NoCache.delta_vth(key, &model).unwrap();
+        let params = NbtiParams::ptm90().unwrap();
+        let frac = relia_core::DelayDegradation::new(&params)
+            .linear(dvth)
+            .unwrap();
+        assert_eq!(response.body, degrade_body(dvth, frac).into_bytes());
+    }
+
+    #[test]
+    fn degrade_hits_the_cache_on_repeat() {
+        let s = state();
+        let d = deadline(Duration::from_secs(5));
+        let req = post("/v1/degrade", &QUERY.to_body());
+        let first = handle(&s, &req, &d).0;
+        let second = handle(&s, &req, &d).0;
+        assert_eq!(first.body, second.body);
+        let stats = s.cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn degrade_rejects_bad_bodies_with_400() {
+        let s = state();
+        let d = deadline(Duration::from_secs(5));
+        for body in [
+            "",
+            "not json",
+            "{}",
+            "{\"ras\":[1],\"t_standby_k\":330,\"lifetime_s\":1,\"p_active\":0.5,\"p_standby\":1}",
+            "{\"ras\":[1,9],\"t_standby_k\":330,\"lifetime_s\":1,\"p_active\":2.5,\"p_standby\":1}",
+            "{\"ras\":[1,9],\"t_standby_k\":-10,\"lifetime_s\":1,\"p_active\":0.5,\"p_standby\":1}",
+        ] {
+            let r = handle(&s, &post("/v1/degrade", body), &d).0;
+            assert_eq!(
+                r.status,
+                400,
+                "{body:?} → {:?}",
+                String::from_utf8_lossy(&r.body)
+            );
+        }
+    }
+
+    #[test]
+    fn expired_deadline_maps_to_504() {
+        let s = state();
+        let d = deadline(Duration::ZERO);
+        let r = handle(&s, &post("/v1/degrade", &QUERY.to_body()), &d).0;
+        assert_eq!(r.status, 504);
+        let sweep_body = "{\"workload\":{\"kind\":\"model\",\"p_active\":0.5,\"p_standby\":1},\
+             \"ras\":[[1,9]],\"t_standby_k\":[330],\"lifetime_s\":[1e8]}";
+        let r = handle(&s, &post("/v1/sweep", sweep_body), &d).0;
+        assert_eq!(r.status, 504);
+    }
+
+    #[test]
+    fn model_sweep_matches_degrade_values_in_canonical_order() {
+        let s = state();
+        let d = deadline(Duration::from_secs(30));
+        let body = "{\"workload\":{\"kind\":\"model\",\"p_active\":0.5,\"p_standby\":1},\
+             \"ras\":[[1,9]],\"t_standby_k\":[330,400],\"lifetime_s\":[1e8]}";
+        let r = handle(&s, &post("/v1/sweep", body), &d).0;
+        assert_eq!(r.status, 200, "{:?}", String::from_utf8_lossy(&r.body));
+        let text = String::from_utf8(r.body).unwrap();
+        assert!(text.starts_with("{\"count\":2,\"points\":["));
+        // Canonical order: t_standby sweeps 330 then 400.
+        let i330 = text.find("\"t_standby_k\":330").unwrap();
+        let i400 = text.find("\"t_standby_k\":400").unwrap();
+        assert!(i330 < i400);
+        // Values equal the degrade path's.
+        let model = NbtiModel::ptm90().unwrap();
+        let mut q = QUERY;
+        q.t_standby_k = Kelvin(400.0);
+        let dvth = q.stress_key().unwrap().evaluate(&model).unwrap();
+        assert!(text.contains(&format!("\"delta_vth_v\":{}", fmt_f64(dvth))));
+    }
+
+    #[test]
+    fn aging_sweep_reports_circuit_results() {
+        let s = state();
+        let d = deadline(Duration::from_secs(60));
+        let body = "{\"workload\":{\"kind\":\"aging\",\"circuits\":[\"c17\"],\
+             \"policies\":[\"worst\",\"best\"]},\
+             \"ras\":[[1,9]],\"t_standby_k\":[330],\"lifetime_s\":[1e8]}";
+        let r = handle(&s, &post("/v1/sweep", body), &d).0;
+        assert_eq!(r.status, 200, "{:?}", String::from_utf8_lossy(&r.body));
+        let text = String::from_utf8(r.body).unwrap();
+        assert!(text.contains("\"count\":2"));
+        assert!(text.contains("\"policy\":\"worst\""));
+        assert!(text.contains("\"policy\":\"best\""));
+        assert!(text.contains("\"worst_delta_vth_v\":"));
+        assert!(text.contains("\"nominal_delay_ps\":"));
+    }
+
+    #[test]
+    fn oversized_sweeps_get_413_and_unknown_circuits_400() {
+        let s = state();
+        let d = deadline(Duration::from_secs(5));
+        let lifetimes: Vec<String> = (1..=300).map(|i| format!("{i}e6")).collect();
+        let body = format!(
+            "{{\"workload\":{{\"kind\":\"model\",\"p_active\":0.5,\"p_standby\":1}},\
+             \"ras\":[[1,9]],\"t_standby_k\":[330],\"lifetime_s\":[{}]}}",
+            lifetimes.join(",")
+        );
+        let r = handle(&s, &post("/v1/sweep", &body), &d).0;
+        assert_eq!(r.status, 413);
+
+        let body = "{\"workload\":{\"kind\":\"aging\",\"circuits\":[\"nope\"],\
+             \"policies\":[\"worst\"]},\
+             \"ras\":[[1,9]],\"t_standby_k\":[330],\"lifetime_s\":[1e8]}";
+        let r = handle(&s, &post("/v1/sweep", body), &d).0;
+        assert_eq!(r.status, 400);
+    }
+
+    #[test]
+    fn routing_covers_health_metrics_404_405() {
+        let s = state();
+        let d = deadline(Duration::from_secs(5));
+        let r = handle(&s, &get("/healthz"), &d).0;
+        assert_eq!(r.status, 200);
+        assert_eq!(r.body, b"{\"status\":\"ok\"}");
+
+        let r = handle(&s, &get("/metrics"), &d).0;
+        assert_eq!(r.status, 200);
+        let text = String::from_utf8(r.body).unwrap();
+        assert!(text.contains("relia_serve_requests"));
+        assert!(text.contains("relia_cache_hits"));
+        assert!(text.contains("relia_serve_coalesce_leads"));
+
+        assert_eq!(handle(&s, &get("/nope"), &d).0.status, 404);
+        assert_eq!(handle(&s, &get("/v1/degrade"), &d).0.status, 405);
+        assert_eq!(handle(&s, &post("/healthz", ""), &d).0.status, 405);
+    }
+
+    #[test]
+    fn shutdown_drains_and_sheds_later_requests() {
+        let s = state();
+        let d = deadline(Duration::from_secs(5));
+        let (r, action) = handle(&s, &post("/admin/shutdown", ""), &d);
+        assert_eq!(r.status, 200);
+        assert_eq!(action, Action::Shutdown);
+        assert!(s.is_draining());
+
+        let (r, action) = handle(&s, &post("/v1/degrade", &QUERY.to_body()), &d);
+        assert_eq!(r.status, 503);
+        assert_eq!(r.retry_after, Some(1));
+        assert_eq!(action, Action::Continue);
+
+        // Health stays reachable for orchestration probes.
+        let r = handle(&s, &get("/healthz"), &d).0;
+        assert_eq!(r.status, 200);
+        assert_eq!(r.body, b"{\"status\":\"draining\"}");
+    }
+}

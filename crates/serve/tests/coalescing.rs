@@ -1,0 +1,162 @@
+//! End-to-end coalescing: N identical concurrent `/v1/degrade` requests
+//! must trigger exactly ONE model evaluation, and every response must be
+//! byte-identical. The evaluator is gated so all requests are provably
+//! concurrent (no request can finish before the others have joined the
+//! single-flight slot), which makes the 1-evaluation assertion
+//! deterministic rather than probabilistic.
+
+#![allow(clippy::unwrap_used)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use relia_core::{CancelToken, Deadline, Kelvin, StressKey};
+use relia_jobs::ShardedCache;
+use relia_serve::{handle, Action, DegradeQuery, ModelEval, Request, ServeState};
+
+/// Counts evaluations and blocks each one until the test opens the gate.
+struct GatedEval {
+    calls: AtomicUsize,
+    gate: Mutex<bool>,
+    open: Condvar,
+}
+
+impl GatedEval {
+    fn new() -> Self {
+        GatedEval {
+            calls: AtomicUsize::new(0),
+            gate: Mutex::new(false),
+            open: Condvar::new(),
+        }
+    }
+
+    fn open_gate(&self) {
+        *self.gate.lock().unwrap() = true;
+        self.open.notify_all();
+    }
+}
+
+impl ModelEval for GatedEval {
+    fn delta_vth(&self, _key: StressKey) -> Result<f64, String> {
+        self.calls.fetch_add(1, Ordering::SeqCst);
+        let mut open = self.gate.lock().unwrap();
+        while !*open {
+            open = self.open.wait(open).unwrap();
+        }
+        Ok(0.0145)
+    }
+}
+
+fn degrade_request() -> Request {
+    let query = DegradeQuery {
+        ras: (1.0, 9.0),
+        t_standby_k: Kelvin(330.0),
+        lifetime_s: 1.0e8,
+        p_active: 0.5,
+        p_standby: 1.0,
+    };
+    Request {
+        method: "POST".to_owned(),
+        target: "/v1/degrade".to_owned(),
+        http11: true,
+        headers: vec![],
+        body: query.to_body().into_bytes(),
+    }
+}
+
+#[test]
+fn n_identical_concurrent_requests_evaluate_once() {
+    const N: usize = 8;
+    let eval = Arc::new(GatedEval::new());
+    let state = Arc::new(
+        ServeState::with_eval(
+            Arc::new(ShardedCache::default()),
+            Arc::clone(&eval) as Arc<dyn ModelEval>,
+            Duration::from_secs(30),
+        )
+        .unwrap(),
+    );
+
+    let workers: Vec<_> = (0..N)
+        .map(|_| {
+            let state = Arc::clone(&state);
+            thread::spawn(move || {
+                let deadline =
+                    Deadline::new(CancelToken::new(), Instant::now() + Duration::from_secs(30));
+                handle(&state, &degrade_request(), &deadline)
+            })
+        })
+        .collect();
+
+    // Hold the gate shut until every non-leader thread is parked in the
+    // single-flight slot, so all N requests are in flight simultaneously.
+    let patience = Instant::now() + Duration::from_secs(20);
+    loop {
+        let snap = state.snapshot();
+        let joins = snap.counter("serve_coalesce_joins").unwrap();
+        if joins >= (N - 1) as u64 {
+            break;
+        }
+        assert!(
+            Instant::now() < patience,
+            "only {joins} of {} joiners arrived",
+            N - 1
+        );
+        thread::yield_now();
+    }
+    eval.open_gate();
+
+    let mut bodies = Vec::with_capacity(N);
+    for worker in workers {
+        let (response, action) = worker.join().unwrap();
+        assert_eq!(response.status, 200, "{:?}", response.body);
+        assert_eq!(action, Action::Continue);
+        bodies.push(response.body);
+    }
+
+    assert_eq!(
+        eval.calls.load(Ordering::SeqCst),
+        1,
+        "coalescing must collapse {N} identical queries into one evaluation"
+    );
+    assert!(bodies.windows(2).all(|w| w[0] == w[1]), "responses differ");
+
+    let snap = state.snapshot();
+    assert_eq!(snap.counter("serve_coalesce_leads"), Some(1));
+    assert_eq!(snap.counter("serve_coalesce_joins"), Some((N - 1) as u64));
+}
+
+#[test]
+fn distinct_queries_do_not_coalesce() {
+    let eval = Arc::new(GatedEval::new());
+    eval.open_gate(); // no concurrency needed here; let evaluations flow
+    let state = ServeState::with_eval(
+        Arc::new(ShardedCache::default()),
+        Arc::clone(&eval) as Arc<dyn ModelEval>,
+        Duration::from_secs(30),
+    )
+    .unwrap();
+
+    for (i, standby) in [320.0, 340.0, 360.0].iter().enumerate() {
+        let query = DegradeQuery {
+            ras: (1.0, 9.0),
+            t_standby_k: Kelvin(*standby),
+            lifetime_s: 1.0e8,
+            p_active: 0.5,
+            p_standby: 1.0,
+        };
+        let request = Request {
+            method: "POST".to_owned(),
+            target: "/v1/degrade".to_owned(),
+            http11: true,
+            headers: vec![],
+            body: query.to_body().into_bytes(),
+        };
+        let deadline = Deadline::new(CancelToken::new(), Instant::now() + Duration::from_secs(30));
+        let (response, _) = handle(&state, &request, &deadline);
+        assert_eq!(response.status, 200);
+        assert_eq!(eval.calls.load(Ordering::SeqCst), i + 1);
+    }
+}

@@ -24,4 +24,32 @@ cargo clippy --offline -p relia-jobs --all-targets --features fault-inject -- -D
 echo "==> relia-lint (unit & reliability invariants)"
 cargo run -q --offline -p relia-lint
 
+echo "==> relia serve (boot, loadgen smoke, graceful drain)"
+# Boot the real CLI binary on an ephemeral port, fire 1k mixed requests
+# through the byte-parity load generator, and let it drain the server via
+# POST /admin/shutdown. Both processes must exit 0.
+serve_log="$(mktemp)"
+target/release/relia serve --addr 127.0.0.1:0 --threads 4 >"$serve_log" &
+serve_pid=$!
+serve_addr=""
+for _ in $(seq 1 100); do
+    serve_addr="$(sed -n 's/^relia-serve listening on //p' "$serve_log")"
+    [ -n "$serve_addr" ] && break
+    if ! kill -0 "$serve_pid" 2>/dev/null; then
+        echo "relia serve died before binding:" >&2
+        cat "$serve_log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+if [ -z "$serve_addr" ]; then
+    echo "relia serve never printed its address" >&2
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+fi
+cargo run -q --offline --release -p relia-serve --example loadgen -- \
+    --requests 1000 --threads 2 --addr "$serve_addr"
+wait "$serve_pid"
+rm -f "$serve_log"
+
 echo "==> all checks passed"

@@ -8,6 +8,8 @@
 //! relia sweep  [netlist ...] [--ras LIST] [--tstandby LIST] [--years LIST]
 //!              [--standby LIST] [--jobs N] [--checkpoint PATH]
 //!              [--retries N] [--job-timeout SECS]
+//! relia serve  [--addr HOST:PORT] [--threads N] [--queue-depth N]
+//!              [--request-timeout SECS]
 //! relia mlv    <netlist> [--ras A:S] [--tstandby K]
 //! relia dot    <netlist>
 //! relia list                     # built-in benchmarks
@@ -21,6 +23,7 @@
 use std::fmt::Display;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 use relia::cells::Library;
@@ -80,10 +83,13 @@ const USAGE: &str = "usage:
   relia csv     <netlist> [aging flags]          per-gate aging report
   relia liberty                                  characterized library export
   relia lib                                      cell-library leakage/MLV table
+  relia serve   [--addr HOST:PORT] [--threads N] [--queue-depth N]
+                [--request-timeout SECS]         HTTP degradation-query service
   relia lint    [--root PATH] [--format text|json]
                                                  workspace static analysis
   relia list                                     built-in benchmarks
   relia help                                     this message
+  relia --version                                toolkit version
 
 sweep notes:
   list-valued flags are comma-separated and multiply into a cartesian grid
@@ -104,7 +110,12 @@ fn run(args: &[String]) -> Result<(), CliError> {
             println!("{USAGE}");
             Ok(())
         }
+        "version" | "-V" | "--version" => {
+            println!("relia {}", env!("CARGO_PKG_VERSION"));
+            Ok(())
+        }
         "sweep" => run_sweep_command(&args[1..]),
+        "serve" => run_serve_command(&args[1..]),
         "lint" => run_lint_command(&args[1..]),
         "list" => {
             for name in iscas::names() {
@@ -479,6 +490,88 @@ fn run_lint_command(args: &[String]) -> Result<(), CliError> {
             diags.len()
         )))
     }
+}
+
+const SERVE_USAGE: &str = "usage: relia serve [flags]
+
+Serves NBTI degradation queries over HTTP (std-only, offline):
+
+  POST /v1/degrade      one stress point -> dVth + delay degradation
+  POST /v1/sweep        small inline grid (canonical sweep order)
+  GET  /healthz         liveness / drain state
+  GET  /metrics         Prometheus text exposition
+  POST /admin/shutdown  graceful drain (finish in-flight, then exit 0)
+
+flags:
+  --addr HOST:PORT        bind address (default 127.0.0.1:0 = ephemeral
+                          port; the resolved address is printed on stdout)
+  --threads N             worker threads (default: all cores)
+  --queue-depth N         bounded connection queue; beyond it new
+                          connections are shed with 503 + Retry-After
+                          (default 64, must be >= 1)
+  --request-timeout SECS  per-request deadline: socket reads (408) and
+                          evaluation (504) both (default 5)
+
+Identical concurrent queries are coalesced into one model evaluation, and
+all queries share one process-wide dVth memo cache.";
+
+/// `relia serve` — boots the HTTP service and blocks until drained.
+fn run_serve_command(args: &[String]) -> Result<(), CliError> {
+    let mut config = relia::serve::ServeConfig::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if matches!(arg.as_str(), "help" | "-h" | "--help") {
+            println!("{SERVE_USAGE}");
+            return Ok(());
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| CliError::Usage(format!("flag {arg} needs a value")))?;
+        match arg.as_str() {
+            "--addr" => config.addr = value.clone(),
+            "--threads" => {
+                config.threads = value
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("bad thread count {value}")))?;
+                if config.threads == 0 {
+                    return Err(CliError::Usage(
+                        "--threads must be at least 1 (omit the flag to use all cores)".into(),
+                    ));
+                }
+            }
+            "--queue-depth" => {
+                config.queue_depth = value
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("bad queue depth {value}")))?;
+                if config.queue_depth == 0 {
+                    return Err(CliError::Usage("--queue-depth must be at least 1".into()));
+                }
+            }
+            "--request-timeout" => {
+                let secs: f64 = value
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("bad timeout {value}")))?;
+                if !(secs > 0.0 && secs.is_finite()) {
+                    return Err(CliError::Usage(format!(
+                        "--request-timeout must be positive, got {value}"
+                    )));
+                }
+                config.request_timeout = Duration::from_secs_f64(secs);
+            }
+            other => return Err(CliError::Usage(format!("unknown serve flag {other}"))),
+        }
+    }
+    let state = Arc::new(
+        relia::serve::ServeState::new(config.request_timeout).map_err(CliError::Analysis)?,
+    );
+    let server = relia::serve::Server::bind(config, state)
+        .map_err(|e| CliError::Analysis(format!("cannot bind: {e}")))?;
+    // The resolved address (ephemeral port included) goes to stdout so
+    // scripts and load generators can discover it.
+    println!("relia-serve listening on {}", server.local_addr());
+    server
+        .run()
+        .map_err(|e| CliError::Analysis(format!("server failed: {e}")))
 }
 
 fn run_sweep_command(args: &[String]) -> Result<(), CliError> {

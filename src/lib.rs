@@ -34,6 +34,8 @@
 //!   paper evaluates for NBTI mitigation;
 //! * [`jobs`] — the parallel batch sweep engine (worker pool, degradation
 //!   memoization, checkpoint/resume);
+//! * [`serve`] — the std-only HTTP degradation-query service (request
+//!   coalescing, shared memo cache, backpressure — `relia serve`);
 //! * [`lint`] — the offline static analyzer for unit and reliability
 //!   invariants (`relia lint`).
 
@@ -45,6 +47,7 @@ pub use relia_jobs as jobs;
 pub use relia_leakage as leakage;
 pub use relia_lint as lint;
 pub use relia_netlist as netlist;
+pub use relia_serve as serve;
 pub use relia_sim as sim;
 pub use relia_sleep as sleep;
 pub use relia_sta as sta;

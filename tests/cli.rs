@@ -264,6 +264,87 @@ fn sweep_resumes_from_checkpoint() {
 }
 
 #[test]
+fn version_prints_and_exits_0() {
+    for flag in ["--version", "-V", "version"] {
+        let (code, stdout, stderr) = relia_coded(&[flag]);
+        assert_eq!(code, Some(0), "{flag}: {stderr}");
+        assert!(
+            stdout.starts_with("relia ") && stdout.trim().len() > "relia ".len(),
+            "{flag}: {stdout:?}"
+        );
+        assert!(stderr.is_empty(), "{flag}: {stderr}");
+    }
+}
+
+#[test]
+fn serve_help_and_usage_exit_codes_are_pinned() {
+    // `relia serve --help` → 0 with the endpoint table on stdout.
+    let (code, stdout, stderr) = relia_coded(&["serve", "--help"]);
+    assert_eq!(code, Some(0), "{stderr}");
+    for needle in [
+        "usage: relia serve",
+        "/v1/degrade",
+        "/v1/sweep",
+        "/healthz",
+        "/metrics",
+        "--queue-depth",
+        "--request-timeout",
+    ] {
+        assert!(stdout.contains(needle), "missing {needle:?} in {stdout}");
+    }
+    // Flag mistakes → 2.
+    let (code, _, stderr) = relia_coded(&["serve", "--bogus", "1"]);
+    assert_eq!(code, Some(2), "{stderr}");
+    let (code, _, stderr) = relia_coded(&["serve", "--queue-depth", "0"]);
+    assert_eq!(code, Some(2), "{stderr}");
+    assert!(stderr.contains("--queue-depth"), "{stderr}");
+    let (code, _, stderr) = relia_coded(&["serve", "--threads", "0"]);
+    assert_eq!(code, Some(2), "{stderr}");
+    let (code, _, stderr) = relia_coded(&["serve", "--request-timeout", "-1"]);
+    assert_eq!(code, Some(2), "{stderr}");
+    // An unbindable address is an analysis failure → 1.
+    let (code, _, stderr) = relia_coded(&["serve", "--addr", "256.0.0.1:99999"]);
+    assert_eq!(code, Some(1), "{stderr}");
+}
+
+#[test]
+fn serve_boots_answers_and_drains_to_exit_0() {
+    use std::io::{BufRead, BufReader, Read, Write};
+
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_relia"))
+        .args(["serve", "--addr", "127.0.0.1:0", "--threads", "2"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("server spawns");
+    let mut stdout = BufReader::new(child.stdout.take().expect("stdout piped"));
+    let mut banner = String::new();
+    stdout.read_line(&mut banner).expect("banner line");
+    let addr = banner
+        .trim()
+        .strip_prefix("relia-serve listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner {banner:?}"))
+        .to_owned();
+
+    let request = |verb: &str, path: &str| -> String {
+        let mut s = std::net::TcpStream::connect(&addr).expect("connect");
+        write!(s, "{verb} {path} HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        let mut response = String::new();
+        s.read_to_string(&mut response).expect("read response");
+        response
+    };
+    let health = request("GET", "/healthz");
+    assert!(health.starts_with("HTTP/1.1 200"), "{health}");
+    assert!(health.contains("{\"status\":\"ok\"}"), "{health}");
+    let metrics = request("GET", "/metrics");
+    assert!(metrics.contains("relia_serve_requests"), "{metrics}");
+    let shutdown = request("POST", "/admin/shutdown");
+    assert!(shutdown.starts_with("HTTP/1.1 200"), "{shutdown}");
+
+    let status = child.wait().expect("server exits");
+    assert_eq!(status.code(), Some(0), "graceful drain exits 0");
+}
+
+#[test]
 fn verilog_round_trip_through_cli() {
     let (ok, verilog, _) = relia(&["verilog", "builtin:c17"]);
     assert!(ok);
