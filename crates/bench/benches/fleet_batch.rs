@@ -1,0 +1,39 @@
+//! Criterion bench: scalar per-sample NBTI evaluation vs the hoisted batch
+//! kernel — the speedup `relia-fleet` exists to deliver. The scalar path
+//! redoes the Arrhenius exponentials, the AC-recursion setup, and the
+//! equivalent-stress-time transform for every sample; the hoisted path pays
+//! for them once per stress point and leaves only the per-device tail.
+
+#![allow(clippy::unwrap_used)]
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use relia_core::{NbtiModel, Volts};
+use relia_fleet::{ChunkAccum, FleetEvaluator, FleetSpec, SplitMix64};
+
+fn bench_fleet(c: &mut Criterion) {
+    let spec = FleetSpec::paper_defaults().unwrap();
+    let model = NbtiModel::ptm90().unwrap();
+    let schedule = spec.schedule().unwrap();
+    let stress = spec.stress().unwrap();
+    let time = *spec.times.last().unwrap();
+    let hoisted = model.hoist(time, &schedule, &stress).unwrap();
+    let eval = FleetEvaluator::prepare(&spec).unwrap();
+
+    c.bench_function("scalar_delta_vth_one_sample", |b| {
+        b.iter(|| {
+            model
+                .delta_vth_with_vth0(black_box(time), &schedule, &stress, Volts(0.22))
+                .unwrap()
+        })
+    });
+    c.bench_function("hoisted_delta_vth_one_sample", |b| {
+        b.iter(|| hoisted.delta_vth_at(black_box(0.22)))
+    });
+    c.bench_function("fleet_sample_into_three_times", |b| {
+        let mut rng = SplitMix64::new(1);
+        let mut acc = ChunkAccum::new(spec.times.len());
+        b.iter(|| eval.sample_into(&mut rng, &mut acc))
+    });
+}
+
+criterion_group!(benches, bench_fleet);
+criterion_main!(benches);

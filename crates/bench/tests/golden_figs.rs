@@ -35,3 +35,13 @@ fn fig04_matches_the_golden_output_exactly() {
         golden("fig04_tstandby_sweep.txt")
     );
 }
+
+#[test]
+fn fig12_matches_the_golden_output_exactly() {
+    // The variation study runs on the batched SoA kernel; this pins it
+    // byte-for-byte to the output captured from the scalar per-gate loop.
+    assert_eq!(
+        stdout_of(env!("CARGO_BIN_EXE_fig12_variation")),
+        golden("fig12_variation.txt")
+    );
+}

@@ -59,6 +59,7 @@
 
 pub mod ac;
 pub mod arrhenius;
+pub mod batch;
 pub mod calib;
 pub mod cancel;
 pub mod consts;
@@ -75,6 +76,7 @@ pub mod variation;
 
 pub use ac::AcStress;
 pub use arrhenius::diffusion_ratio;
+pub use batch::{HoistedStress, VariationKernel};
 pub use calib::{fit_dc_measurements, CalibrationFit, Measurement};
 pub use cancel::{CancelToken, Deadline};
 pub use degradation::DelayDegradation;

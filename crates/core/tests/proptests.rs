@@ -146,4 +146,54 @@ proptest! {
         let v = d.sample_box_muller(u1, u2).0;
         prop_assert!((0.22 - 0.036..=0.22 + 0.036).contains(&v));
     }
+
+    /// The hoisted batch evaluator matches the scalar per-device entry
+    /// point sample-for-sample — not "close", the same bits (≤ 0 ulp) —
+    /// over random schedules, stress vectors, times, and thresholds.
+    #[test]
+    fn hoisted_batch_matches_scalar_bit_for_bit(
+        standby_weight in 0.0f64..20.0,
+        temp_s in 300.0f64..400.0,
+        p_a in 0.0f64..1.0,
+        p_s in 0.0f64..1.0,
+        t in 1.0f64..3.2e8,
+        vth0 in 0.16f64..0.30,
+    ) {
+        let model = NbtiModel::ptm90().unwrap();
+        let schedule = ModeSchedule::new(
+            Ras::new(1.0, standby_weight).unwrap(),
+            Seconds(1000.0),
+            Kelvin(400.0),
+            Kelvin(temp_s),
+        ).unwrap();
+        let stress = PmosStress::new(p_a, p_s).unwrap();
+        let hoisted = model.hoist(Seconds(t), &schedule, &stress).unwrap();
+        let scalar = model
+            .delta_vth_with_vth0(Seconds(t), &schedule, &stress, Volts(vth0))
+            .unwrap();
+        prop_assert_eq!(hoisted.delta_vth_at(vth0).to_bits(), scalar.to_bits());
+    }
+
+    /// The batched slice entry point equals the per-element call for every
+    /// lane, so chunked SoA evaluation cannot drift from pointwise.
+    #[test]
+    fn batch_slices_equal_pointwise(
+        t in 1.0f64..3.2e8,
+        vals in prop::collection::vec(0.16f64..0.30, 1..64),
+    ) {
+        let model = NbtiModel::ptm90().unwrap();
+        let schedule = ModeSchedule::new(
+            Ras::new(1.0, 9.0).unwrap(),
+            Seconds(1000.0),
+            Kelvin(400.0),
+            Kelvin(330.0),
+        ).unwrap();
+        let stress = PmosStress::new(0.5, 1.0).unwrap();
+        let hoisted = model.hoist(Seconds(t), &schedule, &stress).unwrap();
+        let mut out = vec![0.0; vals.len()];
+        hoisted.delta_vth_into(&vals, &mut out).unwrap();
+        for (v, o) in vals.iter().zip(&out) {
+            prop_assert_eq!(hoisted.delta_vth_at(*v).to_bits(), o.to_bits());
+        }
+    }
 }

@@ -1,0 +1,78 @@
+//! Error type for the fleet engine.
+
+use relia_core::ModelError;
+use std::fmt;
+
+/// Everything that can go wrong while running a fleet study.
+#[derive(Debug)]
+pub enum FleetError {
+    /// The spec failed validation before any work started.
+    Invalid {
+        /// What was wrong with the spec.
+        what: String,
+    },
+    /// The underlying NBTI model rejected a parameter or produced a
+    /// non-finite value.
+    Model(ModelError),
+    /// The run was cancelled cooperatively before completing.
+    Cancelled,
+    /// A checkpoint file existed but cannot be used for this run.
+    Checkpoint(String),
+    /// Reading or writing a checkpoint failed at the I/O layer.
+    Io(String),
+    /// An invariant the engine maintains was violated (a bug).
+    Internal(String),
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::Invalid { what } => write!(f, "invalid fleet spec: {what}"),
+            FleetError::Model(e) => write!(f, "model error: {e}"),
+            FleetError::Cancelled => write!(f, "fleet run cancelled"),
+            FleetError::Checkpoint(what) => write!(f, "checkpoint rejected: {what}"),
+            FleetError::Io(what) => write!(f, "checkpoint i/o failed: {what}"),
+            FleetError::Internal(what) => write!(f, "internal fleet engine error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FleetError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for FleetError {
+    fn from(e: ModelError) -> Self {
+        FleetError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = FleetError::Invalid {
+            what: "samples must be at least 1".to_owned(),
+        };
+        assert!(e.to_string().contains("samples"));
+        assert!(FleetError::Cancelled.to_string().contains("cancelled"));
+    }
+
+    #[test]
+    fn model_errors_convert_and_chain() {
+        let m = ModelError::NonFinite {
+            what: "delta_vth",
+            value: f64::NAN,
+        };
+        let e = FleetError::from(m);
+        assert!(matches!(e, FleetError::Model(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -10,7 +10,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use relia_core::variation::SampleStats;
-use relia_core::{Seconds, Volts, VthDistribution};
+use relia_core::{Seconds, VariationKernel, Volts, VthDistribution};
 use relia_sta::TimingAnalysis;
 
 use crate::analysis::AgingAnalysis;
@@ -70,9 +70,7 @@ impl VariationStudy {
         times: &[Seconds],
     ) -> Result<Vec<VariationPoint>, FlowError> {
         let circuit = analysis.circuit();
-        let params = analysis.config().nbti.params();
-        let alpha = params.alpha;
-        let od_nom = params.overdrive();
+        let kernel = VariationKernel::new(analysis.config().nbti.params());
         let num_gates = circuit.gates().len();
 
         // Policy-dependent base shifts at each time, for the nominal
@@ -83,37 +81,28 @@ impl VariationStudy {
             .collect::<Result<_, _>>()?;
         let nominal_delays = relia_sta::nominal_gate_delays(circuit);
 
+        // Structure-of-arrays sample buffers, reused across samples; the
+        // batch kernel evaluates whole gate vectors at once.
+        let mut vth0 = vec![0.0; num_gates];
+        let mut fresh = vec![0.0; num_gates];
+        let mut aged = vec![0.0; num_gates];
+
         let mut rng = StdRng::seed_from_u64(var.seed);
         let mut per_time: Vec<Vec<f64>> = vec![Vec::with_capacity(var.samples); times.len()];
         for _ in 0..var.samples {
-            // Draw per-gate thresholds.
-            let vth0: Vec<f64> = (0..num_gates)
-                .map(|_| {
-                    var.dist
-                        .sample_box_muller(rng.gen::<f64>(), rng.gen::<f64>())
-                        .0
-                })
-                .collect();
+            // Draw per-gate thresholds (sample-major, gate-minor — the
+            // variate order every earlier release used).
+            for v in vth0.iter_mut() {
+                *v = var
+                    .dist
+                    .sample_box_muller(rng.gen::<f64>(), rng.gen::<f64>())
+                    .0;
+            }
             // Time-zero delays scale with the overdrive (alpha-power law).
-            let fresh: Vec<f64> = nominal_delays
-                .iter()
-                .zip(&vth0)
-                .map(|(&d, &v)| d * (od_nom / (params.vdd.0 - v)).powf(alpha))
-                .collect();
+            kernel.fresh_delays_into(&nominal_delays, &vth0, &mut fresh);
             for (ti, base) in base_shifts.iter().enumerate() {
-                let delays: Vec<f64> = fresh
-                    .iter()
-                    .zip(base.iter().zip(&vth0))
-                    .map(|(&d, (&dv_base, &v))| {
-                        let od = params.vdd.0 - v;
-                        // eq. 23 overdrive scaling of the degradation rate.
-                        let dv = dv_base
-                            * (od / od_nom).sqrt()
-                            * ((od - od_nom) / params.field_scale.0).exp();
-                        d * (1.0 + alpha * dv / od)
-                    })
-                    .collect();
-                let report = TimingAnalysis::with_delays(circuit, delays)?;
+                kernel.aged_delays_into(&fresh, base, &vth0, &mut aged);
+                let report = TimingAnalysis::with_delays(circuit, aged.clone())?;
                 per_time[ti].push(report.max_delay_ps());
             }
         }

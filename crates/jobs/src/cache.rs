@@ -1,4 +1,5 @@
-//! A sharded, thread-safe memoization cache for NBTI model evaluations.
+//! A sharded, thread-safe, **bounded** memoization cache for NBTI model
+//! evaluations.
 //!
 //! Keys are [`StressKey`]s (quantized stress points); the stored value is
 //! the model's ΔV_th at the key's *canonical* point. Because
@@ -10,6 +11,12 @@
 //! Sharding bounds contention: the key's FNV fingerprint picks one of `N`
 //! independently locked hash maps, so workers rarely serialize on the same
 //! mutex even under full cache pressure.
+//!
+//! Capacity bounds memory: each shard holds at most `capacity` entries and
+//! evicts its least-recently-*touched* entry (tracked by a per-shard use
+//! tick) when a new key would overflow it. Long-running servers therefore
+//! cannot grow the memo table without bound, and eviction pressure is
+//! observable through [`CacheStats::evictions`].
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -22,6 +29,11 @@ use relia_flow::DeltaVthCache;
 /// each other's locks without wasting memory on tiny sweeps.
 pub const DEFAULT_SHARDS: usize = 16;
 
+/// Default per-shard capacity. With [`DEFAULT_SHARDS`] shards this caps the
+/// table at 65 536 stress points — far beyond any sweep in the repo, small
+/// enough (~4 MB) that a resident server stays bounded.
+pub const DEFAULT_PER_SHARD_CAPACITY: usize = 4096;
+
 /// Hit/miss/occupancy snapshot of a [`ShardedCache`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
@@ -31,6 +43,8 @@ pub struct CacheStats {
     pub misses: u64,
     /// Distinct keys currently stored.
     pub entries: usize,
+    /// Entries displaced to respect the per-shard capacity.
+    pub evictions: u64,
 }
 
 impl CacheStats {
@@ -45,12 +59,30 @@ impl CacheStats {
     }
 }
 
-/// A sharded ΔV_th memo table shared by all sweep workers.
+/// One shard: a hash map of `key → (value, last-touched tick)` plus the
+/// shard's monotonically increasing tick counter.
+#[derive(Debug, Default)]
+struct Shard {
+    map: HashMap<StressKey, (f64, u64)>,
+    tick: u64,
+}
+
+impl Shard {
+    fn touch(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+}
+
+/// A sharded, capacity-bounded ΔV_th memo table shared by all sweep
+/// workers.
 #[derive(Debug)]
 pub struct ShardedCache {
-    shards: Vec<Mutex<HashMap<StressKey, f64>>>,
+    shards: Vec<Mutex<Shard>>,
+    capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl Default for ShardedCache {
@@ -60,15 +92,29 @@ impl Default for ShardedCache {
 }
 
 impl ShardedCache {
-    /// A cache with `shards` independently locked segments (min 1).
+    /// A cache with `shards` independently locked segments (min 1), each
+    /// bounded at [`DEFAULT_PER_SHARD_CAPACITY`] entries.
     pub fn new(shards: usize) -> Self {
+        ShardedCache::with_capacity(shards, DEFAULT_PER_SHARD_CAPACITY)
+    }
+
+    /// A cache with `shards` segments of at most `per_shard` entries each
+    /// (both clamped to a minimum of 1).
+    pub fn with_capacity(shards: usize, per_shard: usize) -> Self {
         ShardedCache {
             shards: (0..shards.max(1))
-                .map(|_| Mutex::new(HashMap::new()))
+                .map(|_| Mutex::new(Shard::default()))
                 .collect(),
+            capacity: per_shard.max(1),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
+    }
+
+    /// Maximum entries across all shards.
+    pub fn capacity(&self) -> usize {
+        self.capacity * self.shards.len()
     }
 
     /// Counters and occupancy at this instant.
@@ -80,19 +126,21 @@ impl ShardedCache {
                 .shards
                 .iter()
                 // relia-lint: allow(unwrap-in-lib)
-                .map(|s| s.lock().expect("cache shard poisoned").len())
+                .map(|s| s.lock().expect("cache shard poisoned").map.len())
                 .sum(),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 
-    fn shard(&self, key: &StressKey) -> &Mutex<HashMap<StressKey, f64>> {
+    fn shard(&self, key: &StressKey) -> &Mutex<Shard> {
         &self.shards[key.fingerprint() as usize % self.shards.len()]
     }
 
     /// Admits `value` for `key` only after a finiteness check: a NaN or
     /// infinite ΔV_th is rejected as [`ModelError::NonFinite`] and **never
     /// enters the memo table**, where it would silently poison every later
-    /// hit. All insertion paths go through here.
+    /// hit. All insertion paths go through here; a full shard first evicts
+    /// its least-recently-touched entry.
     pub fn insert_checked(&self, key: StressKey, value: f64) -> Result<f64, ModelError> {
         if !value.is_finite() {
             return Err(ModelError::NonFinite {
@@ -100,23 +148,46 @@ impl ShardedCache {
                 value,
             });
         }
-        self.shard(&key)
+        let mut shard = self
+            .shard(&key)
             .lock()
             // Poisoned-lock recovery is meaningless for a memo table.
             // relia-lint: allow(unwrap-in-lib)
-            .expect("cache shard poisoned")
-            .insert(key, value);
+            .expect("cache shard poisoned");
+        if shard.map.len() >= self.capacity && !shard.map.contains_key(&key) {
+            // LRU-ish: displace the entry with the stalest use tick.
+            let victim = shard
+                .map
+                .iter()
+                .min_by_key(|(_, &(_, tick))| tick)
+                .map(|(k, _)| *k);
+            if let Some(victim) = victim {
+                shard.map.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let tick = shard.touch();
+        shard.map.insert(key, (value, tick));
         Ok(value)
     }
 }
 
 impl DeltaVthCache for ShardedCache {
     fn delta_vth(&self, key: StressKey, model: &NbtiModel) -> Result<f64, ModelError> {
-        let shard = self.shard(&key);
-        // relia-lint: allow(unwrap-in-lib)
-        if let Some(&v) = shard.lock().expect("cache shard poisoned").get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(v);
+        {
+            let mut shard = self
+                .shard(&key)
+                .lock()
+                // relia-lint: allow(unwrap-in-lib)
+                .expect("cache shard poisoned");
+            let tick = shard.touch();
+            if let Some(entry) = shard.map.get_mut(&key) {
+                entry.1 = tick;
+                let v = entry.0;
+                drop(shard);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(v);
+            }
         }
         // Evaluate outside the lock: a racing thread computes the identical
         // value (evaluation is a pure function of the key), so double
@@ -152,7 +223,10 @@ mod tests {
         let b = cache.delta_vth(key(1.0), &model).unwrap();
         assert_eq!(a, b);
         let stats = cache.stats();
-        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert_eq!(
+            (stats.hits, stats.misses, stats.entries, stats.evictions),
+            (1, 1, 1, 0)
+        );
         assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
     }
 
@@ -192,6 +266,61 @@ mod tests {
         // A later legitimate lookup still computes the canonical value.
         let v = cache.delta_vth(k, &model).unwrap();
         assert_eq!(v, k.evaluate(&model).unwrap());
+    }
+
+    #[test]
+    fn capacity_bounds_entries_and_counts_evictions() {
+        let model = NbtiModel::ptm90().unwrap();
+        // One shard, three slots: insertion number four must evict.
+        let cache = ShardedCache::with_capacity(1, 3);
+        assert_eq!(cache.capacity(), 3);
+        for i in 0..8 {
+            cache.delta_vth(key(i as f64 / 10.0), &model).unwrap();
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 3, "shard never exceeds its capacity");
+        assert_eq!(stats.evictions, 5, "each overflow evicts exactly one");
+        assert_eq!(stats.misses, 8);
+    }
+
+    #[test]
+    fn eviction_displaces_the_least_recently_touched_key() {
+        let model = NbtiModel::ptm90().unwrap();
+        let cache = ShardedCache::with_capacity(1, 2);
+        let (a, b, c) = (key(0.1), key(0.2), key(0.3));
+        cache.delta_vth(a, &model).unwrap();
+        cache.delta_vth(b, &model).unwrap();
+        // Touch `a` so `b` is now the stalest, then overflow with `c`.
+        cache.delta_vth(a, &model).unwrap();
+        cache.delta_vth(c, &model).unwrap();
+        assert_eq!(cache.stats().evictions, 1);
+        // `a` and `c` hit; `b` was evicted and must miss again.
+        let before = cache.stats().misses;
+        cache.delta_vth(a, &model).unwrap();
+        cache.delta_vth(c, &model).unwrap();
+        assert_eq!(cache.stats().misses, before);
+        cache.delta_vth(b, &model).unwrap();
+        assert_eq!(cache.stats().misses, before + 1);
+    }
+
+    #[test]
+    fn evicted_keys_recompute_identical_values() {
+        let model = NbtiModel::ptm90().unwrap();
+        let cache = ShardedCache::with_capacity(1, 2);
+        let keys: Vec<StressKey> = (0..6).map(|i| key(i as f64 / 10.0)).collect();
+        let first: Vec<f64> = keys
+            .iter()
+            .map(|k| cache.delta_vth(*k, &model).unwrap())
+            .collect();
+        // Thrash the cache again; every value must round-trip bit-equal
+        // whether it came from the memo table or a re-evaluation.
+        let second: Vec<f64> = keys
+            .iter()
+            .map(|k| cache.delta_vth(*k, &model).unwrap())
+            .collect();
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

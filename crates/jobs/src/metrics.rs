@@ -55,6 +55,7 @@ impl CacheStats {
                 ("cache_hits", self.hits),
                 ("cache_misses", self.misses),
                 ("cache_entries", self.entries as u64),
+                ("cache_evictions", self.evictions),
             ],
             gauges: vec![("cache_hit_rate", self.hit_rate())],
         }
@@ -174,6 +175,7 @@ mod tests {
                 hits: 75,
                 misses: 25,
                 entries: 25,
+                evictions: 0,
             },
             prepare_secs: 0.25,
             execute_secs: 1.5,
@@ -215,6 +217,7 @@ mod tests {
                 hits: 75,
                 misses: 25,
                 entries: 25,
+                evictions: 6,
             },
             prepare_secs: 0.25,
             execute_secs: 1.5,
@@ -231,14 +234,15 @@ mod tests {
         assert_eq!(s.counter("cache_hits"), Some(75));
         assert_eq!(s.counter("cache_misses"), Some(25));
         assert_eq!(s.counter("cache_entries"), Some(25));
+        assert_eq!(s.counter("cache_evictions"), Some(6));
         assert_eq!(s.gauge("sweep_prepare_seconds"), Some(0.25));
         assert_eq!(s.gauge("sweep_execute_seconds"), Some(1.5));
         assert_eq!(s.gauge("cache_hit_rate"), Some(0.75));
         assert_eq!(s.counter("no_such_series"), None);
         assert_eq!(s.gauge("no_such_series"), None);
         // Guard against a field added to SweepMetrics but not the
-        // snapshot: counters cover all 8 integer fields + 3 cache series.
-        assert_eq!(s.counters.len(), 11);
+        // snapshot: counters cover all 8 integer fields + 4 cache series.
+        assert_eq!(s.counters.len(), 12);
         assert_eq!(s.gauges.len(), 3);
     }
 

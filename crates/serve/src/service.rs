@@ -8,6 +8,7 @@
 //! |---------------------|-------------------------------------------------|
 //! | `POST /v1/degrade`  | one stress point → ΔV_th and delay degradation  |
 //! | `POST /v1/sweep`    | a small inline grid (bounded, canonical order)  |
+//! | `POST /v1/fleet`    | a bounded Monte Carlo fleet aging study         |
 //! | `GET /healthz`      | liveness and drain state                        |
 //! | `GET /metrics`      | Prometheus text exposition                      |
 //! | `POST /admin/shutdown` | begin graceful drain                         |
@@ -28,7 +29,9 @@ use std::time::{Duration, Instant};
 
 use relia_core::{
     Deadline, Kelvin, ModeSchedule, NbtiModel, NbtiParams, PmosStress, Ras, Seconds, StressKey,
+    Volts, VthDistribution,
 };
+use relia_fleet::{ChunkAccum, FleetError, FleetEvaluator, FleetSpec, FleetSummary, DEFAULT_CHUNK};
 use relia_flow::{AgingAnalysis, AnalysisPrep, DeltaVthCache, FlowConfig, FlowError};
 use relia_jobs::{
     builtin_resolver, MetricsSnapshot, PolicySpec, ShardedCache, SweepSpec, Workload,
@@ -44,6 +47,13 @@ use crate::metrics::{render_prometheus, ServeMetrics};
 /// Largest grid `/v1/sweep` accepts inline; bigger grids belong to the
 /// batch engine (`relia sweep`), and get a 413 telling the caller so.
 pub const MAX_SWEEP_POINTS: usize = 256;
+
+/// Largest Monte Carlo fleet `/v1/fleet` accepts inline; bigger studies
+/// belong to the batch engine (`relia fleet`), and get a 413.
+pub const MAX_FLEET_SAMPLES: usize = 100_000;
+
+/// Most evaluation times one `/v1/fleet` request may carry.
+pub const MAX_FLEET_TIMES: usize = 16;
 
 /// How one model evaluation is produced. The production implementation is
 /// [`CachedEval`] (shared memo cache); tests inject gated/counting
@@ -505,6 +515,153 @@ fn run_aging_point(
     ))
 }
 
+fn optional_f64(root: &Json, name: &'static str, default: f64) -> Result<f64, Response> {
+    match root.get(name) {
+        None => Ok(default),
+        Some(v) => v
+            .as_f64()
+            .ok_or_else(|| Response::error(400, &format!("field {name:?} must be a number"))),
+    }
+}
+
+/// Parses a `/v1/fleet` body into a [`FleetSpec`]. Required fields mirror
+/// `/v1/sweep` (`ras`, `t_standby_k`, `p_active`, `p_standby`) plus
+/// `times_s` and `samples`; `seed`, `correlation`, `rate_sigma`,
+/// `guardband`, `vth_mean_v`, and `vth_sigma_v` default to the paper's
+/// fleet study.
+///
+/// # Errors
+///
+/// The 400 (malformed) or 413 (fleet too large) response.
+pub fn parse_fleet(body: &[u8]) -> Result<FleetSpec, Response> {
+    let root = json::parse(body).map_err(|e| Response::error(400, &e.to_string()))?;
+    let defaults = FleetSpec::paper_defaults()
+        .map_err(|e| Response::error(500, &format!("builtin fleet defaults: {e}")))?;
+    let ras = parse_ras_pair(
+        root.get("ras")
+            .ok_or_else(|| Response::error(400, "missing field \"ras\""))?,
+    )?;
+    let ras = Ras::new(ras.0, ras.1).map_err(|e| Response::error(400, &e.to_string()))?;
+    let times: Vec<Seconds> = parse_f64_list(&root, "times_s")?
+        .into_iter()
+        .map(Seconds)
+        .collect();
+    if times.len() > MAX_FLEET_TIMES {
+        return Err(Response::error(
+            413,
+            &format!(
+                "{} evaluation times exceed the limit of {MAX_FLEET_TIMES}",
+                times.len()
+            ),
+        ));
+    }
+    let samples = require_f64(&root, "samples")?;
+    if !samples.is_finite() || samples < 1.0 {
+        return Err(Response::error(400, "samples must be a positive count"));
+    }
+    if samples > MAX_FLEET_SAMPLES as f64 {
+        return Err(Response::error(
+            413,
+            &format!(
+                "inline fleet of {samples} samples exceeds the limit of {MAX_FLEET_SAMPLES}; \
+                 use the batch engine (relia fleet) for larger studies"
+            ),
+        ));
+    }
+    let mean = optional_f64(&root, "vth_mean_v", defaults.dist.mean().0)?;
+    let sigma = optional_f64(&root, "vth_sigma_v", defaults.dist.sigma().0)?;
+    let dist = VthDistribution::new(Volts(mean), Volts(sigma))
+        .map_err(|e| Response::error(400, &e.to_string()))?;
+    let seed = optional_f64(&root, "seed", defaults.seed as f64)?;
+    if !seed.is_finite() || seed < 0.0 {
+        return Err(Response::error(400, "seed must be a non-negative integer"));
+    }
+    Ok(FleetSpec {
+        ras,
+        t_standby: Kelvin(require_f64(&root, "t_standby_k")?),
+        p_active: require_f64(&root, "p_active")?,
+        p_standby: require_f64(&root, "p_standby")?,
+        times,
+        dist,
+        correlation: optional_f64(&root, "correlation", defaults.correlation)?,
+        rate_sigma: optional_f64(&root, "rate_sigma", defaults.rate_sigma)?,
+        guardband: optional_f64(&root, "guardband", defaults.guardband)?,
+        samples: samples as usize,
+        seed: seed as u64,
+    })
+}
+
+/// Renders the `/v1/fleet` response body. Public so clients can compute
+/// the expected bytes from a direct [`relia_fleet::run_fleet`] call at the
+/// default chunk size.
+pub fn fleet_body(summary: &FleetSummary, chunks: usize) -> String {
+    let points: Vec<String> = summary
+        .points
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"time_s\":{},\"mean\":{},\"std_dev\":{},\"p50\":{},\"p90\":{},\
+                 \"p99\":{},\"yield\":{}}}",
+                fmt_f64(p.time.0),
+                fmt_f64(p.mean),
+                fmt_f64(p.std_dev),
+                fmt_f64(p.p50),
+                fmt_f64(p.p90),
+                fmt_f64(p.p99),
+                fmt_f64(p.yield_fraction)
+            )
+        })
+        .collect();
+    format!(
+        "{{\"samples\":{},\"seed\":{},\"guardband\":{},\"chunks\":{chunks},\
+         \"points\":[{}],\"lifetime_s\":{{\"p01\":{},\"p10\":{},\"p50\":{}}}}}",
+        summary.samples,
+        summary.seed,
+        fmt_f64(summary.guardband),
+        points.join(","),
+        fmt_f64(summary.lifetime.p01),
+        fmt_f64(summary.lifetime.p10),
+        fmt_f64(summary.lifetime.p50)
+    )
+}
+
+fn handle_fleet(request: &Request, deadline: &Deadline) -> Response {
+    let spec = match parse_fleet(&request.body) {
+        Ok(s) => s,
+        Err(r) => return r,
+    };
+    let eval = match FleetEvaluator::prepare(&spec) {
+        Ok(e) => e,
+        Err(e @ (FleetError::Invalid { .. } | FleetError::Model(_))) => {
+            return Response::error(400, &e.to_string())
+        }
+        Err(e) => return Response::error(500, &e.to_string()),
+    };
+    // Chunk-wise evaluation with a cooperative deadline poll between
+    // chunks, exactly like `/v1/sweep` between grid points. Merging in
+    // index order keeps the summary byte-identical to `relia fleet` at the
+    // same (default) chunk size.
+    let total_chunks = spec.samples.div_ceil(DEFAULT_CHUNK);
+    let mut total = ChunkAccum::new(spec.times.len());
+    for index in 0..total_chunks {
+        if deadline.fire_if_due(Instant::now()) {
+            return Response::error(504, "request deadline exceeded");
+        }
+        let start = index * DEFAULT_CHUNK;
+        let len = DEFAULT_CHUNK.min(spec.samples - start);
+        let Some(acc) = eval.run_chunk(spec.seed, index, len, deadline.token()) else {
+            return Response::error(504, "request deadline exceeded");
+        };
+        if let Err(e) = total.merge(&acc) {
+            return Response::error(500, &e.to_string());
+        }
+    }
+    Response::json(
+        200,
+        fleet_body(&eval.summarize(&spec, &total), total_chunks),
+    )
+}
+
 fn handle_metrics(state: &ServeState) -> Response {
     Response::text(200, render_prometheus(&state.snapshot()))
 }
@@ -533,6 +690,7 @@ pub fn handle(state: &ServeState, request: &Request, deadline: &Deadline) -> (Re
         ("GET", "/metrics") => handle_metrics(state),
         ("POST", "/v1/degrade") => handle_degrade(state, request, deadline),
         ("POST", "/v1/sweep") => handle_sweep(state, request, deadline),
+        ("POST", "/v1/fleet") => handle_fleet(request, deadline),
         ("POST", "/admin/shutdown") => {
             state.begin_drain();
             return (
@@ -540,9 +698,10 @@ pub fn handle(state: &ServeState, request: &Request, deadline: &Deadline) -> (Re
                 Action::Shutdown,
             );
         }
-        (_, "/healthz" | "/metrics" | "/v1/degrade" | "/v1/sweep" | "/admin/shutdown") => {
-            Response::error(405, "method not allowed for this endpoint")
-        }
+        (
+            _,
+            "/healthz" | "/metrics" | "/v1/degrade" | "/v1/sweep" | "/v1/fleet" | "/admin/shutdown",
+        ) => Response::error(405, "method not allowed for this endpoint"),
         (_, path) => Response::error(404, &format!("no such endpoint: {path}")),
     };
     (response, Action::Continue)
@@ -713,6 +872,108 @@ mod tests {
         assert_eq!(r.status, 400);
     }
 
+    const FLEET_BODY: &str = "{\"ras\":[1,9],\"t_standby_k\":330,\"p_active\":0.5,\
+         \"p_standby\":1,\"times_s\":[3.156e7,1e8],\"samples\":2000}";
+
+    #[test]
+    fn fleet_matches_the_batch_engine_byte_for_byte() {
+        let s = state();
+        let d = deadline(Duration::from_secs(30));
+        let r = handle(&s, &post("/v1/fleet", FLEET_BODY), &d).0;
+        assert_eq!(r.status, 200, "{:?}", String::from_utf8_lossy(&r.body));
+
+        // Ground truth: the fleet library at the default chunk size.
+        let mut spec = FleetSpec::paper_defaults().unwrap();
+        spec.times = vec![Seconds(3.156e7), Seconds(1e8)];
+        spec.samples = 2000;
+        let out = relia_fleet::run_fleet(&spec, &relia_fleet::FleetOptions::default()).unwrap();
+        let expected = fleet_body(
+            &out.summary,
+            spec.samples.div_ceil(relia_fleet::DEFAULT_CHUNK),
+        );
+        assert_eq!(r.body, expected.into_bytes());
+    }
+
+    #[test]
+    fn fleet_serves_ten_thousand_samples_within_the_deadline() {
+        let s = state();
+        let d = deadline(Duration::from_secs(60));
+        let body = "{\"ras\":[1,9],\"t_standby_k\":330,\"p_active\":0.5,\"p_standby\":1,\
+             \"times_s\":[3.156e7,9.468e7,1e8],\"samples\":10000,\"seed\":7}";
+        let r = handle(&s, &post("/v1/fleet", body), &d).0;
+        assert_eq!(r.status, 200, "{:?}", String::from_utf8_lossy(&r.body));
+        let text = String::from_utf8(r.body).unwrap();
+        assert!(text.contains("\"samples\":10000"));
+        assert!(text.contains("\"seed\":7"));
+        assert!(text.contains("\"chunks\":5"));
+        assert!(text.contains("\"lifetime_s\":{"));
+    }
+
+    #[test]
+    fn fleet_rejects_oversized_and_malformed_requests() {
+        let s = state();
+        let d = deadline(Duration::from_secs(5));
+        // Too many samples → 413.
+        let body = "{\"ras\":[1,9],\"t_standby_k\":330,\"p_active\":0.5,\"p_standby\":1,\
+             \"times_s\":[1e8],\"samples\":100001}";
+        assert_eq!(handle(&s, &post("/v1/fleet", body), &d).0.status, 413);
+        // Too many times → 413.
+        let times: Vec<String> = (1..=17).map(|i| format!("{i}e6")).collect();
+        let body = format!(
+            "{{\"ras\":[1,9],\"t_standby_k\":330,\"p_active\":0.5,\"p_standby\":1,\
+             \"times_s\":[{}],\"samples\":100}}",
+            times.join(",")
+        );
+        assert_eq!(handle(&s, &post("/v1/fleet", &body), &d).0.status, 413);
+        // Malformed bodies → 400.
+        for body in [
+            "",
+            "not json",
+            "{}",
+            // Missing samples.
+            "{\"ras\":[1,9],\"t_standby_k\":330,\"p_active\":0.5,\"p_standby\":1,\
+             \"times_s\":[1e8]}",
+            // Decreasing times.
+            "{\"ras\":[1,9],\"t_standby_k\":330,\"p_active\":0.5,\"p_standby\":1,\
+             \"times_s\":[1e8,1e7],\"samples\":100}",
+            // Correlation out of range.
+            "{\"ras\":[1,9],\"t_standby_k\":330,\"p_active\":0.5,\"p_standby\":1,\
+             \"times_s\":[1e8],\"samples\":100,\"correlation\":2}",
+            // Vth spread escapes [0, vdd).
+            "{\"ras\":[1,9],\"t_standby_k\":330,\"p_active\":0.5,\"p_standby\":1,\
+             \"times_s\":[1e8],\"samples\":100,\"vth_mean_v\":0.9,\"vth_sigma_v\":0.1}",
+        ] {
+            let r = handle(&s, &post("/v1/fleet", body), &d).0;
+            assert_eq!(
+                r.status,
+                400,
+                "{body:?} → {:?}",
+                String::from_utf8_lossy(&r.body)
+            );
+        }
+    }
+
+    #[test]
+    fn fleet_honours_deadline_and_drain() {
+        let s = state();
+        let r = handle(
+            &s,
+            &post("/v1/fleet", FLEET_BODY),
+            &deadline(Duration::ZERO),
+        )
+        .0;
+        assert_eq!(r.status, 504);
+
+        s.begin_drain();
+        let (r, _) = handle(
+            &s,
+            &post("/v1/fleet", FLEET_BODY),
+            &deadline(Duration::from_secs(5)),
+        );
+        assert_eq!(r.status, 503);
+        assert_eq!(r.retry_after, Some(1));
+    }
+
     #[test]
     fn routing_covers_health_metrics_404_405() {
         let s = state();
@@ -730,6 +991,7 @@ mod tests {
 
         assert_eq!(handle(&s, &get("/nope"), &d).0.status, 404);
         assert_eq!(handle(&s, &get("/v1/degrade"), &d).0.status, 405);
+        assert_eq!(handle(&s, &get("/v1/fleet"), &d).0.status, 405);
         assert_eq!(handle(&s, &post("/healthz", ""), &d).0.status, 405);
     }
 

@@ -52,4 +52,37 @@ cargo run -q --offline --release -p relia-serve --example loadgen -- \
 wait "$serve_pid"
 rm -f "$serve_log"
 
+echo "==> relia fleet (10k smoke, percentile sanity, resume)"
+# One 10k-sample run through the release CLI, a sanity pass over the
+# printed table (every statistic finite, p50 <= p90 <= p99 per row), then
+# a resume from the checkpoint that must print byte-identical output.
+fleet_ckpt="$(mktemp -u)"
+fleet_first="$(target/release/relia fleet --samples 10000 --checkpoint "$fleet_ckpt" 2>/dev/null)"
+printf '%s\n' "$fleet_first" | grep -q "lifetime: p01" || {
+    echo "fleet output lacks the lifetime line" >&2
+    exit 1
+}
+printf '%s\n' "$fleet_first" | awk '
+    $1 ~ /s$/ && $NF ~ /%$/ {
+        row = $0
+        gsub(/%/, "")
+        for (i = 2; i <= 7; i++) if ($i + 0 != $i) {
+            print "fleet: non-finite statistic in: " row; exit 1
+        }
+        if ($4 > $5 || $5 > $6) {
+            print "fleet: percentiles not monotone in: " row; exit 1
+        }
+        rows++
+    }
+    END { if (rows < 1) { print "fleet: no statistics rows"; exit 1 } }' || exit 1
+fleet_second="$(target/release/relia fleet --samples 10000 --checkpoint "$fleet_ckpt" 2>/dev/null)"
+if [ "$fleet_first" != "$fleet_second" ]; then
+    echo "fleet: resumed run diverged from the first" >&2
+    exit 1
+fi
+rm -f "$fleet_ckpt"
+
+echo "==> bench_fleet (hoisted-batch speedup gate vs BENCH_fleet.json)"
+cargo run -q --offline --release -p relia-bench --bin bench_fleet -- --check
+
 echo "==> all checks passed"

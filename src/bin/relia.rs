@@ -10,6 +10,8 @@
 //!              [--retries N] [--job-timeout SECS]
 //! relia serve  [--addr HOST:PORT] [--threads N] [--queue-depth N]
 //!              [--request-timeout SECS]
+//! relia fleet  [--samples N] [--seed N] [--times S,...] [--guardband G]
+//!              [--workers N] [--chunk N] [--checkpoint PATH]
 //! relia mlv    <netlist> [--ras A:S] [--tstandby K]
 //! relia dot    <netlist>
 //! relia list                     # built-in benchmarks
@@ -85,6 +87,9 @@ const USAGE: &str = "usage:
   relia lib                                      cell-library leakage/MLV table
   relia serve   [--addr HOST:PORT] [--threads N] [--queue-depth N]
                 [--request-timeout SECS]         HTTP degradation-query service
+  relia fleet   [--samples N] [--seed N] [--times S,...]
+                [--guardband G] [--workers N] [--chunk N]
+                [--checkpoint PATH]              fleet-scale Monte Carlo aging
   relia lint    [--root PATH] [--format text|json]
                                                  workspace static analysis
   relia list                                     built-in benchmarks
@@ -116,6 +121,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         }
         "sweep" => run_sweep_command(&args[1..]),
         "serve" => run_serve_command(&args[1..]),
+        "fleet" => run_fleet_command(&args[1..]),
         "lint" => run_lint_command(&args[1..]),
         "list" => {
             for name in iscas::names() {
@@ -498,6 +504,7 @@ Serves NBTI degradation queries over HTTP (std-only, offline):
 
   POST /v1/degrade      one stress point -> dVth + delay degradation
   POST /v1/sweep        small inline grid (canonical sweep order)
+  POST /v1/fleet        Monte Carlo fleet summary (relia-fleet engine)
   GET  /healthz         liveness / drain state
   GET  /metrics         Prometheus text exposition
   POST /admin/shutdown  graceful drain (finish in-flight, then exit 0)
@@ -572,6 +579,172 @@ fn run_serve_command(args: &[String]) -> Result<(), CliError> {
     server
         .run()
         .map_err(|e| CliError::Analysis(format!("server failed: {e}")))
+}
+
+const FLEET_USAGE: &str = "usage: relia fleet [flags]
+
+Monte Carlo aging across a device fleet: correlated Vth/rate variation
+drawn from a seeded PRNG, evaluated with the hoisted batch kernel, and
+summarized as degradation percentiles, yield vs time, and projected
+lifetime percentiles.
+
+flags:
+  --samples N          devices to draw (default 10000)
+  --seed N             PRNG seed, decimal or 0xHEX (default 0xf1612a)
+  --times S,S,...      evaluation times in seconds, non-decreasing
+                       (default 3.156e7,9.468e7,1e8)
+  --ras A:S            active:standby duty ratio (default 1:9)
+  --tstandby K         standby temperature in kelvin (default 330)
+  --pactive P          active-mode stress probability (default 0.5)
+  --pstandby P         standby-mode stress probability (default 1)
+  --vth-mean V         fresh Vth mean in volts (default 0.22)
+  --vth-sigma V        fresh Vth sigma in volts (default 0.010)
+  --correlation C      Vth/rate correlation in [-1, 1] (default -0.4)
+  --rate-sigma S       lognormal aging-rate spread (default 0.08)
+  --guardband G        delay guardband fraction in (0, 1) (default 0.08)
+  --workers N          worker threads (default: all cores; an explicit
+                       --workers 0 is a usage error)
+  --chunk N            samples per chunk (default 2048; part of the
+                       checkpoint fingerprint)
+  --checkpoint PATH    append completed chunks to PATH and resume from it
+
+Summaries are bit-identical for a fixed seed and chunk size regardless
+of --workers.";
+
+/// `relia fleet` — the CLI face of the `relia-fleet` batch engine.
+///
+/// Flag mistakes (unparseable numbers, unknown flags, an explicit zero
+/// worker/chunk count) exit 2; spec violations the engine rejects
+/// (e.g. an out-of-range guardband) and checkpoint mismatches exit 1.
+fn run_fleet_command(args: &[String]) -> Result<(), CliError> {
+    use relia::core::{Volts, VthDistribution};
+    use relia::fleet::{run_fleet, FleetOptions, FleetSpec};
+
+    let mut spec = FleetSpec::paper_defaults().map_err(stringify)?;
+    let mut opts = FleetOptions::default();
+    let mut vth_mean = spec.dist.mean().0;
+    let mut vth_sigma = spec.dist.sigma().0;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if matches!(arg.as_str(), "help" | "-h" | "--help") {
+            println!("{FLEET_USAGE}");
+            return Ok(());
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| CliError::Usage(format!("flag {arg} needs a value")))?;
+        let bad = |what: &str| CliError::Usage(format!("bad {what} {value}"));
+        match arg.as_str() {
+            "--samples" => {
+                spec.samples = value.parse().map_err(|_| bad("sample count"))?;
+            }
+            "--seed" => {
+                let v = value.trim();
+                spec.seed = match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+                    Some(hex) => u64::from_str_radix(hex, 16).map_err(|_| bad("seed"))?,
+                    None => v.parse().map_err(|_| bad("seed"))?,
+                };
+            }
+            "--times" => {
+                spec.times.clear();
+                for part in value.split(',') {
+                    let secs: f64 = part
+                        .parse()
+                        .map_err(|_| CliError::Usage(format!("bad time {part}")))?;
+                    spec.times.push(Seconds(secs));
+                }
+            }
+            "--ras" => {
+                let (a, s) = value
+                    .split_once(':')
+                    .ok_or_else(|| CliError::Usage(format!("--ras expects A:S, got {value}")))?;
+                spec.ras = Ras::new(
+                    a.parse().map_err(|_| bad("ratio"))?,
+                    s.parse().map_err(|_| bad("ratio"))?,
+                )
+                .map_err(stringify)?;
+            }
+            "--tstandby" => {
+                spec.t_standby = Kelvin(value.parse().map_err(|_| bad("kelvin"))?);
+            }
+            "--pactive" => {
+                spec.p_active = value.parse().map_err(|_| bad("probability"))?;
+            }
+            "--pstandby" => {
+                spec.p_standby = value.parse().map_err(|_| bad("probability"))?;
+            }
+            "--vth-mean" => {
+                vth_mean = value.parse().map_err(|_| bad("voltage"))?;
+            }
+            "--vth-sigma" => {
+                vth_sigma = value.parse().map_err(|_| bad("voltage"))?;
+            }
+            "--correlation" => {
+                spec.correlation = value.parse().map_err(|_| bad("correlation"))?;
+            }
+            "--rate-sigma" => {
+                spec.rate_sigma = value.parse().map_err(|_| bad("rate sigma"))?;
+            }
+            "--guardband" => {
+                spec.guardband = value.parse().map_err(|_| bad("guardband"))?;
+            }
+            "--workers" => {
+                opts.workers = value.parse().map_err(|_| bad("worker count"))?;
+                if opts.workers == 0 {
+                    return Err(CliError::Usage(
+                        "--workers must be at least 1 (omit the flag to use all cores)".into(),
+                    ));
+                }
+            }
+            "--chunk" => {
+                opts.chunk = value.parse().map_err(|_| bad("chunk size"))?;
+                if opts.chunk == 0 {
+                    return Err(CliError::Usage(
+                        "--chunk must be at least 1 (omit the flag for the default)".into(),
+                    ));
+                }
+            }
+            "--checkpoint" => {
+                opts.checkpoint = Some(PathBuf::from(value));
+            }
+            other => return Err(CliError::Usage(format!("unknown fleet flag {other}"))),
+        }
+    }
+    spec.dist = VthDistribution::new(Volts(vth_mean), Volts(vth_sigma)).map_err(stringify)?;
+
+    let outcome = run_fleet(&spec, &opts).map_err(|e| CliError::Analysis(e.to_string()))?;
+    let summary = &outcome.summary;
+    println!(
+        "fleet: {} devices, seed {:#x}, guardband {:.1}%",
+        summary.samples,
+        summary.seed,
+        summary.guardband * 100.0
+    );
+    println!(
+        "{:>12} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "time", "mean", "std", "p50", "p90", "p99", "yield"
+    );
+    for p in &summary.points {
+        println!(
+            "{:>11.4e}s {:>7.3}% {:>7.3}% {:>7.3}% {:>7.3}% {:>7.3}% {:>7.2}%",
+            p.time.0,
+            p.mean * 100.0,
+            p.std_dev * 100.0,
+            p.p50 * 100.0,
+            p.p90 * 100.0,
+            p.p99 * 100.0,
+            p.yield_fraction * 100.0
+        );
+    }
+    let lt = &summary.lifetime;
+    println!(
+        "lifetime: p01 {:.2} years, p10 {:.2} years, p50 {:.2} years",
+        Seconds(lt.p01).to_years(),
+        Seconds(lt.p10).to_years(),
+        Seconds(lt.p50).to_years()
+    );
+    eprintln!("{}", outcome.metrics);
+    Ok(())
 }
 
 fn run_sweep_command(args: &[String]) -> Result<(), CliError> {

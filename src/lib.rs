@@ -34,6 +34,9 @@
 //!   paper evaluates for NBTI mitigation;
 //! * [`jobs`] — the parallel batch sweep engine (worker pool, degradation
 //!   memoization, checkpoint/resume);
+//! * [`fleet`] — the vectorized Monte Carlo engine for fleet-scale
+//!   statistical aging (hoisted batch evaluation, seeded correlated
+//!   sampling, streaming percentiles — `relia fleet`);
 //! * [`serve`] — the std-only HTTP degradation-query service (request
 //!   coalescing, shared memo cache, backpressure — `relia serve`);
 //! * [`lint`] — the offline static analyzer for unit and reliability
@@ -41,6 +44,7 @@
 
 pub use relia_cells as cells;
 pub use relia_core as core;
+pub use relia_fleet as fleet;
 pub use relia_flow as flow;
 pub use relia_ivc as ivc;
 pub use relia_jobs as jobs;

@@ -148,6 +148,7 @@ fn help_prints_usage_to_stdout_and_succeeds() {
     assert_eq!(code, Some(0));
     assert!(stdout.contains("usage"));
     assert!(stdout.contains("sweep"));
+    assert!(stdout.contains("fleet"));
     assert!(stderr.is_empty(), "{stderr}");
 }
 
@@ -260,6 +261,80 @@ fn sweep_resumes_from_checkpoint() {
     assert!(ok, "{stderr}");
     assert!(stderr.contains("(0 executed, 4 resumed"), "{stderr}");
     assert_eq!(first, second);
+    std::fs::remove_file(&ckpt).ok();
+}
+
+#[test]
+fn fleet_help_and_exit_codes_are_pinned() {
+    // `relia fleet --help` → 0 with the flag table on stdout.
+    let (code, stdout, stderr) = relia_coded(&["fleet", "--help"]);
+    assert_eq!(code, Some(0), "{stderr}");
+    for needle in [
+        "usage: relia fleet",
+        "--samples",
+        "--seed",
+        "--guardband",
+        "--checkpoint",
+        "bit-identical",
+    ] {
+        assert!(stdout.contains(needle), "missing {needle:?} in {stdout}");
+    }
+    // Flag mistakes → 2.
+    let (code, _, stderr) = relia_coded(&["fleet", "--bogus", "1"]);
+    assert_eq!(code, Some(2), "{stderr}");
+    let (code, _, stderr) = relia_coded(&["fleet", "--samples", "many"]);
+    assert_eq!(code, Some(2), "{stderr}");
+    let (code, _, stderr) = relia_coded(&["fleet", "--workers", "0"]);
+    assert_eq!(code, Some(2), "{stderr}");
+    assert!(stderr.contains("--workers must be at least 1"), "{stderr}");
+    let (code, _, stderr) = relia_coded(&["fleet", "--chunk", "0"]);
+    assert_eq!(code, Some(2), "{stderr}");
+    let (code, _, stderr) = relia_coded(&["fleet", "--seed"]);
+    assert_eq!(code, Some(2), "{stderr}");
+    assert!(stderr.contains("needs a value"), "{stderr}");
+    // Well-formed numbers the engine rejects → 1.
+    let (code, _, stderr) = relia_coded(&["fleet", "--samples", "64", "--guardband", "1.5"]);
+    assert_eq!(code, Some(1), "{stderr}");
+    assert!(stderr.contains("guardband"), "{stderr}");
+    let (code, _, stderr) = relia_coded(&["fleet", "--samples", "64", "--correlation", "2"]);
+    assert_eq!(code, Some(1), "{stderr}");
+}
+
+#[test]
+fn fleet_runs_and_resumes_deterministically() {
+    let dir = std::env::temp_dir().join("relia_cli_test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let ckpt = dir.join(format!("fleet-{}.ckpt", std::process::id()));
+    let _ = std::fs::remove_file(&ckpt);
+    let args = [
+        "fleet",
+        "--samples",
+        "10000",
+        "--seed",
+        "0x2a",
+        "--chunk",
+        "1024",
+        "--checkpoint",
+        ckpt.to_str().expect("utf-8 path"),
+    ];
+    let (ok, first, stderr) = relia(&args);
+    assert!(ok, "{stderr}");
+    assert!(first.contains("fleet: 10000 devices, seed 0x2a"), "{first}");
+    assert!(first.contains("yield"), "{first}");
+    assert!(first.contains("lifetime: p01"), "{first}");
+    assert!(stderr.contains("(10 executed, 0 resumed)"), "{stderr}");
+    // Second run restores every chunk from the checkpoint and prints the
+    // byte-identical table.
+    let (ok, second, stderr) = relia(&args);
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("(0 executed, 10 resumed)"), "{stderr}");
+    assert_eq!(first, second);
+    // A different worker count changes nothing either.
+    let mut more = args.to_vec();
+    more.extend(["--workers", "3"]);
+    let (ok, third, stderr) = relia(&more);
+    assert!(ok, "{stderr}");
+    assert_eq!(first, third);
     std::fs::remove_file(&ckpt).ok();
 }
 
