@@ -1,0 +1,102 @@
+//! Criterion bench: the overload-control paths of `relia-serve`.
+//!
+//! Overload control only helps if its answers cost less than the work it
+//! refuses. These benches time the two paths a browned-out server lives
+//! on — the breaker fast-path shed (503 + Retry-After, no evaluation)
+//! and the brownout cache hit (a full memoized answer) — plus the
+//! closed-breaker gate overhead a healthy request pays.
+
+#![allow(clippy::unwrap_used)]
+use std::time::{Duration, Instant};
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use relia_core::{CancelToken, Deadline, Kelvin};
+use relia_serve::{handle, DegradeQuery, Endpoint, EvalGate, OverloadConfig, Request, ServeState};
+
+const QUERY: DegradeQuery = DegradeQuery {
+    ras: (1.0, 9.0),
+    t_standby_k: Kelvin(330.0),
+    lifetime_s: 1.0e8,
+    p_active: 0.5,
+    p_standby: 1.0,
+};
+
+fn degrade_request(body: &str) -> Request {
+    Request {
+        method: "POST".to_owned(),
+        target: "/v1/degrade".to_owned(),
+        http11: true,
+        headers: vec![],
+        body: body.as_bytes().to_vec(),
+    }
+}
+
+fn deadline() -> Deadline {
+    Deadline::new(CancelToken::new(), Instant::now() + Duration::from_secs(60))
+}
+
+fn bench_overload(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_overload");
+    let body = QUERY.to_body();
+    let request = degrade_request(&body);
+
+    // Closed-breaker gate: the per-request overhead every healthy request
+    // pays for the protection (one atomic load on the fast path).
+    let healthy = ServeState::new(Duration::from_secs(60)).unwrap();
+    group.bench_function("gate_closed_breaker", |b| {
+        b.iter(|| {
+            black_box(
+                healthy
+                    .overload
+                    .gate(black_box(Endpoint::Degrade), Instant::now()),
+            )
+        })
+    });
+
+    // Breaker fast-path shed: open breaker, cold key → full dispatch to a
+    // 503 + Retry-After without touching the model.
+    let shedding = ServeState::new(Duration::from_secs(60))
+        .unwrap()
+        .with_overload(OverloadConfig {
+            breaker_threshold: 1,
+            breaker_cooldown: Duration::from_secs(3600),
+            ..OverloadConfig::default()
+        });
+    shedding
+        .overload
+        .settle(Endpoint::Degrade, 500, Instant::now());
+    let warmup = handle(&shedding, &request, &deadline());
+    assert_eq!(warmup.0.status, 503);
+    group.bench_function("breaker_shed_503", |b| {
+        b.iter(|| handle(black_box(&shedding), &request, &deadline()))
+    });
+
+    // Brownout cache hit: same open breaker, but the key is memoized — a
+    // full 200, served without evaluation. The cooldown is parked far out
+    // so no half-open probe can close the breaker mid-measurement.
+    let browned = ServeState::new(Duration::from_secs(60))
+        .unwrap()
+        .with_overload(OverloadConfig {
+            breaker_threshold: 1,
+            breaker_cooldown: Duration::from_secs(3600),
+            ..OverloadConfig::default()
+        });
+    let warm = handle(&browned, &request, &deadline());
+    assert_eq!(warm.0.status, 200, "warms the memo cache");
+    browned
+        .overload
+        .settle(Endpoint::Degrade, 500, Instant::now());
+    assert_eq!(
+        browned.overload.gate(Endpoint::Degrade, Instant::now()),
+        EvalGate::CacheOnly
+    );
+    let hit = handle(&browned, &request, &deadline());
+    assert_eq!(hit.0.status, 200, "memoized answer through the brownout");
+    group.bench_function("brownout_cache_hit_200", |b| {
+        b.iter(|| handle(black_box(&browned), &request, &deadline()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_overload);
+criterion_main!(benches);

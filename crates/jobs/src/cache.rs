@@ -136,6 +136,22 @@ impl ShardedCache {
         &self.shards[key.fingerprint() as usize % self.shards.len()]
     }
 
+    /// Read-only lookup: the memoized ΔV_th for `key`, if present.
+    /// Refreshes the entry's LRU tick (a key a brownout keeps answering
+    /// from should stay resident) but records neither a hit nor a miss —
+    /// cache-hit-only serving must not skew the hit-rate statistics.
+    pub fn peek(&self, key: &StressKey) -> Option<f64> {
+        let mut shard = self
+            .shard(key)
+            .lock()
+            // relia-lint: allow(unwrap-in-lib)
+            .expect("cache shard poisoned");
+        let tick = shard.touch();
+        let entry = shard.map.get_mut(key)?;
+        entry.1 = tick;
+        Some(entry.0)
+    }
+
     /// Admits `value` for `key` only after a finiteness check: a NaN or
     /// infinite ΔV_th is rejected as [`ModelError::NonFinite`] and **never
     /// enters the memo table**, where it would silently poison every later
@@ -228,6 +244,37 @@ mod tests {
             (1, 1, 1, 0)
         );
         assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn peek_reads_without_touching_hit_statistics() {
+        let model = NbtiModel::ptm90().unwrap();
+        let cache = ShardedCache::default();
+        assert_eq!(cache.peek(&key(1.0)), None, "cold key peeks to nothing");
+        let v = cache.delta_vth(key(1.0), &model).unwrap();
+        assert_eq!(cache.peek(&key(1.0)), Some(v));
+        let stats = cache.stats();
+        assert_eq!(
+            (stats.hits, stats.misses),
+            (0, 1),
+            "peeks are invisible to hit/miss counters"
+        );
+    }
+
+    #[test]
+    fn peek_refreshes_the_lru_tick() {
+        let model = NbtiModel::ptm90().unwrap();
+        // One shard, two slots: inserting a third key evicts the stalest.
+        let cache = ShardedCache::with_capacity(1, 2);
+        let keep = key(1.0);
+        let v = cache.delta_vth(keep, &model).unwrap();
+        cache.delta_vth(key(0.9), &model).unwrap();
+        // Touch the older entry via peek, then overflow the shard: the
+        // *untouched* middle entry must be the victim.
+        assert_eq!(cache.peek(&keep), Some(v));
+        cache.delta_vth(key(0.8), &model).unwrap();
+        assert_eq!(cache.peek(&keep), Some(v), "peeked entry stayed resident");
+        assert_eq!(cache.peek(&key(0.9)), None, "stale entry was evicted");
     }
 
     #[test]

@@ -330,6 +330,13 @@ impl TaskPool {
         self.panicked.load(Ordering::Relaxed)
     }
 
+    /// A shared handle to the panic counter that outlives
+    /// [`TaskPool::drain`] (which consumes the pool) — a server can drain
+    /// and *then* decide whether the run was clean.
+    pub fn panic_counter(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.panicked)
+    }
+
     /// Tasks accepted but not yet finished (queued + in flight).
     pub fn in_flight(&self) -> u64 {
         self.submitted().saturating_sub(self.completed())

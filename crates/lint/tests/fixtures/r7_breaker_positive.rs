@@ -1,0 +1,16 @@
+//! Breaker/brownout handler paths must not block: sleeping out a breaker
+//! cooldown or slurping a request body pins a worker-pool slot — the
+//! breaker admits, sheds, or probes, it never waits.
+pub fn gate_with_breaker(open: bool, cooldown: std::time::Duration) -> bool {
+    if open {
+        std::thread::sleep(cooldown);
+    }
+    !open
+}
+
+pub fn brownout_shed_body(r: &mut impl std::io::Read, retry_after: u64) -> Vec<u8> {
+    thread::sleep(std::time::Duration::from_secs(retry_after));
+    let mut body = Vec::new();
+    r.read_to_end(&mut body).ok();
+    body
+}

@@ -209,6 +209,24 @@ fn r7_positive_flags_handler_code_but_not_plain_libs() {
 }
 
 #[test]
+fn r7_covers_breaker_and_brownout_handler_paths() {
+    // Overload-control code is handler code: a breaker that *sleeps out*
+    // its cooldown or a brownout path that slurps the body would pin the
+    // very worker slots the control exists to protect.
+    let src = include_str!("fixtures/r7_breaker_positive.rs");
+    let d = lint(src, HANDLER);
+    assert_eq!(
+        shape(&d),
+        vec![
+            ("blocking-in-handler", 6),
+            ("blocking-in-handler", 12),
+            ("blocking-in-handler", 14),
+        ],
+        "{d:?}"
+    );
+}
+
+#[test]
 fn r7_suppressed_is_clean() {
     let d = lint(include_str!("fixtures/r7_suppressed.rs"), HANDLER);
     assert!(d.is_empty(), "{d:?}");

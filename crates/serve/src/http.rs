@@ -340,6 +340,7 @@ impl Response {
 pub fn reason(status: u16) -> &'static str {
     match status {
         200 => "OK",
+        203 => "Non-Authoritative Information",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
@@ -544,6 +545,7 @@ mod tests {
     fn error_response_escapes_the_message() {
         let r = Response::error(400, "bad \"x\"");
         assert_eq!(r.body, br#"{"error":"bad \"x\""}"#);
+        assert_eq!(reason(203), "Non-Authoritative Information");
         assert_eq!(reason(404), "Not Found");
         assert_eq!(reason(503), "Service Unavailable");
     }

@@ -29,9 +29,21 @@
 //! * **Backpressure, not backlog.** Connections run on a bounded
 //!   [`relia_jobs::TaskPool`]; a full queue sheds load with
 //!   `503 + Retry-After` at accept time ([`server`]).
-//! * **Deadlines end-to-end.** Socket read timeouts map a stalled peer to
-//!   `408`; a per-request [`relia_core::Deadline`] maps overlong
-//!   evaluation to `504`, cancelling aging analyses cooperatively.
+//! * **Deadlines end-to-end.** Socket read timeouts *and* a total
+//!   per-message arrival budget map stalled or dribbling peers to `408`;
+//!   a per-request [`relia_core::Deadline`] maps overlong evaluation to
+//!   `504`, cancelling aging analyses cooperatively.
+//! * **Overload control.** Per-endpoint circuit breakers open on
+//!   consecutive evaluation failures; brownout mode serves cache-hit-only
+//!   answers (miss → fast `503 + Retry-After` with bounded jitter); the
+//!   `Healthy → Degraded → Draining` machine behind `/healthz` makes it
+//!   all observable ([`breaker`]).
+//! * **Chaos-tested.** With feature `fault-inject`, the `fault` module
+//!   provides a
+//!   seeded socket-level fault injector (slow dribbles, short writes,
+//!   mid-body disconnects, truncation, stalled keep-alives) and the
+//!   `chaos` example drives a live server through reproducible fault
+//!   mixes, asserting the invariants hold.
 //! * **Byte parity.** Responses render floats with the shortest
 //!   round-trip convention, so a served value is byte-identical to one
 //!   computed by a direct library call — the `loadgen` example asserts
@@ -51,14 +63,23 @@
 //! server.run().unwrap();
 //! ```
 
+pub mod breaker;
 pub mod coalesce;
+#[cfg(feature = "fault-inject")]
+pub mod fault;
 pub mod http;
 pub mod json;
 pub mod metrics;
 pub mod server;
 pub mod service;
 
+pub use breaker::{
+    Admission, BreakerState, CircuitBreaker, Endpoint, EvalGate, HealthMachine, HealthState,
+    HealthTransition, OverloadConfig, OverloadControl,
+};
 pub use coalesce::SingleFlight;
+#[cfg(feature = "fault-inject")]
+pub use fault::{ChaosPlan, ConnFault, FaultStream, Severable};
 pub use http::{read_request, write_response, Limits, ParseError, Request, Response};
 pub use json::{fmt_f64, Json, JsonError};
 pub use metrics::{render_prometheus, ServeMetrics};

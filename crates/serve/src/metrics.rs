@@ -30,6 +30,21 @@ pub struct ServeMetrics {
     pub responses_server_error: AtomicU64,
     /// Requests that blew their evaluation deadline (504).
     pub deadline_exceeded: AtomicU64,
+    /// Requests that never parsed but were answered (400/408/413).
+    pub parse_errors: AtomicU64,
+    /// Reads that timed out mid-message (the 408s, slow dribbles
+    /// included).
+    pub read_timeouts: AtomicU64,
+    /// Response writes that timed out against a stalled peer.
+    pub write_timeouts: AtomicU64,
+    /// Connections whose peer quit mid-message (truncated request line,
+    /// headers, or body).
+    pub conn_truncated: AtomicU64,
+    /// Connections lost to transport errors (resets, broken pipes).
+    pub conn_io_errors: AtomicU64,
+    /// Connections dropped because a socket option (read/write timeout)
+    /// could not be set — serving such a peer would be unbounded.
+    pub sockopt_failures: AtomicU64,
 }
 
 impl ServeMetrics {
@@ -68,6 +83,12 @@ impl ServeMetrics {
                     c(&self.responses_server_error),
                 ),
                 ("serve_deadline_exceeded", c(&self.deadline_exceeded)),
+                ("serve_parse_errors", c(&self.parse_errors)),
+                ("serve_read_timeouts", c(&self.read_timeouts)),
+                ("serve_write_timeouts", c(&self.write_timeouts)),
+                ("serve_conn_truncated", c(&self.conn_truncated)),
+                ("serve_conn_io_errors", c(&self.conn_io_errors)),
+                ("serve_sockopt_failures", c(&self.sockopt_failures)),
             ],
             gauges: vec![],
         }
@@ -110,7 +131,18 @@ mod tests {
         assert_eq!(s.counter("serve_responses_client_error"), Some(1));
         assert_eq!(s.counter("serve_responses_server_error"), Some(2));
         assert_eq!(s.counter("serve_deadline_exceeded"), Some(1));
-        assert_eq!(s.counters.len(), 7, "every declared counter is exposed");
+        ServeMetrics::bump(&m.read_timeouts);
+        ServeMetrics::bump(&m.sockopt_failures);
+        assert_eq!(
+            s.counter("serve_read_timeouts"),
+            Some(0),
+            "pre-bump snapshot"
+        );
+        let s = m.snapshot();
+        assert_eq!(s.counter("serve_read_timeouts"), Some(1));
+        assert_eq!(s.counter("serve_sockopt_failures"), Some(1));
+        assert_eq!(s.counter("serve_conn_truncated"), Some(0));
+        assert_eq!(s.counters.len(), 13, "every declared counter is exposed");
     }
 
     #[test]

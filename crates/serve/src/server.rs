@@ -11,10 +11,19 @@
 //!
 //! ## Deadlines
 //!
-//! The socket read timeout bounds how long a peer may dribble one request
-//! (mid-request stall → `408`); a [`Deadline`] created when the request is
-//! fully parsed bounds evaluation (`504`), checked cooperatively between
-//! sweep points and threaded into aging analyses as a [`CancelToken`].
+//! Two clocks bound request arrival. The socket read timeout catches a
+//! peer that goes silent mid-request (`408`). It is not enough on its
+//! own: the timeout resets on every byte, so a slowloris peer dribbling
+//! one byte per interval would hold a worker forever. [`BudgetReader`]
+//! closes that hole — a single wall-clock budget per message, started at
+//! its first byte, turns the slow dribble into the same `408`. A
+//! [`Deadline`] created when the request is fully parsed then bounds
+//! evaluation (`504`), checked cooperatively between sweep points and
+//! threaded into aging analyses as a [`CancelToken`].
+//!
+//! Failing to *set* those socket timeouts would mean serving an unbounded
+//! peer; such connections are counted (`serve_sockopt_failures`) and
+//! dropped instead.
 //!
 //! ## Graceful drain
 //!
@@ -28,7 +37,7 @@
 //!
 //! [`CancelToken`]: relia_core::CancelToken
 
-use std::io::{self, BufReader};
+use std::io::{self, BufRead, BufReader, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -37,7 +46,7 @@ use std::time::{Duration, Instant};
 use relia_core::{CancelToken, Deadline};
 use relia_jobs::{default_workers, TaskPool};
 
-use crate::http::{read_request, write_response, Limits, Response};
+use crate::http::{read_request, write_response, Limits, ParseError, Response};
 use crate::metrics::ServeMetrics;
 use crate::service::{handle, Action, ServeState};
 
@@ -167,8 +176,19 @@ impl Server {
                 Err(e) => return Err(e),
             };
             ServeMetrics::bump(&self.state.metrics.connections);
-            let _ = stream.set_read_timeout(Some(self.config.request_timeout));
-            let _ = stream.set_write_timeout(Some(self.config.request_timeout));
+            // A connection whose read/write timeout cannot be set would be
+            // unbounded; count it and drop it rather than serve it.
+            if stream
+                .set_read_timeout(Some(self.config.request_timeout))
+                .is_err()
+                || stream
+                    .set_write_timeout(Some(self.config.request_timeout))
+                    .is_err()
+            {
+                ServeMetrics::bump(&self.state.metrics.sockopt_failures);
+                continue;
+            }
+            // Nagle only costs latency; failure to disable it is harmless.
             let _ = stream.set_nodelay(true);
 
             // Keep a dup of the socket so a shed connection can still be
@@ -178,10 +198,15 @@ impl Server {
             let limits = self.config.limits;
             let timeout = self.config.request_timeout;
             let conn_handle = handle.clone();
+            // Count the connection into the in-flight gauge while it is
+            // queued; the handler adopts the slot via a drop guard.
+            self.state.overload.conn_enqueued();
             let submit = pool.try_submit(move || {
+                let _inflight = state.overload.adopt_inflight();
                 serve_connection(&state, stream, &limits, timeout, &conn_handle);
             });
             if submit.is_err() {
+                self.state.overload.conn_dequeued();
                 ServeMetrics::bump(&self.state.metrics.shed);
                 self.state.metrics.record_status(503);
                 if let Some(mut s) = shed_copy {
@@ -192,9 +217,138 @@ impl Server {
                 }
             }
         }
-        // Finish everything that was accepted, then return.
+        // Finish everything that was accepted, then return. A handler
+        // panic is a bug the drain must not paper over: surface it as the
+        // run's error so chaos suites (and operators) see a dirty exit.
+        let panicked = pool.panic_counter();
         pool.drain();
+        let panics = panicked.load(Ordering::Relaxed);
+        if panics > 0 {
+            return Err(io::Error::other(format!(
+                "{panics} connection handler(s) panicked"
+            )));
+        }
         Ok(())
+    }
+}
+
+/// Caps the total wall clock one request may spend *arriving*. The socket
+/// read timeout resets on every byte, so by itself it never fires against
+/// a peer dribbling one byte per interval (slowloris). This wrapper
+/// starts a clock when the first byte of a message is seen; once the
+/// budget is spent, further reads fail like a socket timeout, which
+/// [`read_request`] maps to `408`. Idle time *between* keep-alive
+/// messages is not billed — the clock only runs while a message is in
+/// flight.
+struct BudgetReader<R> {
+    inner: BufReader<R>,
+    budget: Duration,
+    started: Option<Instant>,
+}
+
+impl<R: Read> BudgetReader<R> {
+    fn new(inner: R, budget: Duration) -> Self {
+        BudgetReader {
+            inner: BufReader::new(inner),
+            budget,
+            started: None,
+        }
+    }
+
+    /// Resets the clock for the next message on a keep-alive connection.
+    fn begin_message(&mut self) {
+        self.started = None;
+    }
+}
+
+impl<R: Read> BufRead for BudgetReader<R> {
+    fn fill_buf(&mut self) -> io::Result<&[u8]> {
+        if let Some(started) = self.started {
+            if started.elapsed() > self.budget {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "request arrival budget exhausted",
+                ));
+            }
+        } else if !self.inner.fill_buf()?.is_empty() {
+            // First byte of the message: the budget clock starts.
+            self.started = Some(Instant::now());
+        }
+        self.inner.fill_buf()
+    }
+
+    fn consume(&mut self, amt: usize) {
+        self.inner.consume(amt);
+    }
+}
+
+impl<R: Read> Read for BudgetReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let available = self.fill_buf()?;
+        let n = available.len().min(buf.len());
+        buf[..n].copy_from_slice(&available[..n]);
+        self.consume(n);
+        Ok(n)
+    }
+}
+
+/// Writes `response`, classifying failures into the connection-fault
+/// counters. Returns whether the write succeeded.
+fn write_counted(state: &ServeState, writer: &mut TcpStream, response: &Response) -> bool {
+    match write_response(writer, response) {
+        Ok(()) => true,
+        Err(e) => {
+            if matches!(
+                e.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            ) {
+                ServeMetrics::bump(&state.metrics.write_timeouts);
+            } else {
+                ServeMetrics::bump(&state.metrics.conn_io_errors);
+            }
+            false
+        }
+    }
+}
+
+/// Lingering close after an error response to a request we did not
+/// finish reading. Closing immediately would leave the peer's unread
+/// bytes in our receive buffer, which turns the close into a TCP reset —
+/// destroying the just-written response before the peer reads it.
+/// Instead: FIN our side, then discard whatever the peer is still
+/// sending until it closes or a short grace period expires.
+fn linger_close(stream: &TcpStream) {
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let deadline = Instant::now() + Duration::from_millis(500);
+    let mut sink = [0u8; 1024];
+    let mut stream = stream;
+    while Instant::now() < deadline {
+        match Read::read(&mut stream, &mut sink) {
+            Ok(0) => break,
+            Ok(_) => continue,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Classifies a request-read failure into the connection-fault counters.
+fn count_parse_error(state: &ServeState, error: &ParseError) {
+    match error {
+        ParseError::Timeout => ServeMetrics::bump(&state.metrics.read_timeouts),
+        ParseError::Bad(what) if what.contains("truncated") => {
+            ServeMetrics::bump(&state.metrics.conn_truncated);
+        }
+        ParseError::Io(_) => ServeMetrics::bump(&state.metrics.conn_io_errors),
+        _ => {}
     }
 }
 
@@ -211,8 +365,9 @@ fn serve_connection(
         Ok(w) => w,
         Err(_) => return,
     };
-    let mut reader = BufReader::new(stream);
+    let mut reader = BudgetReader::new(stream, timeout);
     loop {
+        reader.begin_message();
         match read_request(&mut reader, limits) {
             Ok(request) => {
                 let deadline = Deadline::new(CancelToken::new(), Instant::now() + timeout);
@@ -222,7 +377,7 @@ fn serve_connection(
                     response.close = true;
                 }
                 state.metrics.record_status(response.status);
-                let write_ok = write_response(&mut writer, &response).is_ok();
+                let write_ok = write_counted(state, &mut writer, &response);
                 if action == Action::Shutdown {
                     server_handle.shutdown();
                 }
@@ -231,11 +386,15 @@ fn serve_connection(
                 }
             }
             Err(e) => {
+                count_parse_error(state, &e);
                 if let Some(status) = e.status() {
+                    ServeMetrics::bump(&state.metrics.parse_errors);
                     let mut response = Response::error(status, &e.to_string());
                     response.close = true;
                     state.metrics.record_status(status);
-                    let _ = write_response(&mut writer, &response);
+                    if write_counted(state, &mut writer, &response) {
+                        linger_close(&writer);
+                    }
                 }
                 return;
             }
@@ -361,6 +520,86 @@ mod tests {
         let mut reader = BufReader::new(stream);
         let (status, _) = read_one_response(&mut reader);
         assert_eq!(status, 408);
+        handle.shutdown();
+        runner.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn slow_header_dribble_exhausts_the_arrival_budget_with_408() {
+        // Each byte lands well inside the 250 ms socket timeout, so the
+        // per-read clock alone would never fire; the total arrival budget
+        // must be what converts the dribble into a 408.
+        let (addr, handle, runner) = boot(ServeConfig {
+            threads: 2,
+            queue_depth: 8,
+            request_timeout: Duration::from_millis(250),
+            ..ServeConfig::default()
+        });
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let dribble = b"GET /healthz HTTP/1.1\r\nX-Slow: yes\r\n";
+        let started = Instant::now();
+        let mut sent_all = true;
+        for &byte in dribble {
+            if stream.write_all(&[byte]).is_err() {
+                // The server may close on us once the budget fires.
+                sent_all = false;
+                break;
+            }
+            thread::sleep(Duration::from_millis(40));
+            if started.elapsed() > Duration::from_secs(3) {
+                break;
+            }
+        }
+        let _ = sent_all; // either way, the response must be a 408
+        let mut reader = BufReader::new(stream);
+        let (status, _) = read_one_response(&mut reader);
+        assert_eq!(status, 408);
+        handle.shutdown();
+        runner.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn mid_body_disconnect_recycles_the_worker_cleanly() {
+        // Single worker: if a truncated body wedged or killed it, the
+        // follow-up healthz could never be served.
+        let state = Arc::new(ServeState::new(Duration::from_secs(2)).unwrap());
+        let server = Server::bind(
+            ServeConfig {
+                threads: 1,
+                queue_depth: 8,
+                request_timeout: Duration::from_secs(2),
+                ..ServeConfig::default()
+            },
+            Arc::clone(&state),
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        let handle = server.handle();
+        let runner = thread::spawn(move || server.run());
+
+        {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream
+                .write_all(b"POST /v1/degrade HTTP/1.1\r\nContent-Length: 50\r\n\r\n{\"tem")
+                .unwrap();
+            // Half-close so the server sees EOF mid-body immediately; keep
+            // the read side open to collect the 400.
+            stream.shutdown(std::net::Shutdown::Write).unwrap();
+            let mut reader = BufReader::new(stream);
+            let (status, _) = read_one_response(&mut reader);
+            assert_eq!(status, 400);
+        }
+
+        // The same (only) worker serves the next connection.
+        let (status, body) = roundtrip(addr, "GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert_eq!(status, 200);
+        assert_eq!(body, "{\"status\":\"ok\"}");
+        let snapshot = state.metrics.snapshot();
+        assert_eq!(snapshot.counter("serve_conn_truncated"), Some(1));
+        assert_eq!(snapshot.counter("serve_parse_errors"), Some(1));
         handle.shutdown();
         runner.join().unwrap().unwrap();
     }

@@ -39,6 +39,9 @@ use relia_jobs::{
 };
 use relia_netlist::Circuit;
 
+use crate::breaker::{
+    BreakerState, Endpoint, EvalGate, HealthMachine, HealthState, OverloadConfig, OverloadControl,
+};
 use crate::coalesce::SingleFlight;
 use crate::http::{Request, Response};
 use crate::json::{self, fmt_f64, Json};
@@ -90,6 +93,11 @@ pub struct ServeState {
     pub cache: Arc<ShardedCache>,
     /// Service counters.
     pub metrics: ServeMetrics,
+    /// Per-endpoint circuit breakers, the brownout gate, and the
+    /// in-flight gauge.
+    pub overload: OverloadControl,
+    /// The `Healthy → Degraded → Draining` machine behind `/healthz`.
+    pub health: HealthMachine,
     eval: Arc<dyn ModelEval>,
     flight: SingleFlight<StressKey, Result<f64, String>>,
     degradation: relia_core::DelayDegradation,
@@ -131,6 +139,8 @@ impl ServeState {
         Ok(ServeState {
             cache,
             metrics: ServeMetrics::default(),
+            overload: OverloadControl::default(),
+            health: HealthMachine::new(),
             eval,
             flight: SingleFlight::new(),
             degradation: relia_core::DelayDegradation::new(&params),
@@ -139,6 +149,13 @@ impl ServeState {
             request_timeout,
             draining: AtomicBool::new(false),
         })
+    }
+
+    /// Replaces the overload-control configuration (builder style; meant
+    /// for construction time, before traffic — the counters reset).
+    pub fn with_overload(mut self, config: OverloadConfig) -> Self {
+        self.overload = OverloadControl::new(config);
+        self
     }
 
     /// The per-request evaluation deadline.
@@ -159,14 +176,26 @@ impl ServeState {
     /// The merged metrics snapshot behind `GET /metrics`: service counters,
     /// single-flight counters, and the shared memo cache.
     pub fn snapshot(&self) -> MetricsSnapshot {
+        let breaker_gauge = |e| self.overload.breaker(e).state().gauge();
         self.metrics
             .snapshot()
             .merged(MetricsSnapshot {
                 counters: vec![
                     ("serve_coalesce_leads", self.flight.leads()),
                     ("serve_coalesce_joins", self.flight.joins()),
+                    ("serve_breaker_opens", self.overload.breaker_opens()),
+                    ("serve_brownout_sheds", self.overload.brownout_sheds()),
+                    ("serve_health_transitions", self.health.transitions()),
                 ],
-                gauges: vec![],
+                gauges: vec![
+                    (
+                        "serve_breaker_state_degrade",
+                        breaker_gauge(Endpoint::Degrade),
+                    ),
+                    ("serve_breaker_state_sweep", breaker_gauge(Endpoint::Sweep)),
+                    ("serve_breaker_state_fleet", breaker_gauge(Endpoint::Fleet)),
+                    ("serve_inflight", self.overload.inflight() as f64),
+                ],
             })
             .merged(self.cache.stats().snapshot())
     }
@@ -299,6 +328,26 @@ pub fn degrade_body(delta_vth_v: f64, delay_degradation: f64) -> String {
     )
 }
 
+/// The brownout answer for cold work: a fast 503 with jittered
+/// `Retry-After`, counted, and `Connection` left open (the peer is
+/// welcome back after the advertised delay).
+fn brownout_shed(state: &ServeState, what: &str) -> Response {
+    state.overload.count_brownout_shed();
+    let mut response = Response::error(
+        503,
+        &format!("overloaded: {what} shed, retry after the advertised delay"),
+    );
+    response.retry_after = Some(state.overload.retry_after());
+    response
+}
+
+fn render_degrade(state: &ServeState, delta_vth: f64) -> Response {
+    match state.degradation.linear(delta_vth) {
+        Ok(frac) => Response::json(200, degrade_body(delta_vth, frac)),
+        Err(e) => Response::error(500, &e.to_string()),
+    }
+}
+
 fn handle_degrade(state: &ServeState, request: &Request, deadline: &Deadline) -> Response {
     let query = match parse_degrade(&request.body) {
         Ok(q) => q,
@@ -308,6 +357,22 @@ fn handle_degrade(state: &ServeState, request: &Request, deadline: &Deadline) ->
         Ok(k) => k,
         Err(e) => return Response::error(400, &e),
     };
+    if state.overload.gate(Endpoint::Degrade, Instant::now()) == EvalGate::CacheOnly {
+        // Brownout: a memoized answer is still a full answer (bit-equal
+        // to an evaluation); only cold work is refused.
+        if let Some(delta_vth) = state.cache.peek(&key) {
+            return render_degrade(state, delta_vth);
+        }
+        return brownout_shed(state, "cold degrade evaluation");
+    }
+    let response = degrade_eval(state, key, deadline);
+    state
+        .overload
+        .settle(Endpoint::Degrade, response.status, Instant::now());
+    response
+}
+
+fn degrade_eval(state: &ServeState, key: StressKey, deadline: &Deadline) -> Response {
     // The queue wait may already have consumed the deadline.
     if deadline.fire_if_due(Instant::now()) {
         return Response::error(504, "request deadline exceeded");
@@ -316,10 +381,7 @@ fn handle_degrade(state: &ServeState, request: &Request, deadline: &Deadline) ->
         Ok(v) => v,
         Err(e) => return Response::error(500, &e),
     };
-    match state.degradation.linear(delta_vth) {
-        Ok(frac) => Response::json(200, degrade_body(delta_vth, frac)),
-        Err(e) => Response::error(500, &e.to_string()),
-    }
+    render_degrade(state, delta_vth)
 }
 
 fn parse_f64_list(root: &Json, name: &'static str) -> Result<Vec<f64>, Response> {
@@ -421,6 +483,19 @@ pub fn parse_sweep(body: &[u8]) -> Result<SweepSpec, Response> {
 }
 
 fn handle_sweep(state: &ServeState, request: &Request, deadline: &Deadline) -> Response {
+    // Inline sweeps are cold batch work by definition: under brownout
+    // they are shed whole, before the body is even parsed.
+    if state.overload.gate(Endpoint::Sweep, Instant::now()) == EvalGate::CacheOnly {
+        return brownout_shed(state, "inline sweep");
+    }
+    let response = sweep_response(state, request, deadline);
+    state
+        .overload
+        .settle(Endpoint::Sweep, response.status, Instant::now());
+    response
+}
+
+fn sweep_response(state: &ServeState, request: &Request, deadline: &Deadline) -> Response {
     let spec = match parse_sweep(&request.body) {
         Ok(s) => s,
         Err(r) => return r,
@@ -625,7 +700,20 @@ pub fn fleet_body(summary: &FleetSummary, chunks: usize) -> String {
     )
 }
 
-fn handle_fleet(request: &Request, deadline: &Deadline) -> Response {
+fn handle_fleet(state: &ServeState, request: &Request, deadline: &Deadline) -> Response {
+    // Fleet studies have no memo cache to answer from: brownout sheds
+    // them whole, before parsing.
+    if state.overload.gate(Endpoint::Fleet, Instant::now()) == EvalGate::CacheOnly {
+        return brownout_shed(state, "inline fleet study");
+    }
+    let response = fleet_response(request, deadline);
+    state
+        .overload
+        .settle(Endpoint::Fleet, response.status, Instant::now());
+    response
+}
+
+fn fleet_response(request: &Request, deadline: &Deadline) -> Response {
     let spec = match parse_fleet(&request.body) {
         Ok(s) => s,
         Err(r) => return r,
@@ -667,12 +755,32 @@ fn handle_metrics(state: &ServeState) -> Response {
 }
 
 fn handle_health(state: &ServeState) -> Response {
-    let status = if state.is_draining() {
-        "draining"
-    } else {
-        "ok"
-    };
-    Response::json(200, format!("{{\"status\":\"{status}\"}}"))
+    let health = state
+        .health
+        .observe(state.is_draining(), state.overload.degraded());
+    match health {
+        HealthState::Degraded => {
+            // 203: answered authoritatively about *ourselves*, but the
+            // service behind us is impaired. Retry-After tells probes
+            // (and patient clients) when to look again.
+            let worst = [Endpoint::Degrade, Endpoint::Sweep, Endpoint::Fleet]
+                .iter()
+                .map(|&e| state.overload.breaker(e).state())
+                .max_by(|a, b| a.gauge().total_cmp(&b.gauge()))
+                .unwrap_or(BreakerState::Closed);
+            let mut response = Response::json(
+                203,
+                format!(
+                    "{{\"status\":\"degraded\",\"breaker\":\"{}\",\"inflight\":{}}}",
+                    worst.label(),
+                    state.overload.inflight()
+                ),
+            );
+            response.retry_after = Some(state.overload.retry_after());
+            response
+        }
+        other => Response::json(200, format!("{{\"status\":\"{}\"}}", other.label())),
+    }
 }
 
 /// Routes one request. The response is fully rendered; `Action` tells the
@@ -690,7 +798,7 @@ pub fn handle(state: &ServeState, request: &Request, deadline: &Deadline) -> (Re
         ("GET", "/metrics") => handle_metrics(state),
         ("POST", "/v1/degrade") => handle_degrade(state, request, deadline),
         ("POST", "/v1/sweep") => handle_sweep(state, request, deadline),
-        ("POST", "/v1/fleet") => handle_fleet(request, deadline),
+        ("POST", "/v1/fleet") => handle_fleet(state, request, deadline),
         ("POST", "/admin/shutdown") => {
             state.begin_drain();
             return (

@@ -13,6 +13,7 @@ cargo test -q --offline --workspace
 
 echo "==> cargo test (fault injection)"
 cargo test -q --offline -p relia-jobs --features fault-inject
+cargo test -q --offline -p relia-serve --features fault-inject
 
 echo "==> cargo fmt --check"
 cargo fmt --all --check
@@ -20,6 +21,7 @@ cargo fmt --all --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 cargo clippy --offline -p relia-jobs --all-targets --features fault-inject -- -D warnings
+cargo clippy --offline -p relia-serve --all-targets --features fault-inject -- -D warnings
 
 echo "==> relia-lint (unit & reliability invariants)"
 cargo run -q --offline -p relia-lint
@@ -51,6 +53,14 @@ cargo run -q --offline --release -p relia-serve --example loadgen -- \
     --requests 1000 --threads 2 --addr "$serve_addr"
 wait "$serve_pid"
 rm -f "$serve_log"
+
+echo "==> relia serve (chaos: seeded socket faults, overload, drain)"
+# Self-hosted chaos run: 48 connections through a seeded mix of socket
+# faults (slow dribbles, short writes, mid-body disconnects, truncation,
+# stalled keep-alives). The example asserts the metrics ledger balances,
+# no worker dies, and graceful drain completes — exit 0 or the gate fails.
+cargo run -q --offline --release -p relia-serve --features fault-inject \
+    --example chaos -- --seed 7 --conns 48 --threads 4
 
 echo "==> relia fleet (10k smoke, percentile sanity, resume)"
 # One 10k-sample run through the release CLI, a sanity pass over the
@@ -84,5 +94,8 @@ rm -f "$fleet_ckpt"
 
 echo "==> bench_fleet (hoisted-batch speedup gate vs BENCH_fleet.json)"
 cargo run -q --offline --release -p relia-bench --bin bench_fleet -- --check
+
+echo "==> bench_serve (breaker shed-cost gate vs BENCH_serve.json)"
+cargo run -q --offline --release -p relia-bench --bin bench_serve -- --check
 
 echo "==> all checks passed"

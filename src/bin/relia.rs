@@ -9,7 +9,8 @@
 //!              [--standby LIST] [--jobs N] [--checkpoint PATH]
 //!              [--retries N] [--job-timeout SECS]
 //! relia serve  [--addr HOST:PORT] [--threads N] [--queue-depth N]
-//!              [--request-timeout SECS]
+//!              [--request-timeout SECS] [--breaker-threshold N]
+//!              [--breaker-cooldown SECS] [--brownout-high-water N]
 //! relia fleet  [--samples N] [--seed N] [--times S,...] [--guardband G]
 //!              [--workers N] [--chunk N] [--checkpoint PATH]
 //! relia mlv    <netlist> [--ras A:S] [--tstandby K]
@@ -86,7 +87,9 @@ const USAGE: &str = "usage:
   relia liberty                                  characterized library export
   relia lib                                      cell-library leakage/MLV table
   relia serve   [--addr HOST:PORT] [--threads N] [--queue-depth N]
-                [--request-timeout SECS]         HTTP degradation-query service
+                [--request-timeout SECS] [--breaker-threshold N]
+                [--breaker-cooldown SECS] [--brownout-high-water N]
+                                                 HTTP degradation-query service
   relia fleet   [--samples N] [--seed N] [--times S,...]
                 [--guardband G] [--workers N] [--chunk N]
                 [--checkpoint PATH]              fleet-scale Monte Carlo aging
@@ -518,13 +521,24 @@ flags:
                           (default 64, must be >= 1)
   --request-timeout SECS  per-request deadline: socket reads (408) and
                           evaluation (504) both (default 5)
+  --breaker-threshold N   consecutive evaluation failures (5xx) that open
+                          an endpoint's circuit breaker (default 5, must
+                          be >= 1)
+  --breaker-cooldown SECS open-breaker cooldown before a half-open probe
+                          is admitted (default 1)
+  --brownout-high-water N in-flight connections beyond which brownout
+                          engages: cache hits still answer, cold work is
+                          shed with 503 + Retry-After (default 48)
 
 Identical concurrent queries are coalesced into one model evaluation, and
-all queries share one process-wide dVth memo cache.";
+all queries share one process-wide dVth memo cache. Health transitions
+(Healthy -> Degraded -> Draining) are logged to stderr; /healthz answers
+203 + Retry-After while degraded.";
 
 /// `relia serve` — boots the HTTP service and blocks until drained.
 fn run_serve_command(args: &[String]) -> Result<(), CliError> {
     let mut config = relia::serve::ServeConfig::default();
+    let mut overload = relia::serve::OverloadConfig::default();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         if matches!(arg.as_str(), "help" | "-h" | "--help") {
@@ -565,12 +579,49 @@ fn run_serve_command(args: &[String]) -> Result<(), CliError> {
                 }
                 config.request_timeout = Duration::from_secs_f64(secs);
             }
+            "--breaker-threshold" => {
+                overload.breaker_threshold = value
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("bad breaker threshold {value}")))?;
+                if overload.breaker_threshold == 0 {
+                    return Err(CliError::Usage(
+                        "--breaker-threshold must be at least 1".into(),
+                    ));
+                }
+            }
+            "--breaker-cooldown" => {
+                let secs: f64 = value
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("bad cooldown {value}")))?;
+                if !(secs > 0.0 && secs.is_finite()) {
+                    return Err(CliError::Usage(format!(
+                        "--breaker-cooldown must be positive, got {value}"
+                    )));
+                }
+                overload.breaker_cooldown = Duration::from_secs_f64(secs);
+            }
+            "--brownout-high-water" => {
+                overload.brownout_high_water = value
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("bad high-water mark {value}")))?;
+            }
             other => return Err(CliError::Usage(format!("unknown serve flag {other}"))),
         }
     }
     let state = Arc::new(
-        relia::serve::ServeState::new(config.request_timeout).map_err(CliError::Analysis)?,
+        relia::serve::ServeState::new(config.request_timeout)
+            .map_err(CliError::Analysis)?
+            .with_overload(overload),
     );
+    // Operators watch health from stderr; stdout stays machine-parseable.
+    state.health.set_logger(Box::new(|t| {
+        eprintln!(
+            "relia-serve health: {} -> {} (transition {})",
+            t.from.label(),
+            t.to.label(),
+            t.seq
+        );
+    }));
     let server = relia::serve::Server::bind(config, state)
         .map_err(|e| CliError::Analysis(format!("cannot bind: {e}")))?;
     // The resolved address (ephemeral port included) goes to stdout so
