@@ -252,9 +252,11 @@ impl FleetEvaluator {
 
         acc.samples += 1;
         let mut dv_ref = 0.0;
+        // Bounded fan-in (MAX_TIMES = 16 hoisted terms, enforced at spec
+        // validation); cancellation is polled per sample in run_chunk.
         for (h, t) in self.hoisted.iter().zip(acc.per_time.iter_mut()) {
-            let dv = h.delta_vth_at(vth0) * m;
-            // First-order alpha-power delay growth: Δd/d = α·ΔVth/overdrive.
+            let dv = h.delta_vth_at(vth0) * m; // relia-lint: allow(unpolled-loop)
+                                               // First-order alpha-power delay growth: Δd/d = α·ΔVth/overdrive.
             let frac = self.alpha * dv / od;
             t.frac.record(frac);
             t.moments.record(frac);

@@ -267,6 +267,10 @@ impl TaskPool {
                             Ok(g) => g,
                             Err(_) => return, // a sibling panicked holding the lock
                         };
+                        // Blocking on recv *is* this lock's purpose: std's
+                        // Receiver is !Sync, so the mutex serializes the
+                        // dequeue and idle workers must park right here.
+                        // relia-lint: allow(guard-across-blocking)
                         guard.recv()
                     };
                     match task {

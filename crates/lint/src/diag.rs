@@ -1,4 +1,5 @@
-//! Diagnostics: the linter's output records and their two render formats.
+//! Diagnostics: the linter's output records and their render formats —
+//! rustc-style text, JSONL, and SARIF 2.1.0 for editor/CI ingestion.
 
 use std::fmt;
 
@@ -45,6 +46,53 @@ impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(&self.render_text())
     }
+}
+
+/// Renders a full report as a single SARIF 2.1.0 document. The driver
+/// advertises every registered rule (plus the two pragma meta rules) so
+/// viewers can resolve `ruleId` references; each diagnostic becomes one
+/// `error`-level result with a physical location.
+pub fn render_sarif(diags: &[Diagnostic]) -> String {
+    let mut rules = String::new();
+    let meta = [
+        ("stale-allow", "allow pragma suppresses nothing"),
+        ("bad-pragma", "malformed or unknown-rule allow pragma"),
+    ];
+    let all = crate::rules::RULES
+        .iter()
+        .map(|r| (r.id, r.summary))
+        .chain(meta);
+    for (i, (id, summary)) in all.enumerate() {
+        if i > 0 {
+            rules.push(',');
+        }
+        rules.push_str(&format!(
+            "{{\"id\":\"{}\",\"shortDescription\":{{\"text\":\"{}\"}}}}",
+            escape_json(id),
+            escape_json(summary)
+        ));
+    }
+    let mut results = String::new();
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            results.push(',');
+        }
+        results.push_str(&format!(
+            "{{\"ruleId\":\"{}\",\"level\":\"error\",\"message\":{{\"text\":\"{}\"}},\
+             \"locations\":[{{\"physicalLocation\":{{\"artifactLocation\":{{\"uri\":\"{}\"}},\
+             \"region\":{{\"startLine\":{},\"startColumn\":{}}}}}}}]}}",
+            escape_json(d.rule),
+            escape_json(&d.message),
+            escape_json(&d.file),
+            d.line,
+            d.col
+        ));
+    }
+    format!(
+        "{{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\
+         \"version\":\"2.1.0\",\"runs\":[{{\"tool\":{{\"driver\":{{\
+         \"name\":\"relia-lint\",\"rules\":[{rules}]}}}},\"results\":[{results}]}}]}}"
+    )
 }
 
 /// Escapes a string for embedding in a JSON string literal.
@@ -102,6 +150,19 @@ mod tests {
         assert!(json.contains("\\\"quote\\\""));
         assert!(json.contains("\\n"));
         assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+
+    #[test]
+    fn sarif_form_names_driver_rules_and_locations() {
+        let doc = render_sarif(&[d()]);
+        assert!(doc.contains("\"version\":\"2.1.0\""));
+        assert!(doc.contains("\"name\":\"relia-lint\""));
+        assert!(doc.contains("\"ruleId\":\"float-eq\""));
+        assert!(doc.contains("\"id\":\"lock-order-inversion\""));
+        assert!(doc.contains("\"startLine\":3"));
+        assert!(doc.contains("\"startColumn\":9"));
+        // An empty report is still a valid document.
+        assert!(render_sarif(&[]).contains("\"results\":[]"));
     }
 
     #[test]

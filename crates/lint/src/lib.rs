@@ -5,9 +5,11 @@
 //! An offline, std-only static analyzer for the relia workspace's
 //! physical-unit and reliability invariants. The paper's model is a
 //! minefield of silently confusable scalars — kelvin vs. celsius, stress
-//! seconds vs. wall seconds, duty cycles vs. RAS ratios — and a single
-//! mixed-up unit reproduces the figures *plausibly but wrongly*. These
-//! rules turn that class of bug into a build failure:
+//! seconds vs. wall seconds, duty cycles vs. RAS ratios — and the serving
+//! tier layered on top adds the concurrency hazards (held guards, lock
+//! ordering, unpollable loops, leaking gauges) that corrupt results
+//! *operationally* instead. These rules turn both classes into build
+//! failures:
 //!
 //! * **R1 `unit-leak`** — unit-named `pub fn` parameters or struct fields
 //!   (`temp*`, `t_active`, `t_standby`, `*_k`, `duration`, `period`,
@@ -24,37 +26,171 @@
 //!   `.read_to_end(` in request-handler library code (`crates/serve/src/`):
 //!   a blocked handler pins a worker-pool slot and defeats the server's
 //!   deadline and backpressure design.
+//! * **R8 `guard-across-blocking`** — a live lock guard spans
+//!   `thread::sleep`, socket/channel I/O, or a cold model evaluation
+//!   ([`flow`]).
+//! * **R9 `lock-order-inversion`** — two locks acquired in opposite
+//!   nesting order anywhere in the workspace; both sites are reported
+//!   ([`graph`]).
+//! * **R10 `unpolled-loop`** — a handler/job loop evaluates the model
+//!   without polling a `CancelToken`/`Deadline` ([`flow`]).
+//! * **R11 `counter-leak`** — a metrics gauge incremented on an entry
+//!   path with an early `return` before the decrement/handoff ([`flow`]).
 //!
 //! Violations are suppressed per line with
 //! `// relia-lint: allow(rule-id)` — trailing on the offending line, or
 //! standalone on the line above it. A pragma that suppresses nothing is
 //! itself an error (`stale-allow`), so allows cannot outlive their reason.
 //!
+//! ## Pipeline
+//!
+//! ```text
+//! lexer → scope tracker → per-file rules (R1–R8, R10, R11) ┐
+//!                       → lock edges + deferred pragmas ───┴→ finish():
+//!                                 workspace lock graph (R9) + pragma audit
+//! ```
+//!
+//! Per-file analysis ([`analyze_source`]) is pure in the file's content
+//! and classification, which is what makes `--incremental` ([`cache`])
+//! and `--jobs N` (same results in discovery order, any worker count)
+//! sound. Workspace rules run in [`finish`] over every file's
+//! [`graph::FileSummary`] — recomputed on every run, cached or not.
+//!
 //! The analyzer is a hand-rolled lexer plus token-stream rules — no
 //! rustc internals, no syn, no network — so it runs identically in the
 //! offline container and in CI (`relia lint`, or
 //! `cargo run -q -p relia-lint`).
 
+pub mod cache;
 pub mod diag;
+pub mod flow;
+pub mod graph;
 pub mod lexer;
 pub mod pragma;
 pub mod rules;
+pub mod scope;
 pub mod walker;
 
+use std::collections::BTreeMap;
 use std::path::Path;
 
 pub use diag::Diagnostic;
-pub use rules::{FileKind, FileOpts, RULE_IDS};
+pub use rules::{FileKind, FileOpts, RULES, RULE_IDS};
 
-/// Lints one in-memory source file: lex, run every rule, apply pragmas.
-/// This is the unit the fixture self-tests drive.
-pub fn lint_source(file: &str, source: &str, opts: &FileOpts) -> Vec<Diagnostic> {
+/// Everything one file contributes: its own findings plus its inputs to
+/// the workspace-level rules.
+#[derive(Debug, Clone, Default)]
+pub struct FileAnalysis {
+    /// Per-file diagnostics, pragma-filtered and sorted.
+    pub diags: Vec<Diagnostic>,
+    /// Lock edges and deferred pragmas for the workspace pass.
+    pub summary: graph::FileSummary,
+}
+
+/// Analyzes one in-memory source file: lex, scope-track, run every
+/// per-file rule, apply pragmas. Pure in `(file, source, opts)`.
+pub fn analyze_source(file: &str, source: &str, opts: &FileOpts) -> FileAnalysis {
     let lexed = lexer::lex(source);
+    let scopes = scope::analyze(&lexed);
     let (mut pragmas, mut diags) = pragma::parse(file, &lexed);
-    let violations = rules::check(file, &lexed, opts);
-    diags.extend(pragma::apply(file, &mut pragmas, violations));
+    let mut violations = rules::check(file, &lexed, opts);
+    violations.extend(flow::check(file, &lexed, &scopes, opts));
+    let (kept, deferred_allows) = pragma::apply_deferring(file, &mut pragmas, violations);
+    diags.extend(kept);
+    diag::sort(&mut diags);
+    FileAnalysis {
+        diags,
+        summary: graph::FileSummary {
+            edges: flow::lock_edges(&lexed, &scopes, opts),
+            deferred_allows,
+        },
+    }
+}
+
+/// Combines per-file analyses into the final report: concatenates file
+/// diagnostics, runs the workspace lock graph (R9), applies deferred
+/// `allow(lock-order-inversion)` pragmas, and reports the stale ones.
+pub fn finish(files: Vec<(String, FileAnalysis)>) -> Vec<Diagnostic> {
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    let mut summaries: Vec<(String, graph::FileSummary)> = Vec::with_capacity(files.len());
+    for (name, analysis) in files {
+        diags.extend(analysis.diags);
+        summaries.push((name, analysis.summary));
+    }
+    let r9 = graph::check(&summaries);
+    for d in r9 {
+        let allow = summaries
+            .iter_mut()
+            .find(|(name, _)| *name == d.file)
+            .and_then(|(_, s)| {
+                s.deferred_allows
+                    .iter_mut()
+                    .find(|a| a.target_line == d.line)
+            });
+        match allow {
+            Some(a) => a.used = true,
+            None => diags.push(d),
+        }
+    }
+    for (name, s) in &summaries {
+        for a in s.deferred_allows.iter().filter(|a| !a.used) {
+            diags.push(Diagnostic {
+                file: name.clone(),
+                line: a.line,
+                col: 1,
+                rule: "stale-allow",
+                message: format!(
+                    "allow({}) suppresses nothing — remove the pragma or the fix that \
+                     outlived it",
+                    pragma::DEFERRED_RULE
+                ),
+            });
+        }
+    }
     diag::sort(&mut diags);
     diags
+}
+
+/// Lints a set of in-memory sources as one workspace — per-file rules
+/// plus the cross-file lock graph. The unit the multi-file fixture tests
+/// drive.
+pub fn lint_sources(files: &[(&str, &str, FileOpts)]) -> Vec<Diagnostic> {
+    finish(
+        files
+            .iter()
+            .map(|(name, source, opts)| ((*name).to_owned(), analyze_source(name, source, opts)))
+            .collect(),
+    )
+}
+
+/// Lints one in-memory source file through the full pipeline (the
+/// workspace pass sees a single file). This is the unit the fixture
+/// self-tests drive.
+pub fn lint_source(file: &str, source: &str, opts: &FileOpts) -> Vec<Diagnostic> {
+    finish(vec![(file.to_owned(), analyze_source(file, source, opts))])
+}
+
+/// Options for a workspace lint run.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkspaceOpts {
+    /// Worker threads for per-file analysis; `<= 1` runs serially. Output
+    /// is identical for every value.
+    pub jobs: usize,
+    /// Skip re-analyzing files whose content hash matches the committed
+    /// `.lint-cache` manifest (their cached summaries still feed R9).
+    pub incremental: bool,
+    /// Rewrite `.lint-cache` from this run's clean files.
+    pub write_cache: bool,
+}
+
+impl Default for WorkspaceOpts {
+    fn default() -> Self {
+        WorkspaceOpts {
+            jobs: 1,
+            incremental: false,
+            write_cache: false,
+        }
+    }
 }
 
 /// Lints every workspace source file under `root`, returning the sorted
@@ -65,32 +201,134 @@ pub fn lint_source(file: &str, source: &str, opts: &FileOpts) -> Vec<Diagnostic>
 /// Returns an error string when the walk or a file read fails — an I/O
 /// problem, not a lint finding.
 pub fn lint_workspace(root: &Path) -> Result<Vec<Diagnostic>, String> {
+    lint_workspace_opts(root, &WorkspaceOpts::default())
+}
+
+/// [`lint_workspace`] with explicit parallelism and incremental-cache
+/// behavior.
+///
+/// # Errors
+///
+/// Returns an error string when the walk, a file read, the cache write,
+/// or a lint worker fails.
+pub fn lint_workspace_opts(root: &Path, opts: &WorkspaceOpts) -> Result<Vec<Diagnostic>, String> {
     let files = walker::discover(root).map_err(|e| format!("walking {}: {e}", root.display()))?;
-    let mut diags = Vec::new();
-    for f in &files {
+    let cache_path = root.join(cache::CACHE_FILE);
+    let cached = if opts.incremental {
+        cache::load(&cache_path).unwrap_or_default()
+    } else {
+        BTreeMap::new()
+    };
+
+    let analyze_one = |f: &walker::SourceFile| -> Result<(FileAnalysis, u64), String> {
         let source = std::fs::read_to_string(&f.abs_path)
             .map_err(|e| format!("reading {}: {e}", f.abs_path.display()))?;
-        diags.extend(lint_source(&f.rel_path, &source, &f.opts));
+        let hash = cache::fnv1a(source.as_bytes());
+        if let Some(entry) = cached.get(&f.rel_path) {
+            if entry.hash == hash {
+                // Cached files were clean; only their workspace inputs
+                // survive to this run.
+                return Ok((
+                    FileAnalysis {
+                        diags: Vec::new(),
+                        summary: entry.summary.clone(),
+                    },
+                    hash,
+                ));
+            }
+        }
+        Ok((analyze_source(&f.rel_path, &source, &f.opts), hash))
+    };
+
+    // `run_ordered` returns outcomes in job (= discovery) order for any
+    // worker count, which keeps `--jobs N` output byte-identical to a
+    // serial run.
+    let results: Vec<Result<(FileAnalysis, u64), String>> = if opts.jobs <= 1 {
+        files.iter().map(analyze_one).collect()
+    } else {
+        relia_jobs::pool::run_ordered(&files, opts.jobs, |_, f| analyze_one(f))
+            .into_iter()
+            .map(|o| match o {
+                relia_jobs::pool::JobOutcome::Completed(r) => r,
+                _ => Err("lint worker failed".to_owned()),
+            })
+            .collect()
+    };
+
+    let mut analyses = Vec::with_capacity(files.len());
+    for (f, r) in files.iter().zip(results) {
+        let (analysis, hash) = r?;
+        analyses.push((f.rel_path.clone(), analysis, hash));
     }
-    diag::sort(&mut diags);
-    Ok(diags)
+
+    if opts.write_cache {
+        let entries: BTreeMap<String, cache::CacheEntry> = analyses
+            .iter()
+            .filter(|(_, a, _)| a.diags.is_empty())
+            .map(|(name, a, hash)| {
+                (
+                    name.clone(),
+                    cache::CacheEntry {
+                        hash: *hash,
+                        summary: a.summary.clone(),
+                    },
+                )
+            })
+            .collect();
+        cache::save(&cache_path, &entries)
+            .map_err(|e| format!("writing {}: {e}", cache_path.display()))?;
+    }
+
+    Ok(finish(
+        analyses.into_iter().map(|(name, a, _)| (name, a)).collect(),
+    ))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    const LIB: FileOpts = FileOpts {
+        kind: FileKind::Library,
+        crate_root: false,
+        handler: false,
+        job: false,
+    };
+
     #[test]
     fn lint_source_ties_rules_to_pragmas() {
         let src = "pub fn f() {\n    x.unwrap(); // relia-lint: allow(unwrap-in-lib)\n    y.unwrap();\n}\n";
-        let opts = FileOpts {
-            kind: FileKind::Library,
-            crate_root: false,
-            handler: false,
-        };
-        let diags = lint_source("f.rs", src, &opts);
+        let diags = lint_source("f.rs", src, &LIB);
         assert_eq!(diags.len(), 1);
         assert_eq!(diags[0].line, 3);
+    }
+
+    #[test]
+    fn lint_sources_catches_cross_file_inversion() {
+        let a = "pub fn f(s: &S) {\n let g = s.alpha.lock();\n let h = s.beta.lock();\n}\n";
+        let b = "pub fn g(s: &S) {\n let h = s.beta.lock();\n let g = s.alpha.lock();\n}\n";
+        let diags = lint_sources(&[("a.rs", a, LIB), ("b.rs", b, LIB)]);
+        let r9: Vec<_> = diags
+            .iter()
+            .filter(|d| d.rule == "lock-order-inversion")
+            .collect();
+        assert_eq!(r9.len(), 2, "{diags:?}");
+        assert_eq!((r9[0].file.as_str(), r9[0].line), ("a.rs", 3));
+        assert_eq!((r9[1].file.as_str(), r9[1].line), ("b.rs", 3));
+        assert!(r9[0].message.contains("b.rs:3"), "{}", r9[0].message);
+    }
+
+    #[test]
+    fn deferred_allows_suppress_r9_and_go_stale_without_it() {
+        let a = "pub fn f(s: &S) {\n let g = s.alpha.lock();\n let h = s.beta.lock(); // relia-lint: allow(lock-order-inversion)\n}\n";
+        let b = "pub fn g(s: &S) {\n let h = s.beta.lock();\n let g = s.alpha.lock(); // relia-lint: allow(lock-order-inversion)\n}\n";
+        let diags = lint_sources(&[("a.rs", a, LIB), ("b.rs", b, LIB)]);
+        assert!(diags.is_empty(), "{diags:?}");
+        // With no inversion anywhere, the same pragma is stale.
+        let clean = "pub fn f(s: &S) {\n let g = s.alpha.lock(); // relia-lint: allow(lock-order-inversion)\n}\n";
+        let diags = lint_sources(&[("c.rs", clean, LIB)]);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "stale-allow");
     }
 
     #[test]
@@ -109,5 +347,30 @@ mod tests {
                 .collect::<Vec<_>>()
                 .join("\n")
         );
+    }
+
+    #[test]
+    fn parallel_and_incremental_runs_match_serial() {
+        let root = walker::find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+            .expect("workspace root");
+        let serial = lint_workspace(&root).expect("serial");
+        let parallel = lint_workspace_opts(
+            &root,
+            &WorkspaceOpts {
+                jobs: 8,
+                ..WorkspaceOpts::default()
+            },
+        )
+        .expect("parallel");
+        assert_eq!(serial, parallel);
+        let incremental = lint_workspace_opts(
+            &root,
+            &WorkspaceOpts {
+                incremental: true,
+                ..WorkspaceOpts::default()
+            },
+        )
+        .expect("incremental");
+        assert_eq!(serial, incremental);
     }
 }

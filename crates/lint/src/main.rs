@@ -1,7 +1,8 @@
 //! `relia-lint` — the standalone CLI for the workspace linter.
 //!
 //! ```text
-//! relia-lint [--root PATH] [--format text|json] [--list-rules]
+//! relia-lint [--root PATH] [--format text|json|sarif] [--jobs N]
+//!            [--incremental] [--write-cache] [--list-rules]
 //! ```
 //!
 //! Exit codes follow the sweep CLI convention: 0 clean, 1 violations
@@ -10,19 +11,22 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use relia_lint::{lint_workspace, walker, RULE_IDS};
+use relia_lint::{diag, lint_workspace_opts, walker, WorkspaceOpts, RULES};
 
-const USAGE: &str = "usage: relia-lint [--root PATH] [--format text|json] [--list-rules]";
+const USAGE: &str = "usage: relia-lint [--root PATH] [--format text|json|sarif] [--jobs N] \
+                     [--incremental] [--write-cache] [--list-rules]";
 
 enum Format {
     Text,
     Json,
+    Sarif,
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut root: Option<PathBuf> = None;
     let mut format = Format::Text;
+    let mut opts = WorkspaceOpts::default();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -33,16 +37,23 @@ fn main() -> ExitCode {
             "--format" => match iter.next().map(String::as_str) {
                 Some("text") => format = Format::Text,
                 Some("json") => format = Format::Json,
+                Some("sarif") => format = Format::Sarif,
                 other => {
                     return usage_error(&format!(
-                        "--format wants text|json, got {:?}",
+                        "--format wants text|json|sarif, got {:?}",
                         other.unwrap_or("<missing>")
                     ))
                 }
             },
+            "--jobs" => match iter.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => opts.jobs = n,
+                _ => return usage_error("--jobs needs a positive integer"),
+            },
+            "--incremental" => opts.incremental = true,
+            "--write-cache" => opts.write_cache = true,
             "--list-rules" => {
-                for (i, id) in RULE_IDS.iter().enumerate() {
-                    println!("R{} {id}", i + 1);
+                for (i, r) in RULES.iter().enumerate() {
+                    println!("R{} {} — {}", i + 1, r.id, r.summary);
                 }
                 return ExitCode::SUCCESS;
             }
@@ -68,13 +79,20 @@ fn main() -> ExitCode {
         }
     };
 
-    match lint_workspace(&root) {
+    match lint_workspace_opts(&root, &opts) {
         Ok(diags) => {
-            for d in &diags {
-                match format {
-                    Format::Text => println!("{}", d.render_text()),
-                    Format::Json => println!("{}", d.render_json()),
+            match format {
+                Format::Text => {
+                    for d in &diags {
+                        println!("{}", d.render_text());
+                    }
                 }
+                Format::Json => {
+                    for d in &diags {
+                        println!("{}", d.render_json());
+                    }
+                }
+                Format::Sarif => println!("{}", diag::render_sarif(&diags)),
             }
             if diags.is_empty() {
                 ExitCode::SUCCESS

@@ -11,12 +11,35 @@
 //! only that line) or alone on the line directly above it (which covers
 //! only the next line). Every pragma must suppress at least one violation;
 //! a pragma that suppresses nothing is itself reported (`stale-allow`), so
-//! suppressions cannot outlive the code they excuse. Rule ids accept the
-//! short `R1`–`R6` aliases.
+//! suppressions cannot outlive the code they excuse. Rule ids accept a
+//! short `R<n>` alias for every registered rule (see
+//! [`RULES`](crate::rules::RULES)).
+//!
+//! One rule needs special handling: R9 `lock-order-inversion` is decided
+//! by the *workspace* lock graph, after every file has been analyzed. An
+//! `allow(lock-order-inversion)` pragma therefore cannot be judged
+//! used-or-stale inside [`apply_deferring`]; it is returned as a
+//! [`DeferredAllow`] and resolved by [`crate::finish`] once the graph has
+//! spoken.
 
 use crate::diag::Diagnostic;
 use crate::lexer::Lexed;
 use crate::rules::rule_by_name;
+
+/// The one rule whose pragmas are resolved at workspace level.
+pub const DEFERRED_RULE: &str = "lock-order-inversion";
+
+/// An `allow(lock-order-inversion)` pragma awaiting the workspace pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeferredAllow {
+    /// 1-based line of the pragma comment.
+    pub line: u32,
+    /// The single line the pragma covers.
+    pub target_line: u32,
+    /// True when the pragma already silenced a per-file violation (it
+    /// named other rules too) — it can no longer be reported stale.
+    pub used: bool,
+}
 
 /// One parsed `allow` pragma.
 #[derive(Debug, Clone)]
@@ -95,7 +118,15 @@ pub fn parse(file: &str, lexed: &Lexed) -> (Vec<Pragma>, Vec<Diagnostic>) {
 /// Applies pragmas to raw violations: a violation on the pragma's target
 /// line, for a rule the pragma names, is dropped and the pragma marked
 /// used. Unused pragmas then become `stale-allow` diagnostics.
-pub fn apply(file: &str, pragmas: &mut [Pragma], violations: Vec<Diagnostic>) -> Vec<Diagnostic> {
+///
+/// Workspace-decided rules are the exception: pragmas naming
+/// [`DEFERRED_RULE`] come back as [`DeferredAllow`]s instead of being
+/// judged stale here.
+pub fn apply_deferring(
+    file: &str,
+    pragmas: &mut [Pragma],
+    violations: Vec<Diagnostic>,
+) -> (Vec<Diagnostic>, Vec<DeferredAllow>) {
     let mut out = Vec::new();
     for v in violations {
         let mut suppressed = false;
@@ -110,15 +141,47 @@ pub fn apply(file: &str, pragmas: &mut [Pragma], violations: Vec<Diagnostic>) ->
             out.push(v);
         }
     }
-    for p in pragmas.iter().filter(|p| !p.used) {
+    let mut deferred = Vec::new();
+    for p in pragmas.iter() {
+        if p.rules.contains(&DEFERRED_RULE) {
+            deferred.push(DeferredAllow {
+                line: p.line,
+                target_line: p.target_line,
+                used: p.used,
+            });
+            continue;
+        }
+        if !p.used {
+            out.push(Diagnostic {
+                file: file.to_owned(),
+                line: p.line,
+                col: 1,
+                rule: "stale-allow",
+                message: format!(
+                    "allow({}) suppresses nothing — remove the pragma or the fix that outlived it",
+                    p.rules.join(", ")
+                ),
+            });
+        }
+    }
+    (out, deferred)
+}
+
+/// [`apply_deferring`] with the workspace pass collapsed away: a deferred
+/// pragma that silenced nothing per-file is reported stale immediately.
+/// Single-file convenience for tests and `lint_source`-without-workspace
+/// callers.
+pub fn apply(file: &str, pragmas: &mut [Pragma], violations: Vec<Diagnostic>) -> Vec<Diagnostic> {
+    let (mut out, deferred) = apply_deferring(file, pragmas, violations);
+    for d in deferred.iter().filter(|d| !d.used) {
         out.push(Diagnostic {
             file: file.to_owned(),
-            line: p.line,
+            line: d.line,
             col: 1,
             rule: "stale-allow",
             message: format!(
-                "allow({}) suppresses nothing — remove the pragma or the fix that outlived it",
-                p.rules.join(", ")
+                "allow({DEFERRED_RULE}) suppresses nothing — remove the pragma or the fix \
+                 that outlived it"
             ),
         });
     }
@@ -198,6 +261,22 @@ mod tests {
         assert_eq!(kept.len(), 2);
         assert!(kept.iter().any(|d| d.rule == "float-eq"));
         assert!(kept.iter().any(|d| d.rule == "stale-allow"));
+    }
+
+    #[test]
+    fn lock_order_pragmas_defer_to_the_workspace_pass() {
+        let lexed = lex("// relia-lint: allow(lock-order-inversion)\n");
+        let (mut pragmas, _) = parse("f.rs", &lexed);
+        let (kept, deferred) = apply_deferring("f.rs", &mut pragmas, Vec::new());
+        assert!(kept.is_empty(), "{kept:?}");
+        assert_eq!(deferred.len(), 1);
+        assert_eq!(deferred[0].target_line, 2);
+        assert!(!deferred[0].used);
+        // The non-deferring wrapper restores the strict judgment.
+        let (mut pragmas, _) = parse("f.rs", &lexed);
+        let kept = apply("f.rs", &mut pragmas, Vec::new());
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].rule, "stale-allow");
     }
 
     #[test]

@@ -9,6 +9,10 @@
 //! | R5 `missing-forbid-unsafe` | crate root lacks `#![forbid(unsafe_code)]` | `lib.rs` files |
 //! | R6 `celsius-kelvin` | literal in (0, 150] wrapped directly in `Kelvin(...)` | everywhere |
 //! | R7 `blocking-in-handler` | `thread::sleep` / `.read_to_end(` | handler library code (`#[cfg(test)]` exempt) |
+//! | R8 `guard-across-blocking` | live lock guard spans a blocking call | library code ([`crate::flow`]) |
+//! | R9 `lock-order-inversion` | locks acquired in opposite nesting order | whole workspace ([`crate::graph`]) |
+//! | R10 `unpolled-loop` | model-evaluating loop never polls cancellation | handler/job library code ([`crate::flow`]) |
+//! | R11 `counter-leak` | gauge inc'd, early `return` skips the dec | library code ([`crate::flow`]) |
 //!
 //! Comparisons against exactly `0.0` are exempt from R3: an exact-zero
 //! sentinel check is well-defined in IEEE-754 and idiomatic in this
@@ -25,6 +29,7 @@
 
 use crate::diag::Diagnostic;
 use crate::lexer::{literal_value, Lexed, TokKind, Token};
+use crate::scope::test_mod_spans;
 
 /// How a file participates in the build, for rule scoping.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,31 +50,91 @@ pub struct FileOpts {
     /// True for request-handler library code (the serve crate), where R7
     /// applies.
     pub handler: bool,
+    /// True for background-job/engine library code (the jobs and fleet
+    /// crates), where R10 applies alongside handler code.
+    pub job: bool,
 }
 
-/// Canonical rule ids, in rule order.
-pub const RULE_IDS: [&str; 7] = [
-    "unit-leak",
-    "unwrap-in-lib",
-    "float-eq",
-    "print-in-lib",
-    "missing-forbid-unsafe",
-    "celsius-kelvin",
-    "blocking-in-handler",
+/// One rule's registry entry: everything the alias resolver, `--list-rules`,
+/// and the SARIF writer need. Adding a rule is one row here plus its checker.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// Canonical id (`unit-leak`, …). The `R<n>` alias is positional.
+    pub id: &'static str,
+    /// One-line summary, used as the SARIF rule description.
+    pub summary: &'static str,
+}
+
+/// The rule registry, in rule order (`RULES[n - 1]` is `R<n>`).
+pub const RULES: [RuleInfo; 11] = [
+    RuleInfo {
+        id: "unit-leak",
+        summary: "unit-named pub field/param typed bare f64",
+    },
+    RuleInfo {
+        id: "unwrap-in-lib",
+        summary: ".unwrap()/.expect( in library code",
+    },
+    RuleInfo {
+        id: "float-eq",
+        summary: "==/!= against a non-zero float literal",
+    },
+    RuleInfo {
+        id: "print-in-lib",
+        summary: "println!/eprintln! in library code",
+    },
+    RuleInfo {
+        id: "missing-forbid-unsafe",
+        summary: "crate root lacks #![forbid(unsafe_code)]",
+    },
+    RuleInfo {
+        id: "celsius-kelvin",
+        summary: "celsius-looking literal wrapped in Kelvin(...)",
+    },
+    RuleInfo {
+        id: "blocking-in-handler",
+        summary: "blocking call in request-handler code",
+    },
+    RuleInfo {
+        id: "guard-across-blocking",
+        summary: "live lock guard spans a blocking call",
+    },
+    RuleInfo {
+        id: "lock-order-inversion",
+        summary: "locks acquired in opposite nesting order across the workspace",
+    },
+    RuleInfo {
+        id: "unpolled-loop",
+        summary: "model-evaluating loop never polls cancellation",
+    },
+    RuleInfo {
+        id: "counter-leak",
+        summary: "gauge incremented but an early return skips the decrement",
+    },
 ];
 
-/// Resolves a rule name or `R1`–`R7` alias to the canonical id.
-pub fn rule_by_name(name: &str) -> Option<&'static str> {
-    match name {
-        "R1" | "r1" => Some(RULE_IDS[0]),
-        "R2" | "r2" => Some(RULE_IDS[1]),
-        "R3" | "r3" => Some(RULE_IDS[2]),
-        "R4" | "r4" => Some(RULE_IDS[3]),
-        "R5" | "r5" => Some(RULE_IDS[4]),
-        "R6" | "r6" => Some(RULE_IDS[5]),
-        "R7" | "r7" => Some(RULE_IDS[6]),
-        other => RULE_IDS.iter().find(|id| **id == other).copied(),
+/// Canonical rule ids, in rule order — derived from [`RULES`].
+pub const RULE_IDS: [&str; RULES.len()] = {
+    let mut ids = [""; RULES.len()];
+    let mut i = 0;
+    while i < RULES.len() {
+        ids[i] = RULES[i].id;
+        i += 1;
     }
+    ids
+};
+
+/// Resolves a rule name or `R<n>` alias to the canonical id.
+pub fn rule_by_name(name: &str) -> Option<&'static str> {
+    let alias = name
+        .strip_prefix('R')
+        .or_else(|| name.strip_prefix('r'))
+        .and_then(|n| n.parse::<usize>().ok())
+        .and_then(|n| n.checked_sub(1))
+        .and_then(|i| RULES.get(i));
+    alias
+        .or_else(|| RULES.iter().find(|r| r.id == name))
+        .map(|r| r.id)
 }
 
 /// Field/parameter names that denote a physical quantity and therefore must
@@ -268,55 +333,6 @@ pub fn check(file: &str, lexed: &Lexed, opts: &FileOpts) -> Vec<Diagnostic> {
     out
 }
 
-/// Line spans `[start, end]` of `#[cfg(test)] mod … { … }` blocks.
-fn test_mod_spans(toks: &[Token]) -> Vec<(u32, u32)> {
-    let mut spans = Vec::new();
-    let mut i = 0;
-    while i + 6 < toks.len() {
-        let is_cfg_test = toks[i].text == "#"
-            && toks[i + 1].text == "["
-            && toks[i + 2].text == "cfg"
-            && toks[i + 3].text == "("
-            && toks[i + 4].text == "test"
-            && toks[i + 5].text == ")"
-            && toks[i + 6].text == "]";
-        if !is_cfg_test {
-            i += 1;
-            continue;
-        }
-        // Find the `{` that opens the annotated item (skipping further
-        // attributes and the item header), then brace-match.
-        let mut j = i + 7;
-        while j < toks.len() && toks[j].text != "{" && toks[j].text != ";" {
-            j += 1;
-        }
-        if j >= toks.len() || toks[j].text == ";" {
-            i = j;
-            continue;
-        }
-        let start = toks[i].line;
-        let mut depth = 0i32;
-        let mut end = toks[j].line;
-        while j < toks.len() {
-            match toks[j].text.as_str() {
-                "{" => depth += 1,
-                "}" => {
-                    depth -= 1;
-                    if depth == 0 {
-                        end = toks[j].line;
-                        break;
-                    }
-                }
-                _ => {}
-            }
-            j += 1;
-        }
-        spans.push((start, end));
-        i = j + 1;
-    }
-    spans
-}
-
 /// True when the token stream opens with (or anywhere contains) the inner
 /// attribute `#![forbid(unsafe_code)]`.
 fn has_forbid_unsafe(toks: &[Token]) -> bool {
@@ -496,6 +512,7 @@ mod tests {
             kind: FileKind::Library,
             crate_root: false,
             handler: false,
+            job: false,
         }
     }
 
@@ -515,7 +532,10 @@ mod tests {
         assert_eq!(rule_by_name("R1"), Some("unit-leak"));
         assert_eq!(rule_by_name("unwrap-in-lib"), Some("unwrap-in-lib"));
         assert_eq!(rule_by_name("R7"), Some("blocking-in-handler"));
-        assert_eq!(rule_by_name("R9"), None);
+        assert_eq!(rule_by_name("R9"), Some("lock-order-inversion"));
+        assert_eq!(rule_by_name("r11"), Some("counter-leak"));
+        assert_eq!(rule_by_name("R12"), None);
+        assert_eq!(rule_by_name("R0"), None);
         assert_eq!(rule_by_name("bogus"), None);
     }
 
@@ -558,6 +578,7 @@ mod tests {
                 kind: FileKind::Binary,
                 crate_root: false,
                 handler: false,
+                job: false,
             },
         );
         assert!(bin.iter().all(|d| d.rule != "unwrap-in-lib"));
@@ -580,6 +601,7 @@ mod tests {
                 kind: FileKind::Binary,
                 crate_root: false,
                 handler: false,
+                job: false,
             },
         );
         assert!(bin.is_empty());
@@ -591,6 +613,7 @@ mod tests {
             kind: FileKind::Library,
             crate_root: true,
             handler: false,
+            job: false,
         };
         let missing = check_src("pub fn f() {}\n", root);
         assert_eq!(missing.len(), 1);

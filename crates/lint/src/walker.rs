@@ -94,6 +94,9 @@ pub fn classify(rel_path: &str) -> FileOpts {
         // Request handlers run on a bounded worker pool with per-request
         // deadlines; R7 bans blocking primitives there.
         handler: rel_path.starts_with("crates/serve/src/"),
+        // Job/engine code runs under cooperative cancellation; R10
+        // requires its model-evaluating loops to poll.
+        job: rel_path.starts_with("crates/jobs/src/") || rel_path.starts_with("crates/fleet/src/"),
     }
 }
 
@@ -127,6 +130,14 @@ mod tests {
         let serve = classify("crates/serve/src/service.rs");
         assert_eq!(serve.kind, FileKind::Library);
         assert!(serve.handler);
+        assert!(!serve.job);
+
+        let jobs = classify("crates/jobs/src/pool.rs");
+        assert!(jobs.job);
+        assert!(!jobs.handler);
+
+        let fleet = classify("crates/fleet/src/engine.rs");
+        assert!(fleet.job);
 
         let root = classify("crates/core/src/lib.rs");
         assert!(root.crate_root);

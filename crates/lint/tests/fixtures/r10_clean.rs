@@ -1,0 +1,23 @@
+pub fn accumulate(hoisted: &[Hoisted], vth0: f64, cancel: &CancelToken) -> Option<f64> {
+    let mut total = 0.0;
+    for h in hoisted {
+        if cancel.is_cancelled() {
+            return None;
+        }
+        total += h.delta_vth_at(vth0);
+    }
+    Some(total)
+}
+
+pub fn project(model: &Model, chunks: &[Chunk], deadline: &Deadline) -> Vec<f64> {
+    let mut out = Vec::new();
+    for chunk in chunks {
+        if deadline.fire_if_due(now()) {
+            break;
+        }
+        for t in chunk.times() {
+            out.push(model.delta_vth(t));
+        }
+    }
+    out
+}

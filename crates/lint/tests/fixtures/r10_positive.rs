@@ -1,0 +1,17 @@
+pub fn accumulate(hoisted: &[Hoisted], vth0: f64) -> f64 {
+    let mut total = 0.0;
+    for h in hoisted {
+        total += h.delta_vth_at(vth0);
+    }
+    total
+}
+
+pub fn project(model: &Model, times: &[Seconds]) -> Vec<f64> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < times.len() {
+        out.push(model.delta_vth(times[i]));
+        i += 1;
+    }
+    out
+}

@@ -1,0 +1,9 @@
+pub fn accumulate(hoisted: &[Hoisted], vth0: f64) -> f64 {
+    let mut total = 0.0;
+    // Bounded fan-in: at most 16 hoisted terms (caps enforced upstream),
+    // and the caller polls its deadline once per chunk around this call.
+    for h in hoisted {
+        total += h.delta_vth_at(vth0); // relia-lint: allow(unpolled-loop)
+    }
+    total
+}

@@ -1,0 +1,29 @@
+pub fn submit(m: &Metrics, q: &Queue, job: Job) -> Result<(), Shed> {
+    m.jobs_enqueued();
+    if q.is_full() {
+        m.jobs_dequeued();
+        return Err(Shed::QueueFull);
+    }
+    q.push(job);
+    m.jobs_dequeued();
+    Ok(())
+}
+
+pub fn hand_off(m: &Metrics, q: &Queue, job: Job) -> Result<(), Shed> {
+    m.jobs_enqueued();
+    let _inflight = m.adopt_inflight();
+    if q.is_full() {
+        return Err(Shed::QueueFull);
+    }
+    q.push(job);
+    m.jobs_dequeued();
+    Ok(())
+}
+
+pub fn count(m: &Metrics, ok: bool) {
+    m.requests_total.fetch_add(1, Ordering::Relaxed);
+    if !ok {
+        return;
+    }
+    m.requests_ok.fetch_add(1, Ordering::Relaxed);
+}

@@ -1,0 +1,18 @@
+pub fn submit(m: &Metrics, q: &Queue, job: Job) -> Result<(), Shed> {
+    m.jobs_enqueued();
+    if q.is_full() {
+        return Err(Shed::QueueFull);
+    }
+    q.push(job);
+    m.jobs_dequeued();
+    Ok(())
+}
+
+pub fn acquire(m: &Metrics, budget: &Budget) -> Result<Token, Shed> {
+    m.permits.fetch_add(1, Ordering::Relaxed);
+    let Some(token) = budget.take() else {
+        return Err(Shed::NoBudget);
+    };
+    m.permits.fetch_sub(1, Ordering::Relaxed);
+    Ok(token)
+}

@@ -1,0 +1,12 @@
+pub fn submit(m: &Metrics, q: &Queue, job: Job) -> Result<(), Shed> {
+    m.jobs_enqueued();
+    if q.is_full() {
+        // The shed path is balanced by the reaper thread, which calls
+        // jobs_dequeued() for every queue-full rejection it logs.
+        // relia-lint: allow(counter-leak)
+        return Err(Shed::QueueFull);
+    }
+    q.push(job);
+    m.jobs_dequeued();
+    Ok(())
+}

@@ -1,0 +1,16 @@
+pub fn flush(state: &std::sync::Mutex<Vec<u8>>, rx: &std::sync::mpsc::Receiver<u8>) {
+    let drained = {
+        let mut buf = state.lock().unwrap_or_else(|e| e.into_inner());
+        std::mem::take(&mut *buf)
+    };
+    std::thread::sleep(std::time::Duration::from_millis(10));
+    let _ = rx.recv();
+    let _ = drained;
+}
+
+pub fn warm(cache: &std::sync::Mutex<Vec<f64>>, model: &Model) -> f64 {
+    let guard = cache.lock().unwrap_or_else(|e| e.into_inner());
+    let base = guard.len() as f64;
+    drop(guard);
+    model.delta_vth(base)
+}

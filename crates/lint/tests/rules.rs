@@ -6,30 +6,41 @@
 
 #![allow(clippy::unwrap_used)]
 
-use relia_lint::{lint_source, Diagnostic, FileKind, FileOpts};
+use relia_lint::{lint_source, lint_sources, Diagnostic, FileKind, FileOpts};
 
 const LIB: FileOpts = FileOpts {
     kind: FileKind::Library,
     crate_root: false,
     handler: false,
+    job: false,
 };
 
 const BIN: FileOpts = FileOpts {
     kind: FileKind::Binary,
     crate_root: false,
     handler: false,
+    job: false,
 };
 
 const ROOT: FileOpts = FileOpts {
     kind: FileKind::Library,
     crate_root: true,
     handler: false,
+    job: false,
 };
 
 const HANDLER: FileOpts = FileOpts {
     kind: FileKind::Library,
     crate_root: false,
     handler: true,
+    job: false,
+};
+
+const JOB: FileOpts = FileOpts {
+    kind: FileKind::Library,
+    crate_root: false,
+    handler: false,
+    job: true,
 };
 
 fn lint(source: &str, opts: FileOpts) -> Vec<Diagnostic> {
@@ -235,6 +246,129 @@ fn r7_suppressed_is_clean() {
 #[test]
 fn r7_clean_is_clean() {
     let d = lint(include_str!("fixtures/r7_clean.rs"), HANDLER);
+    assert!(d.is_empty(), "{d:?}");
+}
+
+#[test]
+fn r8_positive_flags_guards_spanning_blocking_calls() {
+    let d = lint(include_str!("fixtures/r8_positive.rs"), LIB);
+    assert_eq!(
+        shape(&d),
+        vec![
+            ("guard-across-blocking", 3),
+            ("guard-across-blocking", 4),
+            ("guard-across-blocking", 10),
+        ],
+        "{d:?}"
+    );
+    assert!(d[0].message.contains("thread::sleep"), "{:?}", d[0]);
+    assert!(d[2].message.contains("delta_vth"), "{:?}", d[2]);
+}
+
+#[test]
+fn r8_suppressed_is_clean() {
+    let d = lint(include_str!("fixtures/r8_suppressed.rs"), LIB);
+    assert!(d.is_empty(), "{d:?}");
+}
+
+#[test]
+fn r8_clean_is_clean() {
+    let d = lint(include_str!("fixtures/r8_clean.rs"), LIB);
+    assert!(d.is_empty(), "{d:?}");
+}
+
+#[test]
+fn r9_positive_catches_inversion_across_two_files() {
+    let d = lint_sources(&[
+        ("a.rs", include_str!("fixtures/r9_positive_a.rs"), LIB),
+        ("b.rs", include_str!("fixtures/r9_positive_b.rs"), LIB),
+    ]);
+    let r9: Vec<_> = d
+        .iter()
+        .filter(|d| d.rule == "lock-order-inversion")
+        .collect();
+    assert_eq!(r9.len(), 2, "{d:?}");
+    assert_eq!((r9[0].file.as_str(), r9[0].line), ("a.rs", 3));
+    assert_eq!((r9[1].file.as_str(), r9[1].line), ("b.rs", 3));
+    // Each site names the other, so the fix is actionable from either end.
+    assert!(r9[0].message.contains("b.rs:3"), "{}", r9[0].message);
+    assert!(r9[1].message.contains("a.rs:3"), "{}", r9[1].message);
+}
+
+#[test]
+fn r9_single_file_alone_is_silent() {
+    // Nesting order is only wrong relative to the rest of the workspace.
+    let d = lint(include_str!("fixtures/r9_positive_a.rs"), LIB);
+    assert!(d.is_empty(), "{d:?}");
+}
+
+#[test]
+fn r9_suppressed_is_clean() {
+    let d = lint_sources(&[
+        ("a.rs", include_str!("fixtures/r9_suppressed_a.rs"), LIB),
+        ("b.rs", include_str!("fixtures/r9_suppressed_b.rs"), LIB),
+    ]);
+    assert!(d.is_empty(), "{d:?}");
+}
+
+#[test]
+fn r9_clean_is_clean() {
+    let d = lint_sources(&[
+        ("a.rs", include_str!("fixtures/r9_clean_a.rs"), LIB),
+        ("b.rs", include_str!("fixtures/r9_clean_b.rs"), LIB),
+    ]);
+    assert!(d.is_empty(), "{d:?}");
+}
+
+#[test]
+fn r10_positive_flags_unpolled_loops_in_job_code_only() {
+    let src = include_str!("fixtures/r10_positive.rs");
+    let d = lint(src, JOB);
+    assert_eq!(
+        shape(&d),
+        vec![("unpolled-loop", 4), ("unpolled-loop", 13)],
+        "{d:?}"
+    );
+    let plain = lint(src, LIB);
+    assert!(
+        plain.is_empty(),
+        "R10 only applies to handler/job code: {plain:?}"
+    );
+}
+
+#[test]
+fn r10_suppressed_is_clean() {
+    let d = lint(include_str!("fixtures/r10_suppressed.rs"), JOB);
+    assert!(d.is_empty(), "{d:?}");
+}
+
+#[test]
+fn r10_clean_is_clean() {
+    let d = lint(include_str!("fixtures/r10_clean.rs"), JOB);
+    assert!(d.is_empty(), "{d:?}");
+}
+
+#[test]
+fn r11_positive_flags_unbalanced_early_returns() {
+    let d = lint(include_str!("fixtures/r11_positive.rs"), LIB);
+    assert_eq!(
+        shape(&d),
+        vec![("counter-leak", 4), ("counter-leak", 14)],
+        "{d:?}"
+    );
+    assert!(d[0].message.contains("jobs"), "{:?}", d[0]);
+    assert!(d[1].message.contains("permits"), "{:?}", d[1]);
+}
+
+#[test]
+fn r11_suppressed_is_clean() {
+    let d = lint(include_str!("fixtures/r11_suppressed.rs"), LIB);
+    assert!(d.is_empty(), "{d:?}");
+}
+
+#[test]
+fn r11_clean_is_clean() {
+    let d = lint(include_str!("fixtures/r11_clean.rs"), LIB);
     assert!(d.is_empty(), "{d:?}");
 }
 

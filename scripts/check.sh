@@ -23,8 +23,10 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 cargo clippy --offline -p relia-jobs --all-targets --features fault-inject -- -D warnings
 cargo clippy --offline -p relia-serve --all-targets --features fault-inject -- -D warnings
 
-echo "==> relia-lint (unit & reliability invariants)"
-cargo run -q --offline -p relia-lint
+echo "==> relia lint (unit, reliability & concurrency invariants)"
+# Workspace-wide, machine-readable, parallel; any non-suppressed finding
+# fails the gate. JSON keeps the failure output one-line-per-finding.
+target/release/relia lint --format json --jobs 4
 
 echo "==> relia serve (boot, loadgen smoke, graceful drain)"
 # Boot the real CLI binary on an ephemeral port, fire 1k mixed requests
@@ -97,5 +99,8 @@ cargo run -q --offline --release -p relia-bench --bin bench_fleet -- --check
 
 echo "==> bench_serve (breaker shed-cost gate vs BENCH_serve.json)"
 cargo run -q --offline --release -p relia-bench --bin bench_serve -- --check
+
+echo "==> bench_lint (per-line analysis-cost gate vs BENCH_lint.json)"
+cargo run -q --offline --release -p relia-bench --bin bench_lint -- --check
 
 echo "==> all checks passed"

@@ -93,7 +93,8 @@ const USAGE: &str = "usage:
   relia fleet   [--samples N] [--seed N] [--times S,...]
                 [--guardband G] [--workers N] [--chunk N]
                 [--checkpoint PATH]              fleet-scale Monte Carlo aging
-  relia lint    [--root PATH] [--format text|json]
+  relia lint    [--root PATH] [--format text|json|sarif]
+                [--jobs N] [--incremental] [--write-cache]
                                                  workspace static analysis
   relia list                                     built-in benchmarks
   relia help                                     this message
@@ -447,10 +448,17 @@ impl SweepArgs {
 /// and the command exits 1, matching the analysis-failure convention;
 /// flag mistakes exit 2 like every other subcommand.
 fn run_lint_command(args: &[String]) -> Result<(), CliError> {
-    use relia::lint::{lint_workspace, walker};
+    use relia::lint::{diag, lint_workspace_opts, walker, WorkspaceOpts};
+
+    enum LintFormat {
+        Text,
+        Json,
+        Sarif,
+    }
 
     let mut root: Option<PathBuf> = None;
-    let mut json = false;
+    let mut format = LintFormat::Text;
+    let mut opts = WorkspaceOpts::default();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -461,15 +469,22 @@ fn run_lint_command(args: &[String]) -> Result<(), CliError> {
                     })?));
             }
             "--format" => match iter.next().map(String::as_str) {
-                Some("text") => json = false,
-                Some("json") => json = true,
+                Some("text") => format = LintFormat::Text,
+                Some("json") => format = LintFormat::Json,
+                Some("sarif") => format = LintFormat::Sarif,
                 other => {
                     return Err(CliError::Usage(format!(
-                        "--format wants text|json, got {:?}",
+                        "--format wants text|json|sarif, got {:?}",
                         other.unwrap_or("<missing>")
                     )))
                 }
             },
+            "--jobs" => match iter.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => opts.jobs = n,
+                _ => return Err(CliError::Usage("--jobs needs a positive integer".into())),
+            },
+            "--incremental" => opts.incremental = true,
+            "--write-cache" => opts.write_cache = true,
             other => return Err(CliError::Usage(format!("unknown lint flag {other:?}"))),
         }
     }
@@ -483,13 +498,19 @@ fn run_lint_command(args: &[String]) -> Result<(), CliError> {
             })?
         }
     };
-    let diags = lint_workspace(&root).map_err(CliError::Usage)?;
-    for d in &diags {
-        if json {
-            println!("{}", d.render_json());
-        } else {
-            println!("{}", d.render_text());
+    let diags = lint_workspace_opts(&root, &opts).map_err(CliError::Usage)?;
+    match format {
+        LintFormat::Text => {
+            for d in &diags {
+                println!("{}", d.render_text());
+            }
         }
+        LintFormat::Json => {
+            for d in &diags {
+                println!("{}", d.render_json());
+            }
+        }
+        LintFormat::Sarif => println!("{}", diag::render_sarif(&diags)),
     }
     if diags.is_empty() {
         Ok(())

@@ -431,6 +431,165 @@ fn serve_boots_answers_and_drains_to_exit_0() {
     assert_eq!(status.code(), Some(0), "graceful drain exits 0");
 }
 
+/// The committed workspace root, which the burn-down guarantees lints
+/// clean — `check.sh` relies on that exit 0.
+fn workspace_root() -> &'static str {
+    env!("CARGO_MANIFEST_DIR")
+}
+
+#[test]
+fn lint_workspace_is_clean_in_every_format() {
+    for format in ["text", "json", "sarif"] {
+        let (code, _, stderr) =
+            relia_coded(&["lint", "--root", workspace_root(), "--format", format]);
+        assert_eq!(code, Some(0), "--format {format}: {stderr}");
+    }
+}
+
+#[test]
+fn lint_parallel_output_is_byte_identical_to_serial() {
+    let run = |jobs: &str| {
+        relia_coded(&[
+            "lint",
+            "--root",
+            workspace_root(),
+            "--format",
+            "json",
+            "--jobs",
+            jobs,
+        ])
+    };
+    let (code, serial, stderr) = run("1");
+    assert_eq!(code, Some(0), "{stderr}");
+    let (code, parallel, stderr) = run("8");
+    assert_eq!(code, Some(0), "{stderr}");
+    assert_eq!(serial, parallel, "worker count must not reorder output");
+}
+
+#[test]
+fn lint_incremental_run_uses_the_committed_cache() {
+    let (code, stdout, stderr) = relia_coded(&[
+        "lint",
+        "--root",
+        workspace_root(),
+        "--incremental",
+        "--format",
+        "json",
+    ]);
+    assert_eq!(code, Some(0), "{stderr}");
+    assert!(stdout.is_empty(), "cache-hit run still found: {stdout}");
+}
+
+#[test]
+fn lint_sarif_output_validates_against_the_minimal_schema() {
+    use relia::serve::json::{parse, Json};
+
+    let (code, stdout, stderr) =
+        relia_coded(&["lint", "--root", workspace_root(), "--format", "sarif"]);
+    assert_eq!(code, Some(0), "{stderr}");
+    let doc = parse(stdout.as_bytes()).expect("SARIF output is valid JSON");
+
+    // Minimal SARIF 2.1.0 shape: version + $schema at top level, exactly
+    // one run whose driver names the tool and declares every rule id.
+    assert_eq!(
+        doc.get("version").and_then(Json::as_str),
+        Some("2.1.0"),
+        "{stdout}"
+    );
+    let schema = doc.get("$schema").and_then(Json::as_str).expect("$schema");
+    assert!(schema.contains("sarif-2.1.0"), "{schema}");
+    let runs = doc.get("runs").and_then(Json::as_arr).expect("runs array");
+    assert_eq!(runs.len(), 1);
+    let driver = runs[0]
+        .get("tool")
+        .and_then(|t| t.get("driver"))
+        .expect("tool.driver");
+    assert_eq!(
+        driver.get("name").and_then(Json::as_str),
+        Some("relia-lint")
+    );
+    let rules = driver.get("rules").and_then(Json::as_arr).expect("rules");
+    let ids: Vec<&str> = rules
+        .iter()
+        .filter_map(|r| r.get("id").and_then(Json::as_str))
+        .collect();
+    for id in relia::lint::RULE_IDS {
+        assert!(ids.contains(&id), "driver.rules missing {id}");
+    }
+    // The burned-down workspace reports zero results.
+    let results = runs[0].get("results").and_then(Json::as_arr);
+    assert_eq!(results.map(<[Json]>::len), Some(0), "{stdout}");
+}
+
+#[test]
+fn lint_flag_mistakes_exit_2() {
+    for args in [
+        &["lint", "--jobs", "0"][..],
+        &["lint", "--jobs", "many"],
+        &["lint", "--jobs"],
+        &["lint", "--format", "xml"],
+        &["lint", "--format"],
+        &["lint", "--root"],
+        &["lint", "--bogus"],
+    ] {
+        let (code, _, stderr) = relia_coded(args);
+        assert_eq!(code, Some(2), "{args:?}: {stderr}");
+    }
+}
+
+#[test]
+fn lint_seeded_violation_exits_1_and_lands_in_sarif_results() {
+    use relia::serve::json::{parse, Json};
+
+    let dir = std::env::temp_dir().join(format!("relia_lint_cli_{}", std::process::id()));
+    std::fs::create_dir_all(dir.join("src")).expect("temp workspace");
+    std::fs::write(
+        dir.join("src/util.rs"),
+        "pub fn pick(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n",
+    )
+    .expect("seed violation");
+    let root = dir.to_str().expect("utf-8 path");
+
+    let (code, stdout, stderr) = relia_coded(&["lint", "--root", root]);
+    assert_eq!(code, Some(1), "{stderr}");
+    assert!(stdout.contains("unwrap-in-lib"), "{stdout}");
+    assert!(stderr.contains("lint violation"), "{stderr}");
+
+    let (code, sarif, _) = relia_coded(&["lint", "--root", root, "--format", "sarif"]);
+    assert_eq!(code, Some(1));
+    let doc = parse(sarif.as_bytes()).expect("SARIF output is valid JSON");
+    let results = doc.get("runs").and_then(Json::as_arr).expect("runs")[0]
+        .get("results")
+        .and_then(Json::as_arr)
+        .expect("results");
+    assert_eq!(results.len(), 1, "{sarif}");
+    assert_eq!(
+        results[0].get("ruleId").and_then(Json::as_str),
+        Some("unwrap-in-lib")
+    );
+    let region = results[0]
+        .get("locations")
+        .and_then(Json::as_arr)
+        .and_then(|l| l.first())
+        .and_then(|l| l.get("physicalLocation"))
+        .expect("physicalLocation");
+    assert_eq!(
+        region
+            .get("artifactLocation")
+            .and_then(|a| a.get("uri"))
+            .and_then(Json::as_str),
+        Some("src/util.rs")
+    );
+    assert_eq!(
+        region
+            .get("region")
+            .and_then(|r| r.get("startLine"))
+            .and_then(Json::as_f64),
+        Some(2.0)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn verilog_round_trip_through_cli() {
     let (ok, verilog, _) = relia(&["verilog", "builtin:c17"]);
