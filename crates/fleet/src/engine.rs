@@ -21,9 +21,11 @@ use relia_core::{
     CancelToken, HoistedStress, NbtiModel, Seconds, VariationKernel, Volts, VthDistribution,
 };
 use relia_jobs::{default_workers, run_ordered_with, JobOutcome, MetricsSnapshot};
+use relia_obs::{fmt_ns, HistSnapshot, LatencyHist, Tracer};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Default samples per chunk: small enough for responsive cancellation and
@@ -47,6 +49,10 @@ pub struct FleetOptions {
     /// External cancellation token; the run stops at the next chunk/poll
     /// boundary once cancelled.
     pub cancel: Option<CancelToken>,
+    /// Span ring recording `fleet_hoist`, per-chunk `fleet_chunk`, and
+    /// `fleet_merge` spans — hot-path attribution for `relia fleet
+    /// --trace`. The chunk-duration histogram is collected regardless.
+    pub trace: Option<Arc<Tracer>>,
 }
 
 /// Fleet statistics at one evaluation time.
@@ -112,11 +118,14 @@ pub struct FleetMetrics {
     pub samples: u64,
     /// Wall-clock seconds spent in the sampling phase.
     pub execute_secs: f64,
+    /// Per-chunk evaluation latency (executed chunks only; resumed chunks
+    /// cost no sampling time).
+    pub chunk_seconds: HistSnapshot,
 }
 
 impl FleetMetrics {
-    /// The counters and gauges of this run with stable names, mergeable
-    /// with other [`MetricsSnapshot`]s.
+    /// The counters, gauges, and histograms of this run with stable
+    /// names, mergeable with other [`MetricsSnapshot`]s.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
             counters: vec![
@@ -128,6 +137,7 @@ impl FleetMetrics {
                 ("fleet_samples", self.samples),
             ],
             gauges: vec![("fleet_execute_secs", self.execute_secs)],
+            histograms: vec![("fleet_chunk_seconds", self.chunk_seconds.clone())],
         }
     }
 }
@@ -143,7 +153,18 @@ impl fmt::Display for FleetMetrics {
             self.resumed_chunks,
             self.workers,
             self.execute_secs
-        )
+        )?;
+        if self.chunk_seconds.count > 0 {
+            write!(
+                f,
+                "\nchunk latency: p50 {} / p90 {} / p99 {} over {} chunks",
+                fmt_ns(self.chunk_seconds.p50()),
+                fmt_ns(self.chunk_seconds.p90()),
+                fmt_ns(self.chunk_seconds.p99()),
+                self.chunk_seconds.count
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -347,7 +368,10 @@ impl FleetEvaluator {
 /// [`FleetError::Cancelled`] when the token fires before completion,
 /// [`FleetError::Checkpoint`]/[`FleetError::Io`] for resume problems.
 pub fn run_fleet(spec: &FleetSpec, opts: &FleetOptions) -> Result<FleetOutcome, FleetError> {
+    let trace = opts.trace.as_deref();
+    let hoist_span = trace.map(|t| t.span("fleet_hoist"));
     let eval = FleetEvaluator::prepare(spec)?;
+    drop(hoist_span);
     let chunk = if opts.chunk == 0 {
         DEFAULT_CHUNK
     } else {
@@ -380,6 +404,7 @@ pub fn run_fleet(spec: &FleetSpec, opts: &FleetOptions) -> Result<FleetOutcome, 
     let cancel = opts.cancel.clone().unwrap_or_default();
 
     let started = Instant::now();
+    let chunk_hist = LatencyHist::new();
     let mut write_err: Option<FleetError> = None;
     let outcomes = run_ordered_with(
         &todo,
@@ -387,7 +412,12 @@ pub fn run_fleet(spec: &FleetSpec, opts: &FleetOptions) -> Result<FleetOutcome, 
         |_, &index| {
             let start = index * chunk;
             let len = chunk.min(spec.samples - start);
-            eval.run_chunk(spec.seed, index, len, &cancel)
+            let span = trace.map(|t| t.span("fleet_chunk"));
+            let t_chunk = Instant::now();
+            let acc = eval.run_chunk(spec.seed, index, len, &cancel);
+            chunk_hist.record(t_chunk.elapsed());
+            drop(span);
+            acc
         },
         |slot, outcome| {
             if let JobOutcome::Completed(Some(acc)) = outcome {
@@ -424,10 +454,12 @@ pub fn run_fleet(spec: &FleetSpec, opts: &FleetOptions) -> Result<FleetOutcome, 
 
     // Merge strictly in chunk-index order (BTreeMap iteration) so the
     // float sums are the same bytes no matter how chunks were scheduled.
+    let merge_span = trace.map(|t| t.span("fleet_merge"));
     let mut total = ChunkAccum::new(spec.times.len());
     for acc in done.values() {
         total.merge(acc)?;
     }
+    drop(merge_span);
     if total.samples != spec.samples as u64 {
         return Err(FleetError::Internal(format!(
             "merged {} samples, expected {}",
@@ -444,6 +476,7 @@ pub fn run_fleet(spec: &FleetSpec, opts: &FleetOptions) -> Result<FleetOutcome, 
         workers: workers as u64,
         samples: total.samples,
         execute_secs,
+        chunk_seconds: chunk_hist.snapshot(),
     };
     Ok(FleetOutcome { summary, metrics })
 }
@@ -533,6 +566,35 @@ mod tests {
         )
         .expect("run");
         assert_eq!(base.summary, wide.summary);
+    }
+
+    #[test]
+    fn trace_attributes_hoist_chunks_and_merge() {
+        let spec = small_spec(700);
+        let tracer = Arc::new(Tracer::new(64));
+        let out = run_fleet(
+            &spec,
+            &FleetOptions {
+                workers: 2,
+                chunk: 128,
+                trace: Some(Arc::clone(&tracer)),
+                ..FleetOptions::default()
+            },
+        )
+        .expect("run");
+        let spans = tracer.recent();
+        let count = |n: &str| spans.iter().filter(|s| s.name == n).count();
+        assert_eq!(count("fleet_hoist"), 1);
+        assert_eq!(count("fleet_chunk"), 6, "ceil(700/128) chunks");
+        assert_eq!(count("fleet_merge"), 1);
+        assert_eq!(out.metrics.chunk_seconds.count, 6);
+        assert!(out
+            .metrics
+            .snapshot()
+            .histogram("fleet_chunk_seconds")
+            .is_some());
+        let text = out.metrics.to_string();
+        assert!(text.contains("chunk latency: p50 "), "{text}");
     }
 
     #[test]

@@ -34,6 +34,7 @@ fn second_run_resumes_every_chunk_and_matches_exactly() {
         chunk: 128,
         checkpoint: Some(path.clone()),
         cancel: None,
+        trace: None,
     };
     let first = run_fleet(&spec, &opts).expect("first run");
     assert_eq!(first.metrics.resumed_chunks, 0);
@@ -56,6 +57,7 @@ fn corrupted_chunk_is_recomputed_without_losing_the_rest() {
         chunk: 128,
         checkpoint: Some(path.clone()),
         cancel: None,
+        trace: None,
     };
     let first = run_fleet(&spec, &opts).expect("first run");
 
@@ -87,6 +89,7 @@ fn changing_the_spec_rejects_the_old_checkpoint() {
         chunk: 128,
         checkpoint: Some(path.clone()),
         cancel: None,
+        trace: None,
     };
     run_fleet(&a, &opts).expect("first run");
 
@@ -127,6 +130,7 @@ fn cancellation_mid_run_checkpoints_progress_and_resume_completes() {
         chunk: 512,
         checkpoint: Some(path.clone()),
         cancel: Some(token),
+        trace: None,
     };
     let err = run_fleet(&spec, &opts).expect_err("must cancel");
     assert!(matches!(err, FleetError::Cancelled), "got {err}");
@@ -138,6 +142,7 @@ fn cancellation_mid_run_checkpoints_progress_and_resume_completes() {
         &spec,
         &FleetOptions {
             cancel: None,
+            trace: None,
             ..opts.clone()
         },
     )
@@ -154,6 +159,7 @@ fn cancellation_mid_run_checkpoints_progress_and_resume_completes() {
             chunk: 512,
             checkpoint: None,
             cancel: None,
+            trace: None,
         },
     )
     .expect("clean run");

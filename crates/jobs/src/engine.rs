@@ -43,9 +43,11 @@ use relia_core::{
 use relia_flow::{AgingAnalysis, AnalysisPrep, DeltaVthCache, FlowConfig, FlowError};
 use relia_netlist::Circuit;
 
+use relia_obs::{LatencyHist, Tracer};
+
 use crate::cache::ShardedCache;
 use crate::checkpoint::{self, CheckpointError, CheckpointWriter};
-use crate::metrics::SweepMetrics;
+use crate::metrics::{SweepMetrics, SweepTimings};
 use crate::pool::{self, JobFailure, PoolConfig, RetryPolicy};
 use crate::spec::{JobPoint, JobResult, JobStatus, JobTask, SweepSpec, Workload};
 
@@ -78,6 +80,11 @@ pub struct SweepOptions {
     pub retries: u32,
     /// Per-job soft deadline; stragglers become [`JobStatus::TimedOut`].
     pub job_timeout: Option<Duration>,
+    /// When set, the run records spans — the pool's queue-wait/execute/
+    /// retry spans plus `checkpoint_flush` — into this tracer. Latency
+    /// histograms ([`SweepTimings`]) are always collected; spans are
+    /// opt-in.
+    pub trace: Option<Arc<Tracer>>,
     /// Deterministic fault schedule for resilience tests.
     #[cfg(feature = "fault-inject")]
     pub faults: Option<Arc<FaultPlan>>,
@@ -283,31 +290,44 @@ where
         workers,
         retry: RetryPolicy::retries(options.retries),
         job_timeout: options.job_timeout,
+        trace: options.trace.clone(),
     };
+    let job_hist = LatencyHist::new();
+    let checkpoint_hist = LatencyHist::new();
     let t_execute = Instant::now();
     let mut checkpoint_error: Option<CheckpointError> = None;
     let run = pool::run_pool(
         &pending,
         &pool_config,
         |_, &index, token| {
-            #[cfg(feature = "fault-inject")]
-            if let Some(plan) = &options.faults {
-                plan.before_execute(index, token)?;
-            }
-            let result = execute_point(&points[index], &prepared, &model, &cache, token)?;
-            #[cfg(feature = "fault-inject")]
-            if let Some(plan) = &options.faults {
-                if plan.poisons(index) {
-                    return poison_point(&points[index], &cache);
+            let t_job = Instant::now();
+            let result = (|| {
+                #[cfg(feature = "fault-inject")]
+                if let Some(plan) = &options.faults {
+                    plan.before_execute(index, token)?;
                 }
-            }
-            Ok(result)
+                let result = execute_point(&points[index], &prepared, &model, &cache, token)?;
+                #[cfg(feature = "fault-inject")]
+                if let Some(plan) = &options.faults {
+                    if plan.poisons(index) {
+                        return poison_point(&points[index], &cache);
+                    }
+                }
+                Ok(result)
+            })();
+            job_hist.record(t_job.elapsed());
+            result
         },
         |k, outcome| {
             if let Some(w) = writer.as_mut() {
                 if checkpoint_error.is_none() {
                     let status = JobStatus::from_outcome(outcome.clone());
-                    if let Err(e) = w.record(pending[k], &status) {
+                    let flush_span = options.trace.as_deref().map(|t| t.span("checkpoint_flush"));
+                    let t_flush = Instant::now();
+                    let flushed = w.record(pending[k], &status);
+                    checkpoint_hist.record(t_flush.elapsed());
+                    drop(flush_span);
+                    if let Err(e) = flushed {
                         checkpoint_error = Some(e);
                     }
                 }
@@ -348,6 +368,10 @@ where
         cache: cache.stats(),
         prepare_secs,
         execute_secs,
+        timings: SweepTimings {
+            job: job_hist.snapshot(),
+            checkpoint: checkpoint_hist.snapshot(),
+        },
     };
     Ok(SweepOutcome {
         points,

@@ -76,7 +76,7 @@ pub use engine::{
 };
 #[cfg(feature = "fault-inject")]
 pub use fault::{Fault, FaultPlan, FaultRng};
-pub use metrics::{MetricsSnapshot, SweepMetrics};
+pub use metrics::{MetricsSnapshot, SweepMetrics, SweepTimings};
 pub use pool::{
     default_workers, run_ordered, run_ordered_with, run_pool, Attempt, JobFailure, JobOutcome,
     PoolConfig, PoolRun, RetryPolicy, SubmitError, TaskPool,

@@ -4,6 +4,8 @@
 
 use std::fmt;
 
+use relia_obs::{fmt_ns, HistSnapshot};
+
 use crate::cache::CacheStats;
 
 /// A typed, named snapshot of counters and gauges.
@@ -19,6 +21,12 @@ pub struct MetricsSnapshot {
     pub counters: Vec<(&'static str, u64)>,
     /// Point-in-time gauges as `(name, value)`, in declaration order.
     pub gauges: Vec<(&'static str, f64)>,
+    /// Latency histograms as `(name, snapshot)`, in declaration order.
+    ///
+    /// Names carry a `_seconds` suffix by convention: samples are stored
+    /// as log2-bucketed nanoseconds ([`HistSnapshot`]) and renderers
+    /// convert to seconds at the edge (e.g. Prometheus `le` labels).
+    pub histograms: Vec<(&'static str, HistSnapshot)>,
 }
 
 impl MetricsSnapshot {
@@ -38,11 +46,20 @@ impl MetricsSnapshot {
             .map(|&(_, v)| v)
     }
 
+    /// The histogram named `name`, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, h)| h)
+    }
+
     /// Appends every series of `other` after this snapshot's own (callers
     /// namespace their series, so concatenation is collision-free).
     pub fn merged(mut self, other: MetricsSnapshot) -> MetricsSnapshot {
         self.counters.extend(other.counters);
         self.gauges.extend(other.gauges);
+        self.histograms.extend(other.histograms);
         self
     }
 }
@@ -58,6 +75,32 @@ impl CacheStats {
                 ("cache_evictions", self.evictions),
             ],
             gauges: vec![("cache_hit_rate", self.hit_rate())],
+            histograms: vec![],
+        }
+    }
+}
+
+/// Per-sweep latency distributions, recorded while the pool runs and
+/// frozen into the outcome's metrics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SweepTimings {
+    /// Wall time of each executed job (one sample per attempt that
+    /// completed, successfully or not).
+    pub job: HistSnapshot,
+    /// Wall time of each checkpoint record flush.
+    pub checkpoint: HistSnapshot,
+}
+
+impl SweepTimings {
+    /// The histogram section these timings contribute to a snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: vec![],
+            gauges: vec![],
+            histograms: vec![
+                ("sweep_job_seconds", self.job.clone()),
+                ("sweep_checkpoint_seconds", self.checkpoint.clone()),
+            ],
         }
     }
 }
@@ -65,7 +108,7 @@ impl CacheStats {
 /// What a sweep did, for the operator: job counts, resilience accounting
 /// (retries, timeouts, salvaged checkpoint damage), cache effectiveness,
 /// and wall-clock split between the prepare and execute phases.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct SweepMetrics {
     /// Grid size of the spec.
     pub total_jobs: usize,
@@ -92,6 +135,8 @@ pub struct SweepMetrics {
     pub prepare_secs: f64,
     /// Seconds spent in the worker pool.
     pub execute_secs: f64,
+    /// Per-job and per-checkpoint-flush latency distributions.
+    pub timings: SweepTimings,
 }
 
 impl SweepMetrics {
@@ -116,7 +161,9 @@ impl SweepMetrics {
                 ("sweep_prepare_seconds", self.prepare_secs),
                 ("sweep_execute_seconds", self.execute_secs),
             ],
+            histograms: vec![],
         }
+        .merged(self.timings.snapshot())
         .merged(self.cache.snapshot())
     }
 }
@@ -152,7 +199,29 @@ impl fmt::Display for SweepMetrics {
             f,
             "time: {:.3}s prepare + {:.3}s execute",
             self.prepare_secs, self.execute_secs
-        )
+        )?;
+        if self.timings.job.count > 0 {
+            let j = &self.timings.job;
+            write!(
+                f,
+                "\njob latency: p50 {} / p90 {} / p99 {} over {} executions",
+                fmt_ns(j.p50()),
+                fmt_ns(j.p90()),
+                fmt_ns(j.p99()),
+                j.count
+            )?;
+        }
+        if self.timings.checkpoint.count > 0 {
+            let c = &self.timings.checkpoint;
+            write!(
+                f,
+                "\ncheckpoint flush: p50 {} / p99 {} over {} records",
+                fmt_ns(c.p50()),
+                fmt_ns(c.p99()),
+                c.count
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -179,6 +248,7 @@ mod tests {
             },
             prepare_secs: 0.25,
             execute_secs: 1.5,
+            timings: SweepTimings::default(),
         };
         let text = m.to_string();
         for needle in [
@@ -221,6 +291,7 @@ mod tests {
             },
             prepare_secs: 0.25,
             execute_secs: 1.5,
+            timings: SweepTimings::default(),
         };
         let s = m.snapshot();
         assert_eq!(s.counter("sweep_total_jobs"), Some(40));
@@ -244,6 +315,30 @@ mod tests {
         // snapshot: counters cover all 8 integer fields + 4 cache series.
         assert_eq!(s.counters.len(), 12);
         assert_eq!(s.gauges.len(), 3);
+        assert_eq!(s.histograms.len(), 2);
+        assert!(s.histogram("sweep_job_seconds").is_some());
+        assert!(s.histogram("sweep_checkpoint_seconds").is_some());
+        assert!(s.histogram("no_such_series").is_none());
+    }
+
+    #[test]
+    fn display_appends_timing_percentiles_when_present() {
+        let hist = relia_obs::LatencyHist::new();
+        for us in [50u64, 100, 200, 400] {
+            hist.record_ns(us * 1_000);
+        }
+        let m = SweepMetrics {
+            executed_jobs: 4,
+            timings: SweepTimings {
+                job: hist.snapshot(),
+                checkpoint: HistSnapshot::default(),
+            },
+            ..SweepMetrics::default()
+        };
+        let text = m.to_string();
+        assert!(text.contains("job latency: p50"), "{text}");
+        assert!(text.contains("over 4 executions"), "{text}");
+        assert!(!text.contains("checkpoint flush"), "{text}");
     }
 
     #[test]
@@ -251,14 +346,17 @@ mod tests {
         let a = MetricsSnapshot {
             counters: vec![("a_one", 1)],
             gauges: vec![],
+            histograms: vec![],
         };
         let b = MetricsSnapshot {
             counters: vec![("b_two", 2)],
             gauges: vec![("b_rate", 0.5)],
+            histograms: vec![("b_lat_seconds", HistSnapshot::default())],
         };
         let m = a.merged(b);
         assert_eq!(m.counter("a_one"), Some(1));
         assert_eq!(m.counter("b_two"), Some(2));
         assert_eq!(m.gauge("b_rate"), Some(0.5));
+        assert!(m.histogram("b_lat_seconds").is_some());
     }
 }

@@ -32,6 +32,7 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use relia_core::CancelToken;
+use relia_obs::Tracer;
 
 /// One failed attempt at a job.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -172,6 +173,10 @@ pub struct PoolConfig {
     pub retry: RetryPolicy,
     /// Per-job soft deadline. `None` disables the watchdog.
     pub job_timeout: Option<Duration>,
+    /// When set, the pool records `job_queue_wait` (claim delay from pool
+    /// start), `job_execute` (per attempt), and `job_retry_backoff` spans
+    /// into this tracer.
+    pub trace: Option<Arc<Tracer>>,
 }
 
 impl PoolConfig {
@@ -432,6 +437,7 @@ where
         };
     }
     let workers = config.workers.max(1).min(jobs.len());
+    let pool_start_ns = config.trace.as_ref().map(|t| t.now_ns());
     let next = AtomicUsize::new(0);
     let retries = AtomicU64::new(0);
     let done = AtomicBool::new(false);
@@ -470,6 +476,11 @@ where
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= jobs.len() {
                     break;
+                }
+                if let (Some(tracer), Some(t0)) = (config.trace.as_deref(), pool_start_ns) {
+                    // Claim delay from pool start: how long the job sat
+                    // behind earlier work before a worker reached it.
+                    tracer.record("job_queue_wait", 0, t0, tracer.now_ns().saturating_sub(t0));
                 }
                 let outcome = run_one(i, &jobs[i], config, slot, run, retries);
                 if tx.send((i, outcome)).is_err() {
@@ -517,7 +528,9 @@ where
                 *guard = Some((token.clone(), started + timeout));
             }
         }
+        let attempt_span = config.trace.as_deref().map(|t| t.span("job_execute"));
         let result = catch_unwind(AssertUnwindSafe(|| run(index, job, &token)));
+        drop(attempt_span);
         if let Ok(mut guard) = slot.lock() {
             *guard = None;
         }
@@ -549,7 +562,9 @@ where
         let retry_no = attempts.len() as u32; // retries taken so far + 1
         if transient && retry_no <= config.retry.max_retries {
             retries.fetch_add(1, Ordering::Relaxed);
+            let backoff_span = config.trace.as_deref().map(|t| t.span("job_retry_backoff"));
             thread::sleep(config.retry.backoff(retry_no));
+            drop(backoff_span);
             continue;
         }
         return JobOutcome::Failed { attempts };
@@ -650,6 +665,7 @@ mod tests {
                 max_backoff: Duration::from_millis(4),
             },
             job_timeout: None,
+            trace: None,
         };
         let run = run_pool(
             &[0usize],
@@ -675,6 +691,7 @@ mod tests {
             workers: 1,
             retry: RetryPolicy::retries(5),
             job_timeout: None,
+            trace: None,
         };
         let run = run_pool(
             &[0usize],
@@ -706,6 +723,7 @@ mod tests {
                 max_backoff: Duration::from_millis(2),
             },
             job_timeout: None,
+            trace: None,
         };
         let run = run_pool(
             &[0usize],
@@ -730,6 +748,7 @@ mod tests {
             workers: 4,
             retry: RetryPolicy::default(),
             job_timeout: Some(Duration::from_millis(20)),
+            trace: None,
         };
         let started = Instant::now();
         let run = run_pool(
@@ -765,6 +784,40 @@ mod tests {
             }
         }
         assert_eq!(run.retries, 0, "timeouts are not retried");
+    }
+
+    #[test]
+    fn pool_records_queue_execute_and_backoff_spans() {
+        let tracer = Arc::new(Tracer::new(64));
+        let config = PoolConfig {
+            workers: 2,
+            retry: RetryPolicy {
+                max_retries: 1,
+                base_backoff: Duration::from_millis(1),
+                max_backoff: Duration::from_millis(1),
+            },
+            job_timeout: None,
+            trace: Some(Arc::clone(&tracer)),
+        };
+        let calls = AtomicU32::new(0);
+        let run = run_pool(
+            &[0usize, 1],
+            &config,
+            |_, _, _| {
+                if calls.fetch_add(1, Ordering::Relaxed) == 0 {
+                    Err(JobFailure::transient("flaky once"))
+                } else {
+                    Ok(())
+                }
+            },
+            |_, _| {},
+        );
+        assert_eq!(run.retries, 1);
+        let spans = tracer.recent();
+        let count = |name: &str| spans.iter().filter(|s| s.name == name).count();
+        assert_eq!(count("job_queue_wait"), 2, "one claim per job");
+        assert_eq!(count("job_execute"), 3, "two jobs + one retry attempt");
+        assert_eq!(count("job_retry_backoff"), 1);
     }
 
     #[test]

@@ -1,0 +1,15 @@
+pub fn traced_flush(tracer: &Tracer, state: &std::sync::Mutex<Vec<u8>>) {
+    let span = tracer.span("checkpoint_flush");
+    std::thread::sleep(std::time::Duration::from_millis(10));
+    let drained = {
+        let mut buf = state.lock().unwrap_or_else(|e| e.into_inner());
+        std::mem::take(&mut *buf)
+    };
+    let _ = (drained, span.elapsed_ns());
+}
+
+pub fn traced_recv(tracer: &Tracer, rx: &std::sync::mpsc::Receiver<u8>) -> u64 {
+    let wait = tracer.span("job_queue_wait");
+    let _ = rx.recv();
+    wait.finish()
+}

@@ -278,6 +278,16 @@ fn r8_clean_is_clean() {
 }
 
 #[test]
+fn r8_span_guards_held_across_blocking_are_not_flagged() {
+    // RAII *span* guards (relia-obs tracing) deliberately stay open
+    // across blocking phases — that is what they measure. R8 tracks only
+    // lock guards (`.lock()`/`.read()`/`.write()`), so a span guard held
+    // across `thread::sleep` or `recv()` must stay clean.
+    let d = lint(include_str!("fixtures/r8_span_guard_clean.rs"), LIB);
+    assert!(d.is_empty(), "{d:?}");
+}
+
+#[test]
 fn r9_positive_catches_inversion_across_two_files() {
     let d = lint_sources(&[
         ("a.rs", include_str!("fixtures/r9_positive_a.rs"), LIB),

@@ -1,0 +1,98 @@
+//! Monotonic time as plain nanoseconds, behind a trait.
+//!
+//! Everything in this crate measures durations as `u64` nanoseconds since
+//! an arbitrary per-clock epoch. The trait exists for one reason: tests
+//! and goldens must never read real time, so every component that stamps
+//! spans or histograms takes a [`Clock`] and the test suite hands it a
+//! [`TestClock`] it advances by hand.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A source of monotonic nanoseconds since an arbitrary epoch.
+///
+/// Implementations must be monotone non-decreasing across calls (within
+/// one clock instance) and cheap enough for hot paths.
+pub trait Clock: Send + Sync {
+    /// Nanoseconds elapsed since this clock's epoch.
+    fn now_ns(&self) -> u64;
+}
+
+/// The production clock: monotonic wall time anchored at construction.
+#[derive(Debug)]
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl MonotonicClock {
+    /// A clock whose epoch is "now".
+    pub fn new() -> Self {
+        MonotonicClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        MonotonicClock::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_ns(&self) -> u64 {
+        // ~584 years of u64 nanoseconds: saturate rather than wrap.
+        u64::try_from(self.origin.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+/// A deterministic clock for tests: starts at 0 and only moves when told.
+#[derive(Debug, Default)]
+pub struct TestClock {
+    now: AtomicU64,
+}
+
+impl TestClock {
+    /// A clock frozen at 0 ns.
+    pub fn new() -> Self {
+        TestClock::default()
+    }
+
+    /// Advances the clock by `ns` nanoseconds.
+    pub fn advance(&self, ns: u64) {
+        self.now.fetch_add(ns, Ordering::SeqCst);
+    }
+}
+
+impl Clock for TestClock {
+    fn now_ns(&self) -> u64 {
+        self.now.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_clock_never_goes_backwards() {
+        let clock = MonotonicClock::new();
+        let mut prev = clock.now_ns();
+        for _ in 0..1000 {
+            let now = clock.now_ns();
+            assert!(now >= prev);
+            prev = now;
+        }
+    }
+
+    #[test]
+    fn test_clock_moves_only_when_advanced() {
+        let clock = TestClock::new();
+        assert_eq!(clock.now_ns(), 0);
+        assert_eq!(clock.now_ns(), 0);
+        clock.advance(250);
+        assert_eq!(clock.now_ns(), 250);
+        clock.advance(1);
+        assert_eq!(clock.now_ns(), 251);
+    }
+}

@@ -1,0 +1,311 @@
+//! Log2-bucketed streaming latency histograms.
+//!
+//! A [`LatencyHist`] is a concurrent accumulator over `u64` nanoseconds:
+//! bucket `i` counts samples in `[2^i, 2^(i+1))` (0 ns lands in bucket 0),
+//! so [`HIST_BUCKETS`] = 64 buckets cover the whole `u64` range — 1 ns to
+//! ~584 years — with at most 2× relative error per bucket. That trade was
+//! chosen deliberately:
+//!
+//! * **No configuration.** Unlike the fixed-range fleet accumulators
+//!   (`relia_fleet::accum`), latency has no natural `[lo, hi)`: a cache
+//!   hit is ~100 ns, a cold fleet evaluation can be seconds. Log2 buckets
+//!   need no range choice, so merges can never fail on a range mismatch.
+//! * **Cheap.** Recording is `ilog2` plus three relaxed atomic adds.
+//! * **Order-independent.** A [`HistSnapshot`] merges by plain `u64`
+//!   addition — commutative and associative — so per-worker histograms
+//!   fold to the same result for any worker count or merge order.
+//!
+//! Percentiles interpolate linearly inside the containing bucket, which
+//! keeps [`HistSnapshot::quantile`] monotone in rank.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Buckets per histogram: one per power of two across the `u64` range.
+pub const HIST_BUCKETS: usize = 64;
+
+/// A concurrent log2-bucketed histogram of nanosecond samples.
+///
+/// Shared by reference across threads; all methods take `&self`.
+#[derive(Debug)]
+pub struct LatencyHist {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    sum_ns: AtomicU64,
+    count: AtomicU64,
+}
+
+impl LatencyHist {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHist {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_ns: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample of `ns` nanoseconds.
+    pub fn record_ns(&self, ns: u64) {
+        self.buckets[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one sample given as a [`Duration`] (saturating at `u64` ns).
+    pub fn record(&self, d: Duration) {
+        self.record_ns(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of the counters.
+    ///
+    /// Buckets are read individually (relaxed), so a snapshot taken while
+    /// writers are active may be mid-update — totals still reconcile once
+    /// writers quiesce.
+    pub fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            sum_ns: self.sum_ns.load(Ordering::Relaxed),
+            count: self.count.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for LatencyHist {
+    fn default() -> Self {
+        LatencyHist::new()
+    }
+}
+
+/// The bucket holding `ns`: `floor(log2(max(ns, 1)))`.
+pub fn bucket_index(ns: u64) -> usize {
+    ns.max(1).ilog2() as usize
+}
+
+/// Inclusive-lower / exclusive-upper bounds of bucket `i` in nanoseconds
+/// (the last bucket's upper bound saturates at `u64::MAX`).
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    let lo = if i == 0 { 0 } else { 1u64 << i };
+    let hi = if i + 1 >= HIST_BUCKETS {
+        u64::MAX
+    } else {
+        1u64 << (i + 1)
+    };
+    (lo, hi)
+}
+
+/// An immutable copy of a [`LatencyHist`]'s counters: the unit of merge,
+/// transport (the `MetricsSnapshot` histogram section in `relia-jobs`),
+/// and percentile extraction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Per-bucket sample counts (bucket `i` = `[2^i, 2^(i+1))` ns).
+    pub buckets: [u64; HIST_BUCKETS],
+    /// Exact sum of all recorded nanoseconds.
+    pub sum_ns: u64,
+    /// Total samples recorded.
+    pub count: u64,
+}
+
+impl Default for HistSnapshot {
+    fn default() -> Self {
+        HistSnapshot {
+            buckets: [0; HIST_BUCKETS],
+            sum_ns: 0,
+            count: 0,
+        }
+    }
+}
+
+impl HistSnapshot {
+    /// Adds `other`'s counts into this snapshot.
+    ///
+    /// Plain `u64` sums: commutative and associative, so any merge order
+    /// over any partition of the samples yields identical counters.
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.sum_ns += other.sum_ns;
+        self.count += other.count;
+    }
+
+    /// The `p`-quantile in nanoseconds, by linear interpolation inside the
+    /// containing bucket. Monotone non-decreasing in `p`; 0 when empty.
+    pub fn quantile(&self, p: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let p = p.clamp(0.0, 1.0);
+        let target = p * self.count as f64;
+        let mut cum = 0.0_f64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            if b == 0 {
+                continue;
+            }
+            let next = cum + b as f64;
+            if next >= target {
+                let (lo, hi) = bucket_bounds(i);
+                let frac = if b == 0 {
+                    0.0
+                } else {
+                    ((target - cum) / b as f64).clamp(0.0, 1.0)
+                };
+                return lo as f64 + frac * (hi - lo) as f64;
+            }
+            cum = next;
+        }
+        let (_, hi) = bucket_bounds(HIST_BUCKETS - 1);
+        hi as f64
+    }
+
+    /// Median latency in nanoseconds.
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile latency in nanoseconds.
+    pub fn p90(&self) -> f64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile latency in nanoseconds.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Mean latency in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+}
+
+/// Renders a nanosecond quantity with a human unit (`ns`, `µs`, `ms`, `s`),
+/// three significant-ish digits — for CLI summaries, not wire formats.
+pub fn fmt_ns(ns: f64) -> String {
+    let (value, unit) = if ns < 1e3 {
+        (ns, "ns")
+    } else if ns < 1e6 {
+        (ns / 1e3, "µs")
+    } else if ns < 1e9 {
+        (ns / 1e6, "ms")
+    } else {
+        (ns / 1e9, "s")
+    };
+    if value < 10.0 {
+        format!("{value:.2}{unit}")
+    } else if value < 100.0 {
+        format!("{value:.1}{unit}")
+    } else {
+        format!("{value:.0}{unit}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges_partition_the_range() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(1023), 9);
+        assert_eq!(bucket_index(1024), 10);
+        assert_eq!(bucket_index(u64::MAX), 63);
+        for i in 0..HIST_BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert!(lo < hi);
+            assert_eq!(bucket_index(lo.max(1)), i);
+            if hi != u64::MAX {
+                assert_eq!(bucket_index(hi - 1), i);
+            }
+        }
+    }
+
+    #[test]
+    fn records_and_snapshots_reconcile() {
+        let h = LatencyHist::new();
+        for ns in [0, 1, 2, 3, 1000, 1024, u64::MAX] {
+            h.record_ns(ns);
+        }
+        h.record(Duration::from_micros(5));
+        let s = h.snapshot();
+        assert_eq!(s.count, 8);
+        assert_eq!(s.buckets.iter().sum::<u64>(), 8);
+        assert_eq!(s.buckets[0], 2); // 0, 1 → bucket 0; 2, 3 → bucket 1
+        assert_eq!(s.buckets[1], 2);
+        assert_eq!(s.buckets[9], 1); // 1000
+        assert_eq!(s.buckets[10], 1); // 1024
+        assert_eq!(s.buckets[12], 1); // 5000
+        assert_eq!(s.buckets[63], 1); // u64::MAX
+                                      // fetch_add wraps on overflow; mirror it for the u64::MAX sample.
+        assert_eq!(s.sum_ns, (6u64 + 2024 + 5000).wrapping_add(u64::MAX));
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let a = LatencyHist::new();
+        let b = LatencyHist::new();
+        for i in 0..100u64 {
+            a.record_ns(i * 17);
+            b.record_ns(i * i);
+        }
+        let (sa, sb) = (a.snapshot(), b.snapshot());
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.count, 200);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bracket_the_data() {
+        let h = LatencyHist::new();
+        for i in 1..=10_000u64 {
+            h.record_ns(i);
+        }
+        let s = h.snapshot();
+        let mut prev = f64::NEG_INFINITY;
+        for k in 0..=100 {
+            let q = s.quantile(k as f64 / 100.0);
+            assert!(q >= prev, "quantile not monotone at p={k}");
+            prev = q;
+        }
+        // Uniform 1..=10_000: the median sits in the right power-of-two
+        // bucket (log2 resolution, not exact).
+        let p50 = s.p50();
+        assert!((4096.0..8192.0).contains(&p50), "p50={p50}");
+        assert!(s.p99() <= 16384.0);
+        assert_eq!(s.mean_ns(), 5000.5);
+    }
+
+    #[test]
+    fn fmt_ns_picks_sensible_units() {
+        assert_eq!(fmt_ns(0.0), "0.00ns");
+        assert_eq!(fmt_ns(999.0), "999ns");
+        assert_eq!(fmt_ns(1500.0), "1.50µs");
+        assert_eq!(fmt_ns(45_600.0), "45.6µs");
+        assert_eq!(fmt_ns(2.5e6), "2.50ms");
+        assert_eq!(fmt_ns(3.21e9), "3.21s");
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let s = LatencyHist::new().snapshot();
+        assert_eq!(s, HistSnapshot::default());
+        assert_eq!(s.quantile(0.5), 0.0);
+        assert_eq!(s.mean_ns(), 0.0);
+    }
+}

@@ -1,0 +1,332 @@
+//! Lightweight spans: RAII guards recording into a fixed-capacity ring.
+//!
+//! A [`Tracer`] owns a [`Clock`] and a ring of slots. [`Tracer::span`]
+//! returns a [`SpanGuard`]; when the guard drops it stamps a
+//! [`SpanRecord`] — name, parent id, start, duration — into the next ring
+//! slot, overwriting whatever was there. The write path is **total**: the
+//! slot index is the span id (already a single `fetch_add`) modulo the
+//! capacity, and each slot is taken with
+//! `try_lock`, so a recording thread never blocks — if a reader (or a
+//! very slow writer) holds the slot, the record is dropped and counted in
+//! [`Tracer::dropped`] instead.
+//!
+//! Why a mutex per slot at all? The crate forbids `unsafe`, so records
+//! (which carry a `&'static str` name) cannot be published through bare
+//! atomics; a never-contended-in-practice `try_lock` per slot is the
+//! std-only equivalent of a seqlock, with drop-on-contention standing in
+//! for the retry loop.
+//!
+//! A tracer built with capacity 0 is disabled: guards still nest (ids are
+//! allocated so parents stay meaningful) but nothing is stored.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError, TryLockError};
+
+use crate::clock::{Clock, MonotonicClock};
+
+/// One finished span, as stored in the ring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Unique id (monotone per tracer, starting at 1).
+    pub id: u64,
+    /// Id of the enclosing span, or 0 for a root.
+    pub parent: u64,
+    /// Static span name (e.g. `"evaluate"`).
+    pub name: &'static str,
+    /// Start time in clock nanoseconds.
+    pub start_ns: u64,
+    /// Wall duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// Builds a span guard: `span!(tracer, "name")` or
+/// `span!(tracer, "name", parent = id)`.
+#[macro_export]
+macro_rules! span {
+    ($tracer:expr, $name:literal) => {
+        $tracer.span($name)
+    };
+    ($tracer:expr, $name:literal, parent = $parent:expr) => {
+        $tracer.child($name, $parent)
+    };
+}
+
+/// A span recorder: hands out guards, stores finished spans in a ring.
+pub struct Tracer {
+    clock: Arc<dyn Clock>,
+    slots: Vec<Mutex<Option<SpanRecord>>>,
+    dropped: AtomicU64,
+    next_id: AtomicU64,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("capacity", &self.slots.len())
+            .field("dropped", &self.dropped.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Tracer {
+    /// A tracer over the monotonic wall clock with `capacity` ring slots
+    /// (0 disables recording).
+    pub fn new(capacity: usize) -> Self {
+        Tracer::with_clock(capacity, Arc::new(MonotonicClock::new()))
+    }
+
+    /// A tracer over an explicit clock — tests pass a
+    /// [`TestClock`](crate::clock::TestClock).
+    pub fn with_clock(capacity: usize, clock: Arc<dyn Clock>) -> Self {
+        Tracer {
+            clock,
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            dropped: AtomicU64::new(0),
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    /// Whether this tracer stores anything.
+    pub fn enabled(&self) -> bool {
+        !self.slots.is_empty()
+    }
+
+    /// Ring capacity in spans.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Current clock reading in nanoseconds.
+    pub fn now_ns(&self) -> u64 {
+        self.clock.now_ns()
+    }
+
+    /// Starts a root span.
+    pub fn span(&self, name: &'static str) -> SpanGuard<'_> {
+        self.child(name, 0)
+    }
+
+    /// Starts a span under parent span id `parent` (0 = root).
+    pub fn child(&self, name: &'static str, parent: u64) -> SpanGuard<'_> {
+        self.span_at(name, parent, self.clock.now_ns())
+    }
+
+    /// Starts a span with an explicit (possibly backdated) start time —
+    /// for phases already underway when the guard is created, like a
+    /// request span opened once the request has finished arriving.
+    pub fn span_at(&self, name: &'static str, parent: u64, start_ns: u64) -> SpanGuard<'_> {
+        SpanGuard {
+            tracer: self,
+            id: self.next_id.fetch_add(1, Ordering::Relaxed),
+            parent,
+            name,
+            start_ns,
+            done: false,
+        }
+    }
+
+    /// Records a span retroactively, for phases whose start predates any
+    /// guard (e.g. queue wait measured from an enqueue timestamp).
+    /// Returns the span's id.
+    pub fn record(&self, name: &'static str, parent: u64, start_ns: u64, dur_ns: u64) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.store(SpanRecord {
+            id,
+            parent,
+            name,
+            start_ns,
+            dur_ns,
+        });
+        id
+    }
+
+    /// Records spans whose record could not be stored because its slot was
+    /// held (never because a writer waited).
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// The ring's current contents in span-id order (oldest first).
+    pub fn recent(&self) -> Vec<SpanRecord> {
+        let mut out: Vec<SpanRecord> = self
+            .slots
+            .iter()
+            .filter_map(|slot| slot.lock().unwrap_or_else(PoisonError::into_inner).clone())
+            .collect();
+        out.sort_by_key(|r| r.id);
+        out
+    }
+
+    fn store(&self, record: SpanRecord) {
+        if self.slots.is_empty() {
+            return;
+        }
+        // Ids are allocated sequentially, so using them as the ring
+        // cursor gives the same round-robin rotation with one fewer
+        // atomic RMW per record.
+        let at = record.id as usize % self.slots.len();
+        match self.slots[at].try_lock() {
+            Ok(mut slot) => *slot = Some(record),
+            Err(TryLockError::Poisoned(p)) => *p.into_inner() = Some(record),
+            Err(TryLockError::WouldBlock) => {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// An in-flight span; records itself into the tracer's ring on drop.
+#[derive(Debug)]
+pub struct SpanGuard<'a> {
+    tracer: &'a Tracer,
+    id: u64,
+    parent: u64,
+    name: &'static str,
+    start_ns: u64,
+    done: bool,
+}
+
+impl SpanGuard<'_> {
+    /// This span's id — pass to [`Tracer::child`] to nest under it.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Nanoseconds elapsed since this span started.
+    pub fn elapsed_ns(&self) -> u64 {
+        self.tracer.clock.now_ns().saturating_sub(self.start_ns)
+    }
+
+    /// Ends the span now, returning its duration in nanoseconds.
+    ///
+    /// Records with a single clock read — cheaper than dropping the
+    /// guard, which must read the clock again in `Drop`.
+    pub fn finish(mut self) -> u64 {
+        let dur = self.elapsed_ns();
+        self.done = true;
+        self.tracer.store(SpanRecord {
+            id: self.id,
+            parent: self.parent,
+            name: self.name,
+            start_ns: self.start_ns,
+            dur_ns: dur,
+        });
+        dur
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if self.done {
+            return;
+        }
+        let end = self.tracer.clock.now_ns();
+        self.tracer.store(SpanRecord {
+            id: self.id,
+            parent: self.parent,
+            name: self.name,
+            start_ns: self.start_ns,
+            dur_ns: end.saturating_sub(self.start_ns),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::TestClock;
+
+    fn test_tracer(capacity: usize) -> (Arc<TestClock>, Tracer) {
+        let clock = Arc::new(TestClock::new());
+        let tracer = Tracer::with_clock(capacity, clock.clone());
+        (clock, tracer)
+    }
+
+    #[test]
+    fn spans_record_name_parent_and_duration() {
+        let (clock, tracer) = test_tracer(8);
+        let root = tracer.span("request");
+        clock.advance(10);
+        {
+            let child = tracer.child("evaluate", root.id());
+            clock.advance(25);
+            drop(child);
+        }
+        clock.advance(5);
+        drop(root);
+
+        let spans = tracer.recent();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "request");
+        assert_eq!(spans[0].parent, 0);
+        assert_eq!(spans[0].start_ns, 0);
+        assert_eq!(spans[0].dur_ns, 40);
+        assert_eq!(spans[1].name, "evaluate");
+        assert_eq!(spans[1].parent, spans[0].id);
+        assert_eq!(spans[1].start_ns, 10);
+        assert_eq!(spans[1].dur_ns, 25);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest() {
+        let (_, tracer) = test_tracer(4);
+        for _ in 0..10 {
+            drop(tracer.span("tick"));
+        }
+        let spans = tracer.recent();
+        assert_eq!(spans.len(), 4);
+        // Only the 4 newest ids survive, in order.
+        assert_eq!(
+            spans.iter().map(|s| s.id).collect::<Vec<_>>(),
+            [7, 8, 9, 10]
+        );
+        assert_eq!(tracer.dropped(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_disables_storage_but_keeps_ids() {
+        let (_, tracer) = test_tracer(0);
+        assert!(!tracer.enabled());
+        let a = tracer.span("a");
+        let b = tracer.child("b", a.id());
+        assert!(b.id() > a.id());
+        drop(b);
+        drop(a);
+        assert!(tracer.recent().is_empty());
+        assert_eq!(tracer.dropped(), 0);
+    }
+
+    #[test]
+    fn span_macro_builds_roots_and_children() {
+        let (clock, tracer) = test_tracer(4);
+        let root = span!(tracer, "outer");
+        clock.advance(3);
+        drop(span!(tracer, "inner", parent = root.id()));
+        drop(root);
+        let spans = tracer.recent();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[1].name, "inner");
+        assert_eq!(spans[1].parent, spans[0].id);
+    }
+
+    #[test]
+    fn span_at_backdates_the_start() {
+        let (clock, tracer) = test_tracer(2);
+        clock.advance(100);
+        let s = tracer.span_at("arrived", 0, 40);
+        clock.advance(10);
+        drop(s);
+        let spans = tracer.recent();
+        assert_eq!(spans[0].start_ns, 40);
+        assert_eq!(spans[0].dur_ns, 70);
+    }
+
+    #[test]
+    fn finish_returns_duration() {
+        let (clock, tracer) = test_tracer(2);
+        let s = tracer.span("x");
+        clock.advance(123);
+        assert_eq!(s.finish(), 123);
+        assert_eq!(tracer.recent()[0].dur_ns, 123);
+    }
+}

@@ -22,11 +22,12 @@ use std::process::ExitCode;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use relia_core::{DelayDegradation, Kelvin, NbtiModel, NbtiParams, Seconds};
 use relia_flow::{DeltaVthCache, NoCache};
 use relia_jobs::{JobTask, SweepSpec, Workload};
+use relia_obs::{fmt_ns, HistSnapshot, LatencyHist};
 use relia_serve::{
     degrade_body, fmt_f64, DegradeQuery, ServeConfig, ServeState, Server, ServerHandle,
 };
@@ -339,12 +340,15 @@ fn run() -> Result<(), String> {
             let failures = Arc::clone(&failures);
             let completed = Arc::clone(&completed);
             thread::spawn(move || {
+                // Client-side latency, per thread; snapshots merge at the
+                // end (the merge is order-independent).
+                let hist = LatencyHist::new();
                 let stream = match TcpStream::connect(&addr) {
                     Ok(s) => s,
                     Err(e) => {
                         eprintln!("thread {t}: connect {addr}: {e}");
                         failures.fetch_add(per_thread as u64, Ordering::Relaxed);
-                        return;
+                        return hist.snapshot();
                     }
                 };
                 stream.set_nodelay(true).ok();
@@ -353,7 +357,7 @@ fn run() -> Result<(), String> {
                     Err(e) => {
                         eprintln!("thread {t}: clone: {e}");
                         failures.fetch_add(per_thread as u64, Ordering::Relaxed);
-                        return;
+                        return hist.snapshot();
                     }
                 });
                 let mut stream = stream;
@@ -367,8 +371,10 @@ fn run() -> Result<(), String> {
                     } else {
                         &degrade_expected[(i * 7 + t) % degrade_expected.len()]
                     };
+                    let started = Instant::now();
                     match check_one(&mut stream, &mut reader, expected) {
                         Ok(()) => {
+                            hist.record(started.elapsed());
                             completed.fetch_add(1, Ordering::Relaxed);
                         }
                         Err(e) => {
@@ -377,11 +383,13 @@ fn run() -> Result<(), String> {
                         }
                     }
                 }
+                hist.snapshot()
             })
         })
         .collect();
+    let mut latency = HistSnapshot::default();
     for worker in workers {
-        worker.join().map_err(|_| "client thread panicked")?;
+        latency.merge(&worker.join().map_err(|_| "client thread panicked")?);
     }
 
     // Scrape the cache counters, then drain the server gracefully.
@@ -416,6 +424,15 @@ fn run() -> Result<(), String> {
         "loadgen: {completed} ok, {failures} failed; cache {hits} hits / {misses} misses; \
          coalesce {leads} leads / {joins} joins"
     );
+    if latency.count > 0 {
+        println!(
+            "loadgen: client latency p50 {} / p90 {} / p99 {} over {} requests",
+            fmt_ns(latency.p50()),
+            fmt_ns(latency.p90()),
+            fmt_ns(latency.p99()),
+            latency.count
+        );
+    }
     if failures > 0 {
         return Err(format!("{failures} requests failed or mismatched"));
     }

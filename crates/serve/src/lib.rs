@@ -11,6 +11,7 @@
 //! POST /v1/sweep        small inline grid → canonical-order results
 //! GET  /healthz         liveness / drain state
 //! GET  /metrics         Prometheus text exposition
+//! GET  /debug/trace     most recent request spans (JSON)
 //! POST /admin/shutdown  graceful drain
 //! ```
 //!
@@ -70,6 +71,7 @@ pub mod fault;
 pub mod http;
 pub mod json;
 pub mod metrics;
+pub mod obs;
 pub mod server;
 pub mod service;
 
@@ -83,8 +85,9 @@ pub use fault::{ChaosPlan, ConnFault, FaultStream, Severable};
 pub use http::{read_request, write_response, Limits, ParseError, Request, Response};
 pub use json::{fmt_f64, Json, JsonError};
 pub use metrics::{render_prometheus, ServeMetrics};
+pub use obs::{ServeObs, SlowSink, DEFAULT_TRACE_CAPACITY};
 pub use server::{ServeConfig, Server, ServerHandle};
 pub use service::{
-    degrade_body, handle, parse_degrade, parse_sweep, Action, CachedEval, DegradeQuery, ModelEval,
-    ServeState, MAX_SWEEP_POINTS,
+    degrade_body, handle, handle_traced, parse_degrade, parse_sweep, Action, CachedEval,
+    DegradeQuery, ModelEval, ServeState, MAX_SWEEP_POINTS,
 };

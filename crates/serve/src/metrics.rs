@@ -9,6 +9,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use relia_jobs::MetricsSnapshot;
+use relia_obs::{hist, HistSnapshot};
 
 use crate::json::fmt_f64;
 
@@ -91,12 +92,15 @@ impl ServeMetrics {
                 ("serve_sockopt_failures", c(&self.sockopt_failures)),
             ],
             gauges: vec![],
+            histograms: vec![],
         }
     }
 }
 
 /// Renders a snapshot in the Prometheus text exposition format
 /// (version 0.0.4): `# TYPE` line then `relia_<name> <value>` per series.
+/// Histograms render cumulative `_bucket{le="…"}` lines (upper edges in
+/// seconds — samples are stored as nanoseconds), `_sum`, and `_count`.
 pub fn render_prometheus(snapshot: &MetricsSnapshot) -> String {
     let mut out = String::new();
     for (name, value) in &snapshot.counters {
@@ -110,7 +114,35 @@ pub fn render_prometheus(snapshot: &MetricsSnapshot) -> String {
             fmt_f64(*value)
         ));
     }
+    for (name, h) in &snapshot.histograms {
+        render_histogram(&mut out, name, h);
+    }
     out
+}
+
+/// Appends one Prometheus histogram: cumulative buckets at each *occupied*
+/// log2 edge (valid exposition — scrapers only require cumulative counts
+/// to be non-decreasing with `le`), then the mandatory `+Inf`/sum/count.
+fn render_histogram(out: &mut String, name: &str, h: &HistSnapshot) {
+    out.push_str(&format!("# TYPE relia_{name} histogram\n"));
+    let mut cumulative = 0u64;
+    for (i, &b) in h.buckets.iter().enumerate() {
+        if b == 0 {
+            continue;
+        }
+        cumulative += b;
+        let (_, hi_ns) = hist::bucket_bounds(i);
+        out.push_str(&format!(
+            "relia_{name}_bucket{{le=\"{}\"}} {cumulative}\n",
+            fmt_f64(hi_ns as f64 / 1e9)
+        ));
+    }
+    out.push_str(&format!("relia_{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+    out.push_str(&format!(
+        "relia_{name}_sum {}\n",
+        fmt_f64(h.sum_ns as f64 / 1e9)
+    ));
+    out.push_str(&format!("relia_{name}_count {}\n", h.count));
 }
 
 #[cfg(test)]
@@ -157,5 +189,41 @@ mod tests {
         assert!(text.contains("# TYPE relia_cache_hits counter\nrelia_cache_hits 0\n"));
         assert!(text.contains("# TYPE relia_cache_hit_rate gauge\nrelia_cache_hit_rate 0\n"));
         assert!(text.ends_with('\n'));
+    }
+
+    #[test]
+    fn prometheus_histograms_pin_cumulative_bucket_counts() {
+        let h = relia_obs::LatencyHist::new();
+        for ns in [1u64, 3, 3, 1000] {
+            h.record_ns(ns);
+        }
+        let snap = MetricsSnapshot {
+            counters: vec![],
+            gauges: vec![],
+            histograms: vec![("serve_request_seconds", h.snapshot())],
+        };
+        // 1 ns → bucket [1,2), 3+3 ns → [2,4), 1000 ns → [512,1024):
+        // cumulative counts 1, 3, 4 at edges 2 ns, 4 ns, 1024 ns.
+        let expected = "# TYPE relia_serve_request_seconds histogram\n\
+             relia_serve_request_seconds_bucket{le=\"0.000000002\"} 1\n\
+             relia_serve_request_seconds_bucket{le=\"0.000000004\"} 3\n\
+             relia_serve_request_seconds_bucket{le=\"0.000001024\"} 4\n\
+             relia_serve_request_seconds_bucket{le=\"+Inf\"} 4\n\
+             relia_serve_request_seconds_sum 0.000001007\n\
+             relia_serve_request_seconds_count 4\n";
+        assert_eq!(render_prometheus(&snap), expected);
+    }
+
+    #[test]
+    fn empty_histogram_still_renders_inf_sum_and_count() {
+        let snap = MetricsSnapshot {
+            counters: vec![],
+            gauges: vec![],
+            histograms: vec![("serve_eval_seconds", HistSnapshot::default())],
+        };
+        let text = render_prometheus(&snap);
+        assert!(text.contains("relia_serve_eval_seconds_bucket{le=\"+Inf\"} 0\n"));
+        assert!(text.contains("relia_serve_eval_seconds_sum 0\n"));
+        assert!(text.contains("relia_serve_eval_seconds_count 0\n"));
     }
 }

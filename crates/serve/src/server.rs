@@ -48,7 +48,7 @@ use relia_jobs::{default_workers, TaskPool};
 
 use crate::http::{read_request, write_response, Limits, ParseError, Response};
 use crate::metrics::ServeMetrics;
-use crate::service::{handle, Action, ServeState};
+use crate::service::{handle_traced, Action, ServeState};
 
 /// Server knobs, all CLI-settable.
 #[derive(Debug, Clone)]
@@ -201,8 +201,19 @@ impl Server {
             // Count the connection into the in-flight gauge while it is
             // queued; the handler adopts the slot via a drop guard.
             self.state.overload.conn_enqueued();
+            let enqueued = Instant::now();
             let submit = pool.try_submit(move || {
                 let _inflight = state.overload.adopt_inflight();
+                // Queue wait: accepted → claimed by this worker. The span
+                // is retroactive (its start predates any guard).
+                let waited = enqueued.elapsed();
+                state.obs.queue.record(waited);
+                let waited_ns = u64::try_from(waited.as_nanos()).unwrap_or(u64::MAX);
+                let now = state.obs.tracer.now_ns();
+                state
+                    .obs
+                    .tracer
+                    .record("queue_wait", 0, now.saturating_sub(waited_ns), waited_ns);
                 serve_connection(&state, stream, &limits, timeout, &conn_handle);
             });
             if submit.is_err() {
@@ -258,6 +269,12 @@ impl<R: Read> BudgetReader<R> {
     /// Resets the clock for the next message on a keep-alive connection.
     fn begin_message(&mut self) {
         self.started = None;
+    }
+
+    /// When the current message's first byte arrived (None until then) —
+    /// the request span's start and the read phase's zero point.
+    fn message_started(&self) -> Option<Instant> {
+        self.started
     }
 }
 
@@ -370,14 +387,36 @@ fn serve_connection(
         reader.begin_message();
         match read_request(&mut reader, limits) {
             Ok(request) => {
+                // Read phase: first byte on the wire → fully parsed. The
+                // request's root span is backdated to that first byte so
+                // handler phases nest under the true request window.
+                let arrival = reader.message_started().unwrap_or_else(Instant::now);
+                let read_elapsed = arrival.elapsed();
+                state.obs.read.record(read_elapsed);
+                let read_ns = u64::try_from(read_elapsed.as_nanos()).unwrap_or(u64::MAX);
+                let start_ns = state.obs.tracer.now_ns().saturating_sub(read_ns);
+                let root = state.obs.tracer.span_at("request", 0, start_ns);
+                state
+                    .obs
+                    .tracer
+                    .record("read", root.id(), start_ns, read_ns);
+
                 let deadline = Deadline::new(CancelToken::new(), Instant::now() + timeout);
-                let (mut response, action) = handle(state, &request, &deadline);
+                let (mut response, action) = handle_traced(state, &request, &deadline, root.id());
                 let keep = request.keep_alive() && !response.close && !state.is_draining();
                 if !keep {
                     response.close = true;
                 }
                 state.metrics.record_status(response.status);
+                let write_span = state.obs.tracer.child("write", root.id());
+                let t_write = Instant::now();
                 let write_ok = write_counted(state, &mut writer, &response);
+                state.obs.write.record(t_write.elapsed());
+                drop(write_span);
+                let dur_ns = root.finish();
+                state
+                    .obs
+                    .observe_request(&request.method, request.path(), response.status, dur_ns);
                 if action == Action::Shutdown {
                     server_handle.shutdown();
                 }
@@ -600,6 +639,65 @@ mod tests {
         let snapshot = state.metrics.snapshot();
         assert_eq!(snapshot.counter("serve_conn_truncated"), Some(1));
         assert_eq!(snapshot.counter("serve_parse_errors"), Some(1));
+        handle.shutdown();
+        runner.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn live_requests_populate_latency_histograms_and_trace() {
+        let (addr, handle, runner) = boot(ServeConfig {
+            threads: 2,
+            queue_depth: 8,
+            request_timeout: Duration::from_secs(5),
+            ..ServeConfig::default()
+        });
+        let body = "{\"ras\":[1,9],\"t_standby_k\":330,\"lifetime_s\":1e8,\
+             \"p_active\":0.5,\"p_standby\":1}";
+        let (status, _) = roundtrip(
+            addr,
+            &format!(
+                "POST /v1/degrade HTTP/1.1\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                body.len()
+            ),
+        );
+        assert_eq!(status, 200);
+
+        let (status, metrics) =
+            roundtrip(addr, "GET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert_eq!(status, 200);
+        assert!(metrics.starts_with("# TYPE relia_build_info gauge\n"));
+        for series in [
+            "# TYPE relia_serve_request_seconds histogram\n",
+            "# TYPE relia_serve_read_seconds histogram\n",
+            "# TYPE relia_serve_queue_seconds histogram\n",
+            "# TYPE relia_serve_eval_seconds histogram\n",
+            "# TYPE relia_process_uptime_seconds gauge\n",
+        ] {
+            assert!(metrics.contains(series), "missing {series:?}");
+        }
+        // The degrade request finished before the scrape arrived, so the
+        // read/queue phases have seen at least two events (degrade + this
+        // scrape's own connection) and eval exactly one.
+        assert!(metrics.contains("relia_serve_eval_seconds_count 1\n"));
+
+        let (status, trace) = roundtrip(
+            addr,
+            "GET /debug/trace HTTP/1.1\r\nConnection: close\r\n\r\n",
+        );
+        assert_eq!(status, 200);
+        for name in [
+            "queue_wait",
+            "read",
+            "request",
+            "coalesce",
+            "evaluate",
+            "write",
+        ] {
+            assert!(
+                trace.contains(&format!("\"name\":\"{name}\"")),
+                "missing span {name:?} in {trace}"
+            );
+        }
         handle.shutdown();
         runner.join().unwrap().unwrap();
     }

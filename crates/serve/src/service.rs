@@ -11,6 +11,7 @@
 //! | `POST /v1/fleet`    | a bounded Monte Carlo fleet aging study         |
 //! | `GET /healthz`      | liveness and drain state                        |
 //! | `GET /metrics`      | Prometheus text exposition                      |
+//! | `GET /debug/trace`  | most recent request spans (JSON)                |
 //! | `POST /admin/shutdown` | begin graceful drain                         |
 //!
 //! ## Parity with the batch engine
@@ -46,6 +47,7 @@ use crate::coalesce::SingleFlight;
 use crate::http::{Request, Response};
 use crate::json::{self, fmt_f64, Json};
 use crate::metrics::{render_prometheus, ServeMetrics};
+use crate::obs::ServeObs;
 
 /// Largest grid `/v1/sweep` accepts inline; bigger grids belong to the
 /// batch engine (`relia sweep`), and get a 413 telling the caller so.
@@ -98,6 +100,8 @@ pub struct ServeState {
     pub overload: OverloadControl,
     /// The `Healthy → Degraded → Draining` machine behind `/healthz`.
     pub health: HealthMachine,
+    /// Span ring, phase latency histograms, and the slow-request log.
+    pub obs: ServeObs,
     eval: Arc<dyn ModelEval>,
     flight: SingleFlight<StressKey, Result<f64, String>>,
     degradation: relia_core::DelayDegradation,
@@ -141,6 +145,7 @@ impl ServeState {
             metrics: ServeMetrics::default(),
             overload: OverloadControl::default(),
             health: HealthMachine::new(),
+            obs: ServeObs::new(),
             eval,
             flight: SingleFlight::new(),
             degradation: relia_core::DelayDegradation::new(&params),
@@ -155,6 +160,13 @@ impl ServeState {
     /// for construction time, before traffic — the counters reset).
     pub fn with_overload(mut self, config: OverloadConfig) -> Self {
         self.overload = OverloadControl::new(config);
+        self
+    }
+
+    /// Replaces the observability state (builder style; construction
+    /// time) — the CLI sizes the span ring and slow-log threshold here.
+    pub fn with_obs(mut self, obs: ServeObs) -> Self {
+        self.obs = obs;
         self
     }
 
@@ -196,7 +208,9 @@ impl ServeState {
                     ("serve_breaker_state_fleet", breaker_gauge(Endpoint::Fleet)),
                     ("serve_inflight", self.overload.inflight() as f64),
                 ],
+                histograms: vec![],
             })
+            .merged(self.obs.snapshot())
             .merged(self.cache.stats().snapshot())
     }
 
@@ -348,7 +362,12 @@ fn render_degrade(state: &ServeState, delta_vth: f64) -> Response {
     }
 }
 
-fn handle_degrade(state: &ServeState, request: &Request, deadline: &Deadline) -> Response {
+fn handle_degrade(
+    state: &ServeState,
+    request: &Request,
+    deadline: &Deadline,
+    parent: u64,
+) -> Response {
     let query = match parse_degrade(&request.body) {
         Ok(q) => q,
         Err(r) => return r,
@@ -365,23 +384,44 @@ fn handle_degrade(state: &ServeState, request: &Request, deadline: &Deadline) ->
         }
         return brownout_shed(state, "cold degrade evaluation");
     }
-    let response = degrade_eval(state, key, deadline);
+    let response = degrade_eval(state, key, deadline, parent);
     state
         .overload
         .settle(Endpoint::Degrade, response.status, Instant::now());
     response
 }
 
-fn degrade_eval(state: &ServeState, key: StressKey, deadline: &Deadline) -> Response {
+fn degrade_eval(state: &ServeState, key: StressKey, deadline: &Deadline, parent: u64) -> Response {
     // The queue wait may already have consumed the deadline.
     if deadline.fire_if_due(Instant::now()) {
         return Response::error(504, "request deadline exceeded");
     }
-    let delta_vth = match state.flight.run(key, || state.eval.delta_vth(key)) {
+    let obs = &state.obs;
+    // `coalesce` is what *this* request waited for the shared value —
+    // leader and joiners alike; `evaluate` exists only on the leader (the
+    // closure runs once per cold key).
+    let coalesce_span = obs.tracer.child("coalesce", parent);
+    let t_coalesce = Instant::now();
+    let result = state.flight.run(key, || {
+        let eval_span = obs.tracer.child("evaluate", coalesce_span.id());
+        let t_eval = Instant::now();
+        let value = state.eval.delta_vth(key);
+        obs.eval.record(t_eval.elapsed());
+        drop(eval_span);
+        value
+    });
+    obs.coalesce.record(t_coalesce.elapsed());
+    drop(coalesce_span);
+    let delta_vth = match result {
         Ok(v) => v,
         Err(e) => return Response::error(500, &e),
     };
-    render_degrade(state, delta_vth)
+    let serialize_span = obs.tracer.child("serialize", parent);
+    let t_serialize = Instant::now();
+    let response = render_degrade(state, delta_vth);
+    obs.serialize.record(t_serialize.elapsed());
+    drop(serialize_span);
+    response
 }
 
 fn parse_f64_list(root: &Json, name: &'static str) -> Result<Vec<f64>, Response> {
@@ -751,7 +791,18 @@ fn fleet_response(request: &Request, deadline: &Deadline) -> Response {
 }
 
 fn handle_metrics(state: &ServeState) -> Response {
-    Response::text(200, render_prometheus(&state.snapshot()))
+    // Build info leads the exposition: a constant-1 series whose labels
+    // carry the version, the Prometheus idiom for joinable metadata.
+    let mut body = format!(
+        "# TYPE relia_build_info gauge\nrelia_build_info{{version=\"{}\"}} 1\n",
+        env!("CARGO_PKG_VERSION")
+    );
+    body.push_str(&render_prometheus(&state.snapshot()));
+    Response::text(200, body)
+}
+
+fn handle_trace(state: &ServeState) -> Response {
+    Response::json(200, state.obs.trace_json())
 }
 
 fn handle_health(state: &ServeState) -> Response {
@@ -786,6 +837,18 @@ fn handle_health(state: &ServeState) -> Response {
 /// Routes one request. The response is fully rendered; `Action` tells the
 /// connection loop whether a graceful drain was requested.
 pub fn handle(state: &ServeState, request: &Request, deadline: &Deadline) -> (Response, Action) {
+    handle_traced(state, request, deadline, 0)
+}
+
+/// [`handle`] with an explicit parent span id: the connection loop passes
+/// its per-request root span so handler phases (`coalesce`, `evaluate`,
+/// `serialize`) nest under it in `GET /debug/trace`.
+pub fn handle_traced(
+    state: &ServeState,
+    request: &Request,
+    deadline: &Deadline,
+    parent: u64,
+) -> (Response, Action) {
     ServeMetrics::bump(&state.metrics.requests);
     if state.is_draining() && request.path() != "/healthz" {
         let mut r = Response::error(503, "server is draining");
@@ -796,7 +859,8 @@ pub fn handle(state: &ServeState, request: &Request, deadline: &Deadline) -> (Re
     let response = match (request.method.as_str(), request.path()) {
         ("GET", "/healthz") => handle_health(state),
         ("GET", "/metrics") => handle_metrics(state),
-        ("POST", "/v1/degrade") => handle_degrade(state, request, deadline),
+        ("GET", "/debug/trace") => handle_trace(state),
+        ("POST", "/v1/degrade") => handle_degrade(state, request, deadline, parent),
         ("POST", "/v1/sweep") => handle_sweep(state, request, deadline),
         ("POST", "/v1/fleet") => handle_fleet(state, request, deadline),
         ("POST", "/admin/shutdown") => {
@@ -808,7 +872,8 @@ pub fn handle(state: &ServeState, request: &Request, deadline: &Deadline) -> (Re
         }
         (
             _,
-            "/healthz" | "/metrics" | "/v1/degrade" | "/v1/sweep" | "/v1/fleet" | "/admin/shutdown",
+            "/healthz" | "/metrics" | "/debug/trace" | "/v1/degrade" | "/v1/sweep" | "/v1/fleet"
+            | "/admin/shutdown",
         ) => Response::error(405, "method not allowed for this endpoint"),
         (_, path) => Response::error(404, &format!("no such endpoint: {path}")),
     };
@@ -1097,10 +1162,106 @@ mod tests {
         assert!(text.contains("relia_cache_hits"));
         assert!(text.contains("relia_serve_coalesce_leads"));
 
+        let r = handle(&s, &get("/debug/trace"), &d).0;
+        assert_eq!(r.status, 200);
+        assert!(String::from_utf8(r.body)
+            .unwrap()
+            .starts_with("{\"dropped\":"));
+
         assert_eq!(handle(&s, &get("/nope"), &d).0.status, 404);
         assert_eq!(handle(&s, &get("/v1/degrade"), &d).0.status, 405);
         assert_eq!(handle(&s, &get("/v1/fleet"), &d).0.status, 405);
         assert_eq!(handle(&s, &post("/healthz", ""), &d).0.status, 405);
+        assert_eq!(handle(&s, &post("/debug/trace", ""), &d).0.status, 405);
+    }
+
+    #[test]
+    fn metrics_leads_with_build_info_and_uptime() {
+        let s = state();
+        let d = deadline(Duration::from_secs(5));
+        let r = handle(&s, &get("/metrics"), &d).0;
+        let text = String::from_utf8(r.body).unwrap();
+        assert!(text.starts_with(&format!(
+            "# TYPE relia_build_info gauge\nrelia_build_info{{version=\"{}\"}} 1\n",
+            env!("CARGO_PKG_VERSION")
+        )));
+        assert!(text.contains("# TYPE relia_process_uptime_seconds gauge\n"));
+    }
+
+    #[test]
+    fn degrade_populates_phase_histograms_on_metrics() {
+        let s = state();
+        let d = deadline(Duration::from_secs(5));
+        assert_eq!(
+            handle(&s, &post("/v1/degrade", &QUERY.to_body()), &d)
+                .0
+                .status,
+            200
+        );
+        let snap = s.snapshot();
+        for name in [
+            "serve_coalesce_seconds",
+            "serve_eval_seconds",
+            "serve_serialize_seconds",
+        ] {
+            assert_eq!(snap.histogram(name).map(|h| h.count), Some(1), "{name}");
+        }
+        let text = String::from_utf8(handle(&s, &get("/metrics"), &d).0.body).unwrap();
+        assert!(text.contains("# TYPE relia_serve_eval_seconds histogram\n"));
+        assert!(text.contains("relia_serve_eval_seconds_count 1\n"));
+        // One sample → exactly one finite bucket, cumulative count 1.
+        assert!(text.contains("relia_serve_eval_seconds_bucket{le=\"+Inf\"} 1\n"));
+    }
+
+    #[test]
+    fn debug_trace_returns_schema_pinned_spans_for_a_real_request() {
+        let clock = Arc::new(relia_obs::TestClock::new());
+        let s = state().with_obs(
+            crate::obs::ServeObs::new().with_tracer(relia_obs::Tracer::with_clock(16, clock)),
+        );
+        let d = deadline(Duration::from_secs(5));
+        let root = s.obs.tracer.span("request");
+        let parent = root.id();
+        let r = handle_traced(&s, &post("/v1/degrade", &QUERY.to_body()), &d, parent);
+        assert_eq!(r.0.status, 200);
+        drop(root);
+
+        let r = handle(&s, &get("/debug/trace"), &d).0;
+        assert_eq!(r.status, 200);
+        let root_json = json::parse(&r.body).unwrap();
+        assert_eq!(root_json.get("dropped").and_then(Json::as_f64), Some(0.0));
+        let spans = root_json.get("spans").and_then(Json::as_arr).unwrap();
+        let names: Vec<&str> = spans
+            .iter()
+            .map(|s| s.get("name").and_then(Json::as_str).unwrap())
+            .collect();
+        assert_eq!(names, ["request", "coalesce", "evaluate", "serialize"]);
+        for span in spans {
+            for key in ["dur_ns", "id", "parent", "start_ns"] {
+                assert!(span.get(key).and_then(Json::as_f64).is_some(), "{key}");
+            }
+        }
+        // `coalesce` and `serialize` nest under the request root;
+        // `evaluate` under `coalesce` (the leader's closure).
+        let by_name = |n: &str| {
+            spans
+                .iter()
+                .find(|s| s.get("name").and_then(Json::as_str) == Some(n))
+                .unwrap()
+        };
+        let root_id = by_name("request").get("id").and_then(Json::as_f64).unwrap();
+        assert_eq!(
+            by_name("coalesce").get("parent").and_then(Json::as_f64),
+            Some(root_id)
+        );
+        assert_eq!(
+            by_name("serialize").get("parent").and_then(Json::as_f64),
+            Some(root_id)
+        );
+        assert_eq!(
+            by_name("evaluate").get("parent").and_then(Json::as_f64),
+            by_name("coalesce").get("id").and_then(Json::as_f64)
+        );
     }
 
     #[test]

@@ -56,6 +56,35 @@ cargo run -q --offline --release -p relia-serve --example loadgen -- \
 wait "$serve_pid"
 rm -f "$serve_log"
 
+echo "==> relia serve (observability: /metrics histograms, /debug/trace shape)"
+# Boot the real CLI with tracing on, fire degrade traffic through the
+# probe, and validate the observability surface: build info + uptime on
+# /metrics, every phase histogram with non-decreasing cumulative buckets
+# and a consistent +Inf/_count pair, and /debug/trace JSON of the pinned
+# span schema. The probe exits non-zero on any shape violation.
+obs_log="$(mktemp)"
+target/release/relia serve --addr 127.0.0.1:0 --threads 2 --trace 256 >"$obs_log" &
+obs_pid=$!
+obs_addr=""
+for _ in $(seq 1 100); do
+    obs_addr="$(sed -n 's/^relia-serve listening on //p' "$obs_log")"
+    [ -n "$obs_addr" ] && break
+    if ! kill -0 "$obs_pid" 2>/dev/null; then
+        echo "relia serve died before binding:" >&2
+        cat "$obs_log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+if [ -z "$obs_addr" ]; then
+    echo "relia serve never printed its address" >&2
+    kill "$obs_pid" 2>/dev/null || true
+    exit 1
+fi
+cargo run -q --offline --release -p relia-serve --example obs_probe -- --addr "$obs_addr"
+wait "$obs_pid"
+rm -f "$obs_log"
+
 echo "==> relia serve (chaos: seeded socket faults, overload, drain)"
 # Self-hosted chaos run: 48 connections through a seeded mix of socket
 # faults (slow dribbles, short writes, mid-body disconnects, truncation,
@@ -102,5 +131,8 @@ cargo run -q --offline --release -p relia-bench --bin bench_serve -- --check
 
 echo "==> bench_lint (per-line analysis-cost gate vs BENCH_lint.json)"
 cargo run -q --offline --release -p relia-bench --bin bench_lint -- --check
+
+echo "==> bench_obs (span/histogram record-cost gate vs BENCH_obs.json)"
+cargo run -q --offline --release -p relia-bench --bin bench_obs -- --check
 
 echo "==> all checks passed"

@@ -530,7 +530,9 @@ Serves NBTI degradation queries over HTTP (std-only, offline):
   POST /v1/sweep        small inline grid (canonical sweep order)
   POST /v1/fleet        Monte Carlo fleet summary (relia-fleet engine)
   GET  /healthz         liveness / drain state
-  GET  /metrics         Prometheus text exposition
+  GET  /metrics         Prometheus text exposition (latency histograms,
+                        build info, uptime included)
+  GET  /debug/trace     most recent request spans as JSON
   POST /admin/shutdown  graceful drain (finish in-flight, then exit 0)
 
 flags:
@@ -550,6 +552,10 @@ flags:
   --brownout-high-water N in-flight connections beyond which brownout
                           engages: cache hits still answer, cold work is
                           shed with 503 + Retry-After (default 48)
+  --trace N               span-ring capacity behind GET /debug/trace
+                          (default 1024; 0 disables span recording)
+  --slow-ms MS            log requests slower than MS milliseconds to
+                          stderr (default 0 = off)
 
 Identical concurrent queries are coalesced into one model evaluation, and
 all queries share one process-wide dVth memo cache. Health transitions
@@ -560,6 +566,8 @@ all queries share one process-wide dVth memo cache. Health transitions
 fn run_serve_command(args: &[String]) -> Result<(), CliError> {
     let mut config = relia::serve::ServeConfig::default();
     let mut overload = relia::serve::OverloadConfig::default();
+    let mut trace_capacity = relia::serve::DEFAULT_TRACE_CAPACITY;
+    let mut slow_ms: u64 = 0;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         if matches!(arg.as_str(), "help" | "-h" | "--help") {
@@ -626,13 +634,27 @@ fn run_serve_command(args: &[String]) -> Result<(), CliError> {
                     .parse()
                     .map_err(|_| CliError::Usage(format!("bad high-water mark {value}")))?;
             }
+            "--trace" => {
+                trace_capacity = value
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("bad trace capacity {value}")))?;
+            }
+            "--slow-ms" => {
+                slow_ms = value
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("bad slow threshold {value}")))?;
+            }
             other => return Err(CliError::Usage(format!("unknown serve flag {other}"))),
         }
     }
+    let obs = relia::serve::ServeObs::new()
+        .with_tracer(relia::obs::Tracer::new(trace_capacity))
+        .with_slow_log(slow_ms, Box::new(|line| eprintln!("relia-serve {line}")));
     let state = Arc::new(
         relia::serve::ServeState::new(config.request_timeout)
             .map_err(CliError::Analysis)?
-            .with_overload(overload),
+            .with_overload(overload)
+            .with_obs(obs),
     );
     // Operators watch health from stderr; stdout stays machine-parseable.
     state.health.set_logger(Box::new(|t| {
@@ -679,6 +701,8 @@ flags:
   --chunk N            samples per chunk (default 2048; part of the
                        checkpoint fingerprint)
   --checkpoint PATH    append completed chunks to PATH and resume from it
+  --trace N            record hoist/chunk/merge spans into an N-slot ring
+                       and print per-phase attribution to stderr (0 = off)
 
 Summaries are bit-identical for a fixed seed and chunk size regardless
 of --workers.";
@@ -779,6 +803,12 @@ fn run_fleet_command(args: &[String]) -> Result<(), CliError> {
             "--checkpoint" => {
                 opts.checkpoint = Some(PathBuf::from(value));
             }
+            "--trace" => {
+                let capacity: usize = value.parse().map_err(|_| bad("trace capacity"))?;
+                if capacity > 0 {
+                    opts.trace = Some(Arc::new(relia::obs::Tracer::new(capacity)));
+                }
+            }
             other => return Err(CliError::Usage(format!("unknown fleet flag {other}"))),
         }
     }
@@ -816,6 +846,29 @@ fn run_fleet_command(args: &[String]) -> Result<(), CliError> {
         Seconds(lt.p50).to_years()
     );
     eprintln!("{}", outcome.metrics);
+    if let Some(tracer) = &opts.trace {
+        // Hot-path attribution over the retained spans: where the wall
+        // clock went, phase by phase (hoisting vs sampling vs merging).
+        let mut by_name: std::collections::BTreeMap<&'static str, (u64, u64)> =
+            std::collections::BTreeMap::new();
+        for span in tracer.recent() {
+            let entry = by_name.entry(span.name).or_insert((0, 0));
+            entry.0 += 1;
+            entry.1 += span.dur_ns;
+        }
+        for (name, (count, total_ns)) in by_name {
+            eprintln!(
+                "trace: {name:<12} {count:>5} span(s), total {}",
+                relia::obs::fmt_ns(total_ns as f64)
+            );
+        }
+        if tracer.dropped() > 0 {
+            eprintln!(
+                "trace: {} span(s) dropped under contention",
+                tracer.dropped()
+            );
+        }
+    }
     Ok(())
 }
 

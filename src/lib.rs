@@ -34,6 +34,9 @@
 //!   paper evaluates for NBTI mitigation;
 //! * [`jobs`] — the parallel batch sweep engine (worker pool, degradation
 //!   memoization, checkpoint/resume);
+//! * [`obs`] — the std-only observability substrate (monotonic/test
+//!   clocks, span tracing, log2 latency histograms) threaded through the
+//!   serve/jobs/fleet runtimes;
 //! * [`fleet`] — the vectorized Monte Carlo engine for fleet-scale
 //!   statistical aging (hoisted batch evaluation, seeded correlated
 //!   sampling, streaming percentiles — `relia fleet`);
@@ -51,6 +54,7 @@ pub use relia_jobs as jobs;
 pub use relia_leakage as leakage;
 pub use relia_lint as lint;
 pub use relia_netlist as netlist;
+pub use relia_obs as obs;
 pub use relia_serve as serve;
 pub use relia_sim as sim;
 pub use relia_sleep as sleep;

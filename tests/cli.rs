@@ -275,6 +275,7 @@ fn fleet_help_and_exit_codes_are_pinned() {
         "--seed",
         "--guardband",
         "--checkpoint",
+        "--trace",
         "bit-identical",
     ] {
         assert!(stdout.contains(needle), "missing {needle:?} in {stdout}");
@@ -282,6 +283,9 @@ fn fleet_help_and_exit_codes_are_pinned() {
     // Flag mistakes → 2.
     let (code, _, stderr) = relia_coded(&["fleet", "--bogus", "1"]);
     assert_eq!(code, Some(2), "{stderr}");
+    let (code, _, stderr) = relia_coded(&["fleet", "--trace", "lots"]);
+    assert_eq!(code, Some(2), "{stderr}");
+    assert!(stderr.contains("bad trace capacity"), "{stderr}");
     let (code, _, stderr) = relia_coded(&["fleet", "--samples", "many"]);
     assert_eq!(code, Some(2), "{stderr}");
     let (code, _, stderr) = relia_coded(&["fleet", "--workers", "0"]);
@@ -339,6 +343,31 @@ fn fleet_runs_and_resumes_deterministically() {
 }
 
 #[test]
+fn fleet_trace_prints_phase_attribution_to_stderr() {
+    let (ok, stdout, stderr) = relia(&[
+        "fleet",
+        "--samples",
+        "2000",
+        "--chunk",
+        "512",
+        "--trace",
+        "64",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("lifetime: p01"), "{stdout}");
+    assert!(stderr.contains("trace: fleet_hoist"), "{stderr}");
+    assert!(stderr.contains("trace: fleet_chunk"), "{stderr}");
+    assert!(stderr.contains("trace: fleet_merge"), "{stderr}");
+    assert!(stderr.contains("4 span(s)"), "4 chunks of 512: {stderr}");
+    // The attribution is stderr-only garnish: stdout stays identical to
+    // an untraced run.
+    let (ok, untraced, stderr) = relia(&["fleet", "--samples", "2000", "--chunk", "512"]);
+    assert!(ok, "{stderr}");
+    assert_eq!(stdout, untraced);
+    assert!(!stderr.contains("trace:"), "{stderr}");
+}
+
+#[test]
 fn version_prints_and_exits_0() {
     for flag in ["--version", "-V", "version"] {
         let (code, stdout, stderr) = relia_coded(&[flag]);
@@ -367,6 +396,9 @@ fn serve_help_and_usage_exit_codes_are_pinned() {
         "--breaker-threshold",
         "--breaker-cooldown",
         "--brownout-high-water",
+        "--trace",
+        "--slow-ms",
+        "/debug/trace",
     ] {
         assert!(stdout.contains(needle), "missing {needle:?} in {stdout}");
     }
@@ -389,6 +421,12 @@ fn serve_help_and_usage_exit_codes_are_pinned() {
     assert_eq!(code, Some(2), "{stderr}");
     let (code, _, stderr) = relia_coded(&["serve", "--brownout-high-water", "-3"]);
     assert_eq!(code, Some(2), "{stderr}");
+    let (code, _, stderr) = relia_coded(&["serve", "--trace", "lots"]);
+    assert_eq!(code, Some(2), "{stderr}");
+    assert!(stderr.contains("bad trace capacity"), "{stderr}");
+    let (code, _, stderr) = relia_coded(&["serve", "--slow-ms", "-5"]);
+    assert_eq!(code, Some(2), "{stderr}");
+    assert!(stderr.contains("bad slow threshold"), "{stderr}");
     // An unbindable address is an analysis failure → 1.
     let (code, _, stderr) = relia_coded(&["serve", "--addr", "256.0.0.1:99999"]);
     assert_eq!(code, Some(1), "{stderr}");
