@@ -15,9 +15,17 @@
 //!
 //! Exit code 0 only if every request succeeded, every body matched, and
 //! the cache hit rate was non-zero.
+//!
+//! With `--surface PATH` the self-hosted server mounts a precomputed
+//! response surface. Degrade bodies are then checked against the exact
+//! oracle within the documented interpolation bound instead of byte for
+//! byte, and the run asserts the surface ledger balances: every degrade
+//! answer is either a surface hit or an exact fallback, and
+//! `clamps <= misses <= fallbacks`.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -36,6 +44,7 @@ struct Args {
     requests: usize,
     threads: usize,
     addr: Option<String>,
+    surface: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -43,6 +52,7 @@ fn parse_args() -> Result<Args, String> {
         requests: 10_000,
         threads: 4,
         addr: None,
+        surface: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -68,6 +78,10 @@ fn parse_args() -> Result<Args, String> {
                 args.addr = Some(value(i)?.to_owned());
                 i += 2;
             }
+            "--surface" => {
+                args.surface = Some(PathBuf::from(value(i)?));
+                i += 2;
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -84,6 +98,9 @@ struct Expected {
     /// Exact response body, or `None` for responses checked by content
     /// (e.g. `/metrics`, which contains live counters).
     response_body: Option<String>,
+    /// When set, `delta_vth_v` is compared to the oracle within this
+    /// relative bound instead of byte for byte — the surface contract.
+    tolerance: Option<f64>,
 }
 
 /// The degrade-query grid: small enough that every query repeats many
@@ -93,7 +110,9 @@ fn degrade_grid() -> Vec<DegradeQuery> {
     let mut grid = Vec::new();
     for ras in [(1.0, 9.0), (2.0, 8.0), (5.0, 5.0)] {
         for t_standby in [320.0, 340.0, 360.0, 380.0] {
-            for p_active in [0.3, 0.6] {
+            // 0.5/1.0 is the pair surface artifacts carry by default, so
+            // a `--surface` run exercises hits and fallbacks alike.
+            for p_active in [0.3, 0.5, 0.6] {
                 grid.push(DegradeQuery {
                     ras,
                     t_standby_k: Kelvin(t_standby),
@@ -164,6 +183,7 @@ fn expected_sweep() -> Result<Expected, String> {
     Ok(Expected {
         method: "POST",
         path: "/v1/sweep",
+        tolerance: None,
         request_body: "{\"workload\":{\"kind\":\"model\",\"p_active\":0.5,\"p_standby\":1},\
                        \"ras\":[[1,9],[5,5]],\"t_standby_k\":[330,360],\"lifetime_s\":[1e8]}"
             .to_owned(),
@@ -251,7 +271,21 @@ fn check_one(
         ));
     }
     if let Some(want) = &expected.response_body {
-        if body != want.as_bytes() {
+        if let Some(bound) = expected.tolerance {
+            let got = String::from_utf8_lossy(&body);
+            let approx = scrape_delta_vth(&got)
+                .ok_or_else(|| format!("{}: no delta_vth_v in {got}", expected.path))?;
+            let exact = scrape_delta_vth(want)
+                .ok_or_else(|| format!("{}: no delta_vth_v in oracle {want}", expected.path))?;
+            let err = relia_surface::rel_error(approx, exact);
+            if err > bound {
+                return Err(format!(
+                    "{} {}: delta_vth_v off by {err:e} (> bound {bound:e}):\
+                     \n  want {want}\n  got  {got}",
+                    expected.method, expected.path
+                ));
+            }
+        } else if body != want.as_bytes() {
             return Err(format!(
                 "{} {}: byte mismatch:\n  want {}\n  got  {}",
                 expected.method,
@@ -274,10 +308,23 @@ fn scrape_counter(metrics_text: &str, name: &str) -> Option<u64> {
     })
 }
 
+/// Pulls the `delta_vth_v` number out of a degrade response body.
+fn scrape_delta_vth(body: &str) -> Option<f64> {
+    let rest = body.split_once("\"delta_vth_v\":")?.1;
+    let end = rest.find([',', '}'])?;
+    rest[..end].trim().parse().ok()
+}
+
 fn run() -> Result<(), String> {
     let args = parse_args()?;
 
     // Precompute every expected byte sequence before opening a socket.
+    // With a surface mounted, degrade answers may be interpolated, so the
+    // byte oracle relaxes to the documented relative-error bound.
+    let tolerance = args
+        .surface
+        .as_ref()
+        .map(|_| relia_surface::DOCUMENTED_ERROR_BOUND);
     let grid = degrade_grid();
     let degrade_expected: Vec<Expected> = grid
         .iter()
@@ -287,6 +334,7 @@ fn run() -> Result<(), String> {
                 path: "/v1/degrade",
                 request_body: q.to_body(),
                 response_body: Some(expected_degrade(q)?),
+                tolerance,
             })
         })
         .collect::<Result<_, String>>()?;
@@ -296,12 +344,14 @@ fn run() -> Result<(), String> {
         path: "/healthz",
         request_body: String::new(),
         response_body: Some("{\"status\":\"ok\"}".to_owned()),
+        tolerance: None,
     };
     let metrics_expected = Expected {
         method: "GET",
         path: "/metrics",
         request_body: String::new(),
         response_body: None,
+        tolerance: None,
     };
 
     // Self-host unless pointed at an external server.
@@ -316,7 +366,13 @@ fn run() -> Result<(), String> {
                 request_timeout: Duration::from_secs(30),
                 ..ServeConfig::default()
             };
-            let state = Arc::new(ServeState::new(config.request_timeout)?);
+            let mut state = ServeState::new(config.request_timeout)?;
+            if let Some(path) = &args.surface {
+                let surface = relia_surface::Surface::load(path)
+                    .map_err(|e| format!("cannot mount surface {}: {e}", path.display()))?;
+                state = state.with_surface(surface);
+            }
+            let state = Arc::new(state);
             let server = Server::bind(config, state).map_err(|e| e.to_string())?;
             let addr = server.local_addr().to_string();
             let handle = server.handle();
@@ -328,6 +384,7 @@ fn run() -> Result<(), String> {
 
     let failures = Arc::new(AtomicU64::new(0));
     let completed = Arc::new(AtomicU64::new(0));
+    let degrade_ok = Arc::new(AtomicU64::new(0));
     let per_thread = args.requests.div_ceil(args.threads);
 
     let workers: Vec<_> = (0..args.threads)
@@ -339,6 +396,7 @@ fn run() -> Result<(), String> {
             let metrics_expected = metrics_expected.clone();
             let failures = Arc::clone(&failures);
             let completed = Arc::clone(&completed);
+            let degrade_ok = Arc::clone(&degrade_ok);
             thread::spawn(move || {
                 // Client-side latency, per thread; snapshots merge at the
                 // end (the merge is order-independent).
@@ -376,6 +434,9 @@ fn run() -> Result<(), String> {
                         Ok(()) => {
                             hist.record(started.elapsed());
                             completed.fetch_add(1, Ordering::Relaxed);
+                            if expected.path == "/v1/degrade" {
+                                degrade_ok.fetch_add(1, Ordering::Relaxed);
+                            }
                         }
                         Err(e) => {
                             eprintln!("thread {t} request {i}: {e}");
@@ -406,6 +467,11 @@ fn run() -> Result<(), String> {
     let misses = scrape_counter(&metrics_text, "relia_cache_misses ").unwrap_or(0);
     let leads = scrape_counter(&metrics_text, "relia_serve_coalesce_leads ").unwrap_or(0);
     let joins = scrape_counter(&metrics_text, "relia_serve_coalesce_joins ").unwrap_or(0);
+    let surface_active = scrape_counter(&metrics_text, "relia_surface_active ").unwrap_or(0);
+    let surface_hits = scrape_counter(&metrics_text, "relia_surface_hits ").unwrap_or(0);
+    let surface_misses = scrape_counter(&metrics_text, "relia_surface_misses ").unwrap_or(0);
+    let surface_fallbacks = scrape_counter(&metrics_text, "relia_surface_fallbacks ").unwrap_or(0);
+    let surface_clamps = scrape_counter(&metrics_text, "relia_surface_clamps ").unwrap_or(0);
 
     write_request(&mut stream, "POST", "/admin/shutdown", b"").map_err(|e| e.to_string())?;
     let (status, _) = read_response(&mut reader)?;
@@ -438,6 +504,35 @@ fn run() -> Result<(), String> {
     }
     if hits == 0 {
         return Err("cache hit count is zero — memoization is not engaging".to_owned());
+    }
+    // The surface ledger must balance in every configuration: a declined
+    // lookup is a fallback, and a clamp is one kind of declined lookup.
+    if !(surface_clamps <= surface_misses && surface_misses <= surface_fallbacks) {
+        return Err(format!(
+            "surface ledger out of order: clamps {surface_clamps} <= misses \
+             {surface_misses} <= fallbacks {surface_fallbacks} violated"
+        ));
+    }
+    if surface_active == 1 {
+        println!(
+            "loadgen: surface {surface_hits} hits / {surface_misses} misses / \
+             {surface_fallbacks} fallbacks / {surface_clamps} clamps"
+        );
+        if args.surface.is_some() && args.addr.is_none() {
+            // Self-hosted with a known artifact: every degrade answer is
+            // accounted for as a hit or an exact fallback — no request
+            // leaves the ledger.
+            let degrade_ok = degrade_ok.load(Ordering::Relaxed);
+            if surface_hits + surface_fallbacks != degrade_ok {
+                return Err(format!(
+                    "surface ledger does not balance: {surface_hits} hits + \
+                     {surface_fallbacks} fallbacks != {degrade_ok} degrade answers"
+                ));
+            }
+            if surface_hits == 0 {
+                return Err("surface hit count is zero — the tier is not engaging".to_owned());
+            }
+        }
     }
     Ok(())
 }

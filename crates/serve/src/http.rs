@@ -4,8 +4,10 @@
 //! This is deliberately a *subset* of HTTP/1.1 — exactly what an offline
 //! JSON API needs and nothing a parser bug can hide in:
 //!
-//! * request line + headers + `Content-Length` body; no chunked encoding,
-//!   no trailers, no upgrades, no continuation lines;
+//! * request line + headers + `Content-Length` body; no chunked *request*
+//!   bodies, no trailers, no upgrades, no continuation lines (responses
+//!   may stream with chunked transfer encoding — see
+//!   [`write_chunked_head`]);
 //! * every dimension is bounded ([`Limits`]): request-line bytes, header
 //!   count and line bytes, body bytes — oversize input maps to **413**;
 //! * malformed input (bad request line, bad header syntax, bad
@@ -379,6 +381,61 @@ pub fn write_response(w: &mut impl Write, response: &Response) -> io::Result<()>
     w.flush()
 }
 
+/// Writes the head of a streamed response: status line, `content-type`,
+/// and `transfer-encoding: chunked` instead of a `Content-Length`. The
+/// caller then emits body pieces with [`write_chunk`] and terminates with
+/// [`write_chunked_end`]. HTTP/1.1 only — 1.0 peers cannot parse chunked
+/// framing, so callers fall back to a buffered [`write_response`].
+///
+/// # Errors
+///
+/// Returns the underlying transport error (a dead connection).
+pub fn write_chunked_head(
+    w: &mut impl Write,
+    status: u16,
+    content_type: &'static str,
+    close: bool,
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: {content_type}\r\ntransfer-encoding: chunked\r\n",
+        status,
+        reason(status),
+    );
+    if close {
+        head.push_str("connection: close\r\n");
+    }
+    head.push_str("\r\n");
+    w.write_all(head.as_bytes())?;
+    w.flush()
+}
+
+/// Writes one chunk: hex size, CRLF, data, CRLF — flushed so the peer sees
+/// progress immediately. Empty slices are skipped (a zero-length chunk
+/// would terminate the body; that is [`write_chunked_end`]'s job).
+///
+/// # Errors
+///
+/// Returns the underlying transport error (a dead connection).
+pub fn write_chunk(w: &mut impl Write, data: &[u8]) -> io::Result<()> {
+    if data.is_empty() {
+        return Ok(());
+    }
+    w.write_all(format!("{:x}\r\n", data.len()).as_bytes())?;
+    w.write_all(data)?;
+    w.write_all(b"\r\n")?;
+    w.flush()
+}
+
+/// Terminates a chunked body (`0\r\n\r\n`, no trailers).
+///
+/// # Errors
+///
+/// Returns the underlying transport error (a dead connection).
+pub fn write_chunked_end(w: &mut impl Write) -> io::Result<()> {
+    w.write_all(b"0\r\n\r\n")?;
+    w.flush()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -548,5 +605,34 @@ mod tests {
         assert_eq!(reason(203), "Non-Authoritative Information");
         assert_eq!(reason(404), "Not Found");
         assert_eq!(reason(503), "Service Unavailable");
+    }
+
+    #[test]
+    fn chunked_writer_frames_hex_sizes_and_terminates() {
+        let mut out = Vec::new();
+        write_chunked_head(&mut out, 200, "application/json", false).unwrap();
+        write_chunk(&mut out, b"hello").unwrap();
+        // 26 bytes → hex "1a".
+        write_chunk(&mut out, &[b'x'; 26]).unwrap();
+        write_chunk(&mut out, b"").unwrap(); // skipped, not a terminator
+        write_chunked_end(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("transfer-encoding: chunked\r\n"));
+        assert!(!text.contains("content-length"));
+        let body_at = text.find("\r\n\r\n").unwrap() + 4;
+        assert_eq!(
+            &text[body_at..],
+            format!("5\r\nhello\r\n1a\r\n{}\r\n0\r\n\r\n", "x".repeat(26))
+        );
+    }
+
+    #[test]
+    fn chunked_head_can_demand_close() {
+        let mut out = Vec::new();
+        write_chunked_head(&mut out, 200, "application/json", true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n"));
     }
 }

@@ -82,12 +82,15 @@ pub use breaker::{
 pub use coalesce::SingleFlight;
 #[cfg(feature = "fault-inject")]
 pub use fault::{ChaosPlan, ConnFault, FaultStream, Severable};
-pub use http::{read_request, write_response, Limits, ParseError, Request, Response};
+pub use http::{
+    read_request, write_chunk, write_chunked_end, write_chunked_head, write_response, Limits,
+    ParseError, Request, Response,
+};
 pub use json::{fmt_f64, Json, JsonError};
 pub use metrics::{render_prometheus, ServeMetrics};
 pub use obs::{ServeObs, SlowSink, DEFAULT_TRACE_CAPACITY};
 pub use server::{ServeConfig, Server, ServerHandle};
 pub use service::{
-    degrade_body, handle, handle_traced, parse_degrade, parse_sweep, Action, CachedEval,
-    DegradeQuery, ModelEval, ServeState, MAX_SWEEP_POINTS,
+    degrade_body, handle, handle_fleet_streamed, handle_traced, parse_degrade, parse_sweep, Action,
+    CachedEval, DegradeQuery, FleetStream, ModelEval, ServeState, SurfaceTier, MAX_SWEEP_POINTS,
 };

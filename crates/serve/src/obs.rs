@@ -41,6 +41,8 @@ pub struct ServeObs {
     pub read: LatencyHist,
     /// Connection queue wait: accepted → claimed by a worker.
     pub queue: LatencyHist,
+    /// Surface-tier interpolated lookups on `/v1/degrade`.
+    pub surface: LatencyHist,
     /// Single-flight wait on `/v1/degrade` (leader and joiners both).
     pub coalesce: LatencyHist,
     /// Leader-side model evaluations.
@@ -78,6 +80,7 @@ impl ServeObs {
             request: LatencyHist::new(),
             read: LatencyHist::new(),
             queue: LatencyHist::new(),
+            surface: LatencyHist::new(),
             coalesce: LatencyHist::new(),
             eval: LatencyHist::new(),
             serialize: LatencyHist::new(),
@@ -143,6 +146,7 @@ impl ServeObs {
                 ("serve_request_seconds", self.request.snapshot()),
                 ("serve_read_seconds", self.read.snapshot()),
                 ("serve_queue_seconds", self.queue.snapshot()),
+                ("serve_surface_seconds", self.surface.snapshot()),
                 ("serve_coalesce_seconds", self.coalesce.snapshot()),
                 ("serve_eval_seconds", self.eval.snapshot()),
                 ("serve_serialize_seconds", self.serialize.snapshot()),
@@ -190,7 +194,11 @@ mod tests {
         let s = obs.snapshot();
         assert!(s.gauge("process_uptime_seconds").is_some());
         assert_eq!(s.counter("serve_spans_dropped"), Some(0));
-        assert_eq!(s.histograms.len(), 7);
+        assert_eq!(s.histograms.len(), 8);
+        assert_eq!(
+            s.histogram("serve_surface_seconds").map(|h| h.count),
+            Some(0)
+        );
         assert_eq!(s.histogram("serve_eval_seconds").map(|h| h.count), Some(1));
         assert_eq!(
             s.histogram("serve_request_seconds").map(|h| h.count),

@@ -48,7 +48,7 @@ use relia_jobs::{default_workers, TaskPool};
 
 use crate::http::{read_request, write_response, Limits, ParseError, Response};
 use crate::metrics::ServeMetrics;
-use crate::service::{handle_traced, Action, ServeState};
+use crate::service::{handle_fleet_streamed, handle_traced, Action, FleetStream, ServeState};
 
 /// Server knobs, all CLI-settable.
 #[derive(Debug, Clone)]
@@ -402,7 +402,50 @@ fn serve_connection(
                     .record("read", root.id(), start_ns, read_ns);
 
                 let deadline = Deadline::new(CancelToken::new(), Instant::now() + timeout);
-                let (mut response, action) = handle_traced(state, &request, &deadline, root.id());
+                // Wire-level `POST /v1/fleet` streams chunked progress on
+                // HTTP/1.1 peers; every pre-stream outcome (shed, drain,
+                // parse error) comes back buffered and joins the normal
+                // write path below. HTTP/1.0 peers cannot parse chunked
+                // framing and stay fully buffered.
+                let buffered = if request.http11
+                    && request.method == "POST"
+                    && request.path() == "/v1/fleet"
+                {
+                    match handle_fleet_streamed(state, &request, &deadline, &mut writer) {
+                        Ok(FleetStream::Streamed { status, close }) => {
+                            state.metrics.record_status(status);
+                            let dur_ns = root.finish();
+                            state.obs.observe_request(
+                                &request.method,
+                                request.path(),
+                                status,
+                                dur_ns,
+                            );
+                            if close || !request.keep_alive() || state.is_draining() {
+                                return;
+                            }
+                            continue;
+                        }
+                        Ok(FleetStream::Buffered(response)) => Some(response),
+                        Err(e) => {
+                            if matches!(
+                                e.kind(),
+                                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                            ) {
+                                ServeMetrics::bump(&state.metrics.write_timeouts);
+                            } else {
+                                ServeMetrics::bump(&state.metrics.conn_io_errors);
+                            }
+                            return;
+                        }
+                    }
+                } else {
+                    None
+                };
+                let (mut response, action) = match buffered {
+                    Some(response) => (response, Action::Continue),
+                    None => handle_traced(state, &request, &deadline, root.id()),
+                };
                 let keep = request.keep_alive() && !response.close && !state.is_draining();
                 if !keep {
                     response.close = true;
@@ -698,6 +741,74 @@ mod tests {
                 "missing span {name:?} in {trace}"
             );
         }
+        handle.shutdown();
+        runner.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn fleet_streams_chunked_over_the_wire_and_keeps_alive() {
+        let (addr, handle, runner) = boot(ServeConfig {
+            threads: 2,
+            queue_depth: 8,
+            request_timeout: Duration::from_secs(30),
+            ..ServeConfig::default()
+        });
+        let body = "{\"ras\":[1,9],\"t_standby_k\":330,\"p_active\":0.5,\"p_standby\":1,\
+             \"times_s\":[1e8],\"samples\":2000}";
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut w = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        w.write_all(
+            format!(
+                "POST /v1/fleet HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+
+        let mut status_line = String::new();
+        reader.read_line(&mut status_line).unwrap();
+        assert!(status_line.contains("200"), "{status_line}");
+        let mut chunked = false;
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            assert!(
+                !line.to_ascii_lowercase().starts_with("content-length"),
+                "streamed response must not carry a content-length"
+            );
+            if line.eq_ignore_ascii_case("transfer-encoding: chunked") {
+                chunked = true;
+            }
+        }
+        assert!(chunked);
+        let mut payload = String::new();
+        loop {
+            let mut size_line = String::new();
+            reader.read_line(&mut size_line).unwrap();
+            let size = usize::from_str_radix(size_line.trim_end(), 16).unwrap();
+            let mut buf = vec![0u8; size + 2];
+            reader.read_exact(&mut buf).unwrap();
+            if size == 0 {
+                break;
+            }
+            payload.push_str(std::str::from_utf8(&buf[..size]).unwrap());
+        }
+        assert!(payload.contains("\"chunk\":1"), "{payload}");
+        assert!(payload.contains("\"samples\":2000"), "{payload}");
+        assert!(payload.contains("\"lifetime_s\":{"), "{payload}");
+
+        // The connection survives the streamed response: keep-alive works.
+        w.write_all(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        let (status, health) = read_one_response(&mut reader);
+        assert_eq!(status, 200);
+        assert_eq!(health, "{\"status\":\"ok\"}");
         handle.shutdown();
         runner.join().unwrap().unwrap();
     }

@@ -24,7 +24,8 @@
 //! shortest-round-trip convention so the bytes match too.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -39,12 +40,13 @@ use relia_jobs::{
     SWEEP_PERIOD_S, SWEEP_TEMP_ACTIVE_K,
 };
 use relia_netlist::Circuit;
+use relia_surface::{Surface, SurfaceQuery};
 
 use crate::breaker::{
     BreakerState, Endpoint, EvalGate, HealthMachine, HealthState, OverloadConfig, OverloadControl,
 };
 use crate::coalesce::SingleFlight;
-use crate::http::{Request, Response};
+use crate::http::{write_chunk, write_chunked_end, write_chunked_head, Request, Response};
 use crate::json::{self, fmt_f64, Json};
 use crate::metrics::{render_prometheus, ServeMetrics};
 use crate::obs::ServeObs;
@@ -87,6 +89,61 @@ impl ModelEval for CachedEval {
     }
 }
 
+/// The precomputed response surface mounted under `/v1/degrade`, plus its
+/// serving ledger. In-domain lookups with a known stress pair answer by
+/// interpolation (a *hit*); everything the surface declines — an unknown
+/// pair, an out-of-domain *clamp* — is a *miss* and falls back to exact
+/// evaluation; *fallbacks* counts every request that took the exact path
+/// while the surface was mounted (misses plus explicit `?mode=exact`), so
+/// `clamps ≤ misses ≤ fallbacks` always holds.
+pub struct SurfaceTier {
+    surface: Surface,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    fallbacks: AtomicU64,
+    clamps: AtomicU64,
+}
+
+impl SurfaceTier {
+    /// Mounts a bound-checked surface with a zeroed ledger.
+    pub fn new(surface: Surface) -> Self {
+        SurfaceTier {
+            surface,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            fallbacks: AtomicU64::new(0),
+            clamps: AtomicU64::new(0),
+        }
+    }
+
+    /// The mounted surface.
+    pub fn surface(&self) -> &Surface {
+        &self.surface
+    }
+
+    /// Lookups answered by interpolation.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups the surface declined (unknown pair or out-of-domain clamp).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Degrade requests that took the exact path while the surface was
+    /// mounted: every miss, plus explicit `?mode=exact` requests.
+    pub fn fallbacks(&self) -> u64 {
+        self.fallbacks.load(Ordering::Relaxed)
+    }
+
+    /// The out-of-domain subset of misses (clamped interpolations are
+    /// never served; the documented error bound holds only in-domain).
+    pub fn clamps(&self) -> u64 {
+        self.clamps.load(Ordering::Relaxed)
+    }
+}
+
 /// Everything the handlers share: evaluator, memo cache, single-flight
 /// gate, prepared circuits, counters, and limits.
 pub struct ServeState {
@@ -102,6 +159,7 @@ pub struct ServeState {
     pub health: HealthMachine,
     /// Span ring, phase latency histograms, and the slow-request log.
     pub obs: ServeObs,
+    surface: Option<SurfaceTier>,
     eval: Arc<dyn ModelEval>,
     flight: SingleFlight<StressKey, Result<f64, String>>,
     degradation: relia_core::DelayDegradation,
@@ -146,6 +204,7 @@ impl ServeState {
             overload: OverloadControl::default(),
             health: HealthMachine::new(),
             obs: ServeObs::new(),
+            surface: None,
             eval,
             flight: SingleFlight::new(),
             degradation: relia_core::DelayDegradation::new(&params),
@@ -170,6 +229,22 @@ impl ServeState {
         self
     }
 
+    /// Mounts a precomputed response surface (builder style; construction
+    /// time): `/v1/degrade` then answers in-domain queries with a known
+    /// stress pair by multilinear interpolation and falls back to exact
+    /// evaluation for everything else (and for `?mode=exact`). The caller
+    /// is expected to have [`Surface::verify_model`]-checked the artifact
+    /// against the serving calibration.
+    pub fn with_surface(mut self, surface: Surface) -> Self {
+        self.surface = Some(SurfaceTier::new(surface));
+        self
+    }
+
+    /// The mounted surface tier, if any.
+    pub fn surface(&self) -> Option<&SurfaceTier> {
+        self.surface.as_ref()
+    }
+
     /// The per-request evaluation deadline.
     pub fn request_timeout(&self) -> Duration {
         self.request_timeout
@@ -189,6 +264,9 @@ impl ServeState {
     /// single-flight counters, and the shared memo cache.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let breaker_gauge = |e| self.overload.breaker(e).state().gauge();
+        // The surface ledger is published even when no surface is mounted
+        // (all zeros, gauge 0), so dashboards see stable series.
+        let tier = |f: fn(&SurfaceTier) -> u64| self.surface.as_ref().map_or(0, f);
         self.metrics
             .snapshot()
             .merged(MetricsSnapshot {
@@ -198,6 +276,10 @@ impl ServeState {
                     ("serve_breaker_opens", self.overload.breaker_opens()),
                     ("serve_brownout_sheds", self.overload.brownout_sheds()),
                     ("serve_health_transitions", self.health.transitions()),
+                    ("surface_hits", tier(SurfaceTier::hits)),
+                    ("surface_misses", tier(SurfaceTier::misses)),
+                    ("surface_fallbacks", tier(SurfaceTier::fallbacks)),
+                    ("surface_clamps", tier(SurfaceTier::clamps)),
                 ],
                 gauges: vec![
                     (
@@ -207,6 +289,10 @@ impl ServeState {
                     ("serve_breaker_state_sweep", breaker_gauge(Endpoint::Sweep)),
                     ("serve_breaker_state_fleet", breaker_gauge(Endpoint::Fleet)),
                     ("serve_inflight", self.overload.inflight() as f64),
+                    (
+                        "surface_active",
+                        if self.surface.is_some() { 1.0 } else { 0.0 },
+                    ),
                 ],
                 histograms: vec![],
             })
@@ -362,12 +448,91 @@ fn render_degrade(state: &ServeState, delta_vth: f64) -> Response {
     }
 }
 
+/// How `/v1/degrade` should answer: through the surface tier when one is
+/// mounted (the default), or forced down the exact evaluation path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DegradeMode {
+    Surface,
+    Exact,
+}
+
+/// Reads the optional `mode` query parameter off the request target.
+/// Unknown parameters are ignored (they always were — the router strips
+/// the query string); an unknown `mode` *value* is a 400.
+fn degrade_mode(target: &str) -> Result<DegradeMode, Response> {
+    let Some((_, query)) = target.split_once('?') else {
+        return Ok(DegradeMode::Surface);
+    };
+    let mut mode = DegradeMode::Surface;
+    for param in query.split('&') {
+        match param.split_once('=') {
+            Some(("mode", "surface")) => mode = DegradeMode::Surface,
+            Some(("mode", "exact")) => mode = DegradeMode::Exact,
+            Some(("mode", other)) => {
+                return Err(Response::error(
+                    400,
+                    &format!("unknown mode {other:?} (want surface|exact)"),
+                ))
+            }
+            _ => {}
+        }
+    }
+    Ok(mode)
+}
+
+/// Tries to answer a degrade query from the surface tier. `Some` is a hit
+/// (interpolated, in-domain, unclamped — the documented error bound
+/// applies); `None` means the surface declined and the caller must take
+/// the exact path, with the ledger already updated.
+fn surface_answer(
+    state: &ServeState,
+    tier: &SurfaceTier,
+    query: &DegradeQuery,
+    parent: u64,
+) -> Option<Response> {
+    let span = state.obs.tracer.child("surface", parent);
+    let t_lookup = Instant::now();
+    let hit = tier.surface.lookup(&SurfaceQuery {
+        t_active_k: Kelvin(SWEEP_TEMP_ACTIVE_K),
+        t_standby_k: query.t_standby_k,
+        ras_fraction: query.ras.0 / (query.ras.0 + query.ras.1),
+        lifetime_s: query.lifetime_s,
+        p_active: query.p_active,
+        p_standby: query.p_standby,
+    });
+    state.obs.surface.record(t_lookup.elapsed());
+    drop(span);
+    match hit {
+        Some(lookup) if !lookup.clamped => {
+            ServeMetrics::bump(&tier.hits);
+            Some(render_degrade(state, lookup.delta_vth_v))
+        }
+        Some(_) => {
+            // Clamped: a value exists but the error bound does not hold
+            // out of domain — serve exact instead.
+            ServeMetrics::bump(&tier.clamps);
+            ServeMetrics::bump(&tier.misses);
+            ServeMetrics::bump(&tier.fallbacks);
+            None
+        }
+        None => {
+            ServeMetrics::bump(&tier.misses);
+            ServeMetrics::bump(&tier.fallbacks);
+            None
+        }
+    }
+}
+
 fn handle_degrade(
     state: &ServeState,
     request: &Request,
     deadline: &Deadline,
     parent: u64,
 ) -> Response {
+    let mode = match degrade_mode(&request.target) {
+        Ok(m) => m,
+        Err(r) => return r,
+    };
     let query = match parse_degrade(&request.body) {
         Ok(q) => q,
         Err(r) => return r,
@@ -376,6 +541,20 @@ fn handle_degrade(
         Ok(k) => k,
         Err(e) => return Response::error(400, &e),
     };
+    // The surface tier sits before the overload gate: like a cache peek,
+    // an interpolated hit takes no evaluation slot and stays answerable
+    // under brownout. `stress_key()` already validated the operating
+    // point, so the RAS fraction below is well-defined.
+    if let Some(tier) = state.surface() {
+        match mode {
+            DegradeMode::Exact => ServeMetrics::bump(&tier.fallbacks),
+            DegradeMode::Surface => {
+                if let Some(response) = surface_answer(state, tier, &query, parent) {
+                    return response;
+                }
+            }
+        }
+    }
     if state.overload.gate(Endpoint::Degrade, Instant::now()) == EvalGate::CacheOnly {
         // Brownout: a memoized answer is still a full answer (bit-equal
         // to an evaluation); only cold work is refused.
@@ -788,6 +967,128 @@ fn fleet_response(request: &Request, deadline: &Deadline) -> Response {
         200,
         fleet_body(&eval.summarize(&spec, &total), total_chunks),
     )
+}
+
+/// What [`handle_fleet_streamed`] did with the connection.
+#[derive(Debug)]
+pub enum FleetStream {
+    /// Nothing touched the wire: the caller writes this response
+    /// conventionally (drain, brownout shed, and parse/prepare failures
+    /// all resolve before the first byte, byte-identical to the buffered
+    /// path).
+    Buffered(Response),
+    /// A chunked response was written and terminated. `status` is the
+    /// logical outcome for accounting — a mid-stream failure reports
+    /// 504/500 even though the head already said 200 — and `close` is
+    /// true when an error frame replaced the summary, so the connection
+    /// must drop.
+    Streamed {
+        /// Logical status for metrics and overload accounting.
+        status: u16,
+        /// The connection must close after this response.
+        close: bool,
+    },
+}
+
+/// `POST /v1/fleet` with chunked progress streaming. Once the spec parses
+/// and prepares, a `200` chunked head goes out, followed by one NDJSON
+/// progress frame per evaluated chunk (`{"chunk":i,"of":N}`) and, as the
+/// final frame, exactly the summary body the buffered [`handle`] path
+/// would have produced. A mid-stream deadline or merge failure emits an
+/// `{"error":…}` frame instead of the summary, terminates the chunked
+/// body, and demands a close. Counters, gates, and settle calls mirror
+/// the buffered handler.
+///
+/// # Errors
+///
+/// Transport failures writing to `w`; the wire state is then
+/// indeterminate and the caller must drop the connection.
+pub fn handle_fleet_streamed(
+    state: &ServeState,
+    request: &Request,
+    deadline: &Deadline,
+    w: &mut impl io::Write,
+) -> io::Result<FleetStream> {
+    ServeMetrics::bump(&state.metrics.requests);
+    if state.is_draining() {
+        let mut r = Response::error(503, "server is draining");
+        r.retry_after = Some(1);
+        r.close = true;
+        return Ok(FleetStream::Buffered(r));
+    }
+    if state.overload.gate(Endpoint::Fleet, Instant::now()) == EvalGate::CacheOnly {
+        return Ok(FleetStream::Buffered(brownout_shed(
+            state,
+            "inline fleet study",
+        )));
+    }
+    let settle = |status: u16| {
+        state
+            .overload
+            .settle(Endpoint::Fleet, status, Instant::now());
+    };
+    let spec = match parse_fleet(&request.body) {
+        Ok(s) => s,
+        Err(r) => {
+            settle(r.status);
+            return Ok(FleetStream::Buffered(r));
+        }
+    };
+    let eval = match FleetEvaluator::prepare(&spec) {
+        Ok(e) => e,
+        Err(e) => {
+            let r = match e {
+                FleetError::Invalid { .. } | FleetError::Model(_) => {
+                    Response::error(400, &e.to_string())
+                }
+                other => Response::error(500, &other.to_string()),
+            };
+            settle(r.status);
+            return Ok(FleetStream::Buffered(r));
+        }
+    };
+    // From here on, bytes hit the wire.
+    write_chunked_head(w, 200, "application/json", false)?;
+    let total_chunks = spec.samples.div_ceil(DEFAULT_CHUNK);
+    let mut total = ChunkAccum::new(spec.times.len());
+    let mut failure: Option<(u16, String)> = None;
+    for index in 0..total_chunks {
+        if deadline.fire_if_due(Instant::now()) {
+            failure = Some((504, "request deadline exceeded".to_owned()));
+            break;
+        }
+        let start = index * DEFAULT_CHUNK;
+        let len = DEFAULT_CHUNK.min(spec.samples - start);
+        let Some(acc) = eval.run_chunk(spec.seed, index, len, deadline.token()) else {
+            failure = Some((504, "request deadline exceeded".to_owned()));
+            break;
+        };
+        if let Err(e) = total.merge(&acc) {
+            failure = Some((500, e.to_string()));
+            break;
+        }
+        write_chunk(
+            w,
+            format!("{{\"chunk\":{},\"of\":{total_chunks}}}\n", index + 1).as_bytes(),
+        )?;
+    }
+    let (status, close) = match failure {
+        Some((status, reason)) => {
+            write_chunk(
+                w,
+                format!("{{\"error\":\"{}\"}}\n", json::escape(&reason)).as_bytes(),
+            )?;
+            (status, true)
+        }
+        None => {
+            let body = fleet_body(&eval.summarize(&spec, &total), total_chunks);
+            write_chunk(w, format!("{body}\n").as_bytes())?;
+            (200, false)
+        }
+    };
+    write_chunked_end(w)?;
+    settle(status);
+    Ok(FleetStream::Streamed { status, close })
 }
 
 fn handle_metrics(state: &ServeState) -> Response {
@@ -1262,6 +1563,248 @@ mod tests {
             by_name("evaluate").get("parent").and_then(Json::as_f64),
             by_name("coalesce").get("id").and_then(Json::as_f64)
         );
+    }
+
+    /// One 9×9×13 surface shared by the tier tests — building it is the
+    /// expensive part (a few thousand model evaluations).
+    fn test_surface() -> Surface {
+        static SURFACE: std::sync::OnceLock<Surface> = std::sync::OnceLock::new();
+        SURFACE
+            .get_or_init(|| {
+                let model = NbtiModel::ptm90().unwrap();
+                let spec = relia_surface::BuildSpec {
+                    t_active_k: vec![Kelvin(SWEEP_TEMP_ACTIVE_K)],
+                    t_standby_k: relia_surface::kelvin_spaced(320.0, 400.0, 9),
+                    ras_fraction: relia_surface::lin_spaced(0.1, 0.9, 9),
+                    lifetime_s: relia_surface::log_spaced(1e6, 1e9, 13),
+                    pairs: vec![(0.5, 1.0)],
+                    period_s: SWEEP_PERIOD_S,
+                    workers: 2,
+                };
+                Surface::from_artifact(relia_surface::build(&model, &spec).unwrap()).unwrap()
+            })
+            .clone()
+    }
+
+    fn body_delta_vth(response: &Response) -> f64 {
+        json::parse(&response.body)
+            .unwrap()
+            .get("delta_vth_v")
+            .and_then(Json::as_f64)
+            .unwrap()
+    }
+
+    #[test]
+    fn surface_tier_serves_hits_within_the_documented_bound() {
+        let s = state().with_surface(test_surface());
+        let d = deadline(Duration::from_secs(5));
+        let r = handle(&s, &post("/v1/degrade", &QUERY.to_body()), &d).0;
+        assert_eq!(r.status, 200, "{:?}", String::from_utf8_lossy(&r.body));
+        let tier = s.surface().unwrap();
+        assert_eq!(
+            (tier.hits(), tier.misses(), tier.fallbacks(), tier.clamps()),
+            (1, 0, 0, 0)
+        );
+        let exact = body_delta_vth(&handle(&state(), &post("/v1/degrade", &QUERY.to_body()), &d).0);
+        let err = relia_surface::rel_error(body_delta_vth(&r), exact);
+        assert!(
+            err <= relia_surface::DOCUMENTED_ERROR_BOUND,
+            "rel error {err:e}"
+        );
+        // The ledger and gauge reach /metrics; the lookup fed its histogram.
+        let snap = s.snapshot();
+        assert_eq!(snap.counter("surface_hits"), Some(1));
+        assert_eq!(snap.counter("surface_fallbacks"), Some(0));
+        assert_eq!(snap.gauge("surface_active"), Some(1.0));
+        assert_eq!(
+            snap.histogram("serve_surface_seconds").map(|h| h.count),
+            Some(1)
+        );
+        let text = String::from_utf8(handle(&s, &get("/metrics"), &d).0.body).unwrap();
+        assert!(text.contains("relia_surface_hits 1\n"));
+        assert!(text.contains("relia_surface_active 1\n"));
+        // Without a surface the series still exist, at zero.
+        let plain = state().snapshot();
+        assert_eq!(plain.counter("surface_hits"), Some(0));
+        assert_eq!(plain.gauge("surface_active"), Some(0.0));
+    }
+
+    #[test]
+    fn surface_misses_and_clamps_fall_back_to_exact_byte_parity() {
+        let s = state().with_surface(test_surface());
+        let plain = state();
+        let d = deadline(Duration::from_secs(5));
+        // Standby temperature below the grid domain → clamp → exact path.
+        let mut q = QUERY;
+        q.t_standby_k = Kelvin(310.0);
+        let r = handle(&s, &post("/v1/degrade", &q.to_body()), &d).0;
+        let expect = handle(&plain, &post("/v1/degrade", &q.to_body()), &d).0;
+        assert_eq!(r.status, 200);
+        assert_eq!(r.body, expect.body, "fallback is byte-identical to exact");
+        let tier = s.surface().unwrap();
+        assert_eq!(
+            (tier.hits(), tier.misses(), tier.fallbacks(), tier.clamps()),
+            (0, 1, 1, 1)
+        );
+        // A stress pair the artifact has no block for → miss, no clamp.
+        let mut q2 = QUERY;
+        q2.p_active = 0.7;
+        assert_eq!(
+            handle(&s, &post("/v1/degrade", &q2.to_body()), &d).0.status,
+            200
+        );
+        assert_eq!(
+            (tier.hits(), tier.misses(), tier.fallbacks(), tier.clamps()),
+            (0, 2, 2, 1)
+        );
+    }
+
+    #[test]
+    fn mode_exact_escape_hatch_keeps_byte_parity() {
+        let s = state().with_surface(test_surface());
+        let plain = state();
+        let d = deadline(Duration::from_secs(5));
+        let r = handle(&s, &post("/v1/degrade?mode=exact", &QUERY.to_body()), &d).0;
+        let expect = handle(&plain, &post("/v1/degrade", &QUERY.to_body()), &d).0;
+        assert_eq!(r.status, 200);
+        assert_eq!(r.body, expect.body);
+        let tier = s.surface().unwrap();
+        assert_eq!((tier.hits(), tier.fallbacks()), (0, 1));
+        // mode=surface is the default spelled out; unknown values are 400.
+        let r = handle(&s, &post("/v1/degrade?mode=surface", &QUERY.to_body()), &d).0;
+        assert_eq!(r.status, 200);
+        assert_eq!(tier.hits(), 1);
+        let r = handle(&s, &post("/v1/degrade?mode=banana", &QUERY.to_body()), &d).0;
+        assert_eq!(r.status, 400);
+        // Without a surface mounted, ?mode=exact is a harmless no-op.
+        let r = handle(
+            &plain,
+            &post("/v1/degrade?mode=exact", &QUERY.to_body()),
+            &d,
+        )
+        .0;
+        assert_eq!(r.status, 200);
+    }
+
+    #[test]
+    fn surface_hit_traces_a_surface_span() {
+        let clock = Arc::new(relia_obs::TestClock::new());
+        let s = state()
+            .with_obs(
+                crate::obs::ServeObs::new().with_tracer(relia_obs::Tracer::with_clock(16, clock)),
+            )
+            .with_surface(test_surface());
+        let d = deadline(Duration::from_secs(5));
+        let root = s.obs.tracer.span("request");
+        let r = handle_traced(&s, &post("/v1/degrade", &QUERY.to_body()), &d, root.id());
+        assert_eq!(r.0.status, 200);
+        drop(root);
+        let parsed = json::parse(s.obs.trace_json().as_bytes()).unwrap();
+        let names: Vec<&str> = parsed
+            .get("spans")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .iter()
+            .map(|sp| sp.get("name").and_then(Json::as_str).unwrap())
+            .collect();
+        assert_eq!(names, ["request", "surface"]);
+    }
+
+    /// Decodes a chunked wire capture into (head, reassembled body).
+    fn decode_chunked(raw: &[u8]) -> (String, String) {
+        let text = std::str::from_utf8(raw).unwrap();
+        let split = text.find("\r\n\r\n").unwrap();
+        let head = &text[..split];
+        let mut rest = &text[split + 4..];
+        let mut body = String::new();
+        loop {
+            let line_end = rest.find("\r\n").unwrap();
+            let size = usize::from_str_radix(&rest[..line_end], 16).unwrap();
+            rest = &rest[line_end + 2..];
+            if size == 0 {
+                assert_eq!(rest, "\r\n", "terminator, no trailers");
+                break;
+            }
+            body.push_str(&rest[..size]);
+            assert_eq!(&rest[size..size + 2], "\r\n");
+            rest = &rest[size + 2..];
+        }
+        (head.to_owned(), body)
+    }
+
+    #[test]
+    fn streamed_fleet_reports_progress_then_the_buffered_summary() {
+        let s = state();
+        let d = deadline(Duration::from_secs(30));
+        let mut wire = Vec::new();
+        let out = handle_fleet_streamed(&s, &post("/v1/fleet", FLEET_BODY), &d, &mut wire).unwrap();
+        assert!(
+            matches!(
+                out,
+                FleetStream::Streamed {
+                    status: 200,
+                    close: false
+                }
+            ),
+            "{out:?}"
+        );
+        let (head, body) = decode_chunked(&wire);
+        assert!(head.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(head.contains("transfer-encoding: chunked"));
+        let chunks = 2000usize.div_ceil(DEFAULT_CHUNK);
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines.len(), chunks + 1);
+        assert_eq!(lines[0], format!("{{\"chunk\":1,\"of\":{chunks}}}"));
+        // The final frame is exactly the buffered summary body.
+        let mut spec = FleetSpec::paper_defaults().unwrap();
+        spec.times = vec![Seconds(3.156e7), Seconds(1e8)];
+        spec.samples = 2000;
+        let ground = relia_fleet::run_fleet(&spec, &relia_fleet::FleetOptions::default()).unwrap();
+        assert_eq!(*lines.last().unwrap(), fleet_body(&ground.summary, chunks));
+        assert_eq!(s.metrics.snapshot().counter("serve_requests"), Some(1));
+    }
+
+    #[test]
+    fn streamed_fleet_buffers_pre_stream_failures() {
+        let s = state();
+        let d = deadline(Duration::from_secs(5));
+        let mut wire = Vec::new();
+        let out = handle_fleet_streamed(&s, &post("/v1/fleet", "nope"), &d, &mut wire).unwrap();
+        match out {
+            FleetStream::Buffered(r) => assert_eq!(r.status, 400),
+            other => panic!("expected buffered 400, got {other:?}"),
+        }
+        assert!(wire.is_empty(), "parse errors never touch the wire");
+        s.begin_drain();
+        let out = handle_fleet_streamed(&s, &post("/v1/fleet", FLEET_BODY), &d, &mut wire).unwrap();
+        match out {
+            FleetStream::Buffered(r) => {
+                assert_eq!(r.status, 503);
+                assert!(r.close);
+            }
+            other => panic!("expected buffered 503, got {other:?}"),
+        }
+        assert!(wire.is_empty());
+    }
+
+    #[test]
+    fn streamed_fleet_mid_stream_deadline_emits_an_error_frame() {
+        let s = state();
+        let d = deadline(Duration::ZERO);
+        let mut wire = Vec::new();
+        let out = handle_fleet_streamed(&s, &post("/v1/fleet", FLEET_BODY), &d, &mut wire).unwrap();
+        assert!(
+            matches!(
+                out,
+                FleetStream::Streamed {
+                    status: 504,
+                    close: true
+                }
+            ),
+            "{out:?}"
+        );
+        let (_, body) = decode_chunked(&wire);
+        assert_eq!(body, "{\"error\":\"request deadline exceeded\"}\n");
     }
 
     #[test]

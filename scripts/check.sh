@@ -123,6 +123,31 @@ if [ "$fleet_first" != "$fleet_second" ]; then
 fi
 rm -f "$fleet_ckpt"
 
+echo "==> relia surface (build, probe gate, surface-tier loadgen)"
+# Build a small artifact through the release CLI (the builder refuses to
+# write one whose measured sup-error exceeds the documented bound), gate
+# an in-domain probe against exact evaluation, confirm the clamp report,
+# then run the load generator against a self-hosted server with the
+# surface mounted: interpolated bodies are checked within the bound and
+# the hit/miss/fallback/clamp ledger must balance.
+surface_rls="$(mktemp -u).rls"
+target/release/relia surface build --out "$surface_rls" \
+    --tstandby 320:400:9 --ras 0.1:0.9:9 --times 1e6:1e9:13
+# (probe exits 1 itself if the interpolated answer misses the bound)
+probe_in="$(target/release/relia surface probe "$surface_rls" --tstandby 335)"
+printf '%s\n' "$probe_in" | grep -q "clamped: false" || {
+    echo "surface: in-domain probe unexpectedly clamped" >&2
+    exit 1
+}
+probe_out="$(target/release/relia surface probe "$surface_rls" --tstandby 310)"
+printf '%s\n' "$probe_out" | grep -q "clamped: true" || {
+    echo "surface: out-of-domain probe did not report the clamp" >&2
+    exit 1
+}
+cargo run -q --offline --release -p relia-serve --example loadgen -- \
+    --requests 1000 --threads 2 --surface "$surface_rls"
+rm -f "$surface_rls"
+
 echo "==> bench_fleet (hoisted-batch speedup gate vs BENCH_fleet.json)"
 cargo run -q --offline --release -p relia-bench --bin bench_fleet -- --check
 
@@ -134,5 +159,8 @@ cargo run -q --offline --release -p relia-bench --bin bench_lint -- --check
 
 echo "==> bench_obs (span/histogram record-cost gate vs BENCH_obs.json)"
 cargo run -q --offline --release -p relia-bench --bin bench_obs -- --check
+
+echo "==> bench_surface (lookup speedup gate vs BENCH_surface.json)"
+cargo run -q --offline --release -p relia-bench --bin bench_surface -- --check
 
 echo "==> all checks passed"

@@ -11,8 +11,13 @@
 //! relia serve  [--addr HOST:PORT] [--threads N] [--queue-depth N]
 //!              [--request-timeout SECS] [--breaker-threshold N]
 //!              [--breaker-cooldown SECS] [--brownout-high-water N]
+//!              [--surface PATH]
 //! relia fleet  [--samples N] [--seed N] [--times S,...] [--guardband G]
 //!              [--workers N] [--chunk N] [--checkpoint PATH]
+//! relia surface build [--out PATH] [--tstandby LO:HI:N] [--ras LO:HI:N]
+//!              [--times LO:HI:N] [--pairs PA:PS,...] [--workers N]
+//! relia surface probe <artifact> [--tstandby K] [--ras A:S] [--time S]
+//!              [--pactive P] [--pstandby P]
 //! relia mlv    <netlist> [--ras A:S] [--tstandby K]
 //! relia dot    <netlist>
 //! relia list                     # built-in benchmarks
@@ -89,10 +94,15 @@ const USAGE: &str = "usage:
   relia serve   [--addr HOST:PORT] [--threads N] [--queue-depth N]
                 [--request-timeout SECS] [--breaker-threshold N]
                 [--breaker-cooldown SECS] [--brownout-high-water N]
-                                                 HTTP degradation-query service
+                [--surface PATH]                 HTTP degradation-query service
   relia fleet   [--samples N] [--seed N] [--times S,...]
                 [--guardband G] [--workers N] [--chunk N]
                 [--checkpoint PATH]              fleet-scale Monte Carlo aging
+  relia surface build [--out PATH] [--tstandby LO:HI:N] [--ras LO:HI:N]
+                [--times LO:HI:N] [--pairs PA:PS,...] [--workers N]
+                                                 precompute a response surface
+  relia surface probe <artifact> [--tstandby K] [--ras A:S] [--time S]
+                [--pactive P] [--pstandby P]     interpolated lookup from an artifact
   relia lint    [--root PATH] [--format text|json|sarif]
                 [--jobs N] [--incremental] [--write-cache]
                                                  workspace static analysis
@@ -126,6 +136,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "sweep" => run_sweep_command(&args[1..]),
         "serve" => run_serve_command(&args[1..]),
         "fleet" => run_fleet_command(&args[1..]),
+        "surface" => run_surface_command(&args[1..]),
         "lint" => run_lint_command(&args[1..]),
         "list" => {
             for name in iscas::names() {
@@ -556,6 +567,16 @@ flags:
                           (default 1024; 0 disables span recording)
   --slow-ms MS            log requests slower than MS milliseconds to
                           stderr (default 0 = off)
+  --surface PATH          mount a precomputed response surface (built by
+                          `relia surface build`): in-domain /v1/degrade
+                          queries answer by multilinear interpolation in
+                          microseconds, out-of-domain or unknown-pair
+                          queries fall back to exact evaluation, and
+                          `?mode=exact` forces the exact path per
+                          request. Artifacts whose measured sup-error
+                          exceeds the documented bound or whose model
+                          fingerprint mismatches the serving calibration
+                          are refused at startup (exit 1)
 
 Identical concurrent queries are coalesced into one model evaluation, and
 all queries share one process-wide dVth memo cache. Health transitions
@@ -568,6 +589,7 @@ fn run_serve_command(args: &[String]) -> Result<(), CliError> {
     let mut overload = relia::serve::OverloadConfig::default();
     let mut trace_capacity = relia::serve::DEFAULT_TRACE_CAPACITY;
     let mut slow_ms: u64 = 0;
+    let mut surface_path: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         if matches!(arg.as_str(), "help" | "-h" | "--help") {
@@ -644,18 +666,34 @@ fn run_serve_command(args: &[String]) -> Result<(), CliError> {
                     .parse()
                     .map_err(|_| CliError::Usage(format!("bad slow threshold {value}")))?;
             }
+            "--surface" => surface_path = Some(PathBuf::from(value)),
             other => return Err(CliError::Usage(format!("unknown serve flag {other}"))),
         }
     }
     let obs = relia::serve::ServeObs::new()
         .with_tracer(relia::obs::Tracer::new(trace_capacity))
         .with_slow_log(slow_ms, Box::new(|line| eprintln!("relia-serve {line}")));
-    let state = Arc::new(
-        relia::serve::ServeState::new(config.request_timeout)
-            .map_err(CliError::Analysis)?
-            .with_overload(overload)
-            .with_obs(obs),
-    );
+    let mut state = relia::serve::ServeState::new(config.request_timeout)
+        .map_err(CliError::Analysis)?
+        .with_overload(overload)
+        .with_obs(obs);
+    if let Some(path) = &surface_path {
+        let surface = relia::surface::Surface::load(path).map_err(|e| {
+            CliError::Analysis(format!("cannot mount surface {}: {e}", path.display()))
+        })?;
+        let model = relia::core::NbtiModel::ptm90().map_err(stringify)?;
+        surface
+            .verify_model(&model)
+            .map_err(|e| CliError::Analysis(format!("surface {}: {e}", path.display())))?;
+        eprintln!(
+            "relia-serve surface: mounted {} (sup-error {:e}, bound {:e})",
+            path.display(),
+            surface.sup_error(),
+            relia::surface::DOCUMENTED_ERROR_BOUND
+        );
+        state = state.with_surface(surface);
+    }
+    let state = Arc::new(state);
     // Operators watch health from stderr; stdout stays machine-parseable.
     state.health.set_logger(Box::new(|t| {
         eprintln!(
@@ -868,6 +906,256 @@ fn run_fleet_command(args: &[String]) -> Result<(), CliError> {
                 tracer.dropped()
             );
         }
+    }
+    Ok(())
+}
+
+const SURFACE_USAGE: &str = "usage: relia surface <build | probe> [flags]
+
+Precomputed degradation response surface: an offline builder fills a
+dense (T_active x T_standby x RAS x lifetime) grid per stress pair with
+exact model evaluations, measures the multilinear-interpolation
+sup-error at every cell midpoint, and seals both into a versioned,
+CRC-32-protected artifact that `relia serve --surface` mounts as a
+microsecond-latency hot tier.
+
+relia surface build [flags]
+  --out PATH          artifact path (default surface.rls; written via
+                      tmp + rename, so a crash never leaves a torn file)
+  --tstandby LO:HI:N  standby-temperature axis, N linear points in
+                      kelvin (default 310:410:21)
+  --ras LO:HI:N       RAS active-fraction axis, N linear points in
+                      (0, 1) (default 0.05:0.95:37)
+  --times LO:HI:N     lifetime axis, N log-spaced points in seconds
+                      (default 1e6:1e10:41)
+  --pairs PA:PS,...   stress-probability pairs, one value block each
+                      (default 0.5:1)
+  --workers N         builder threads (default: all cores)
+
+The measured sup-error is printed and embedded in the header; a build
+whose error exceeds the documented bound is refused (exit 1) — densify
+the grid instead of shipping an artifact the server would reject.
+
+relia surface probe <artifact> [flags]
+  --tactive K         active temperature (default: the engine baseline)
+  --tstandby K        standby temperature in kelvin (default 330)
+  --ras A:S           active:standby duty ratio (default 1:9)
+  --time S            lifetime in seconds (default 1e8)
+  --pactive P         active-mode stress probability (default 0.5)
+  --pstandby P        standby-mode stress probability (default 1)
+
+Probe answers one interpolated lookup, reports whether the query was
+clamped to the grid domain, and cross-checks the in-domain answer
+against exact evaluation (exit 1 if the relative error exceeds the
+documented bound).";
+
+/// `relia surface` — builds and probes response-surface artifacts.
+fn run_surface_command(args: &[String]) -> Result<(), CliError> {
+    match args.first().map(String::as_str) {
+        None | Some("help" | "-h" | "--help") => {
+            println!("{SURFACE_USAGE}");
+            Ok(())
+        }
+        Some("build") => run_surface_build(&args[1..]),
+        Some("probe") => run_surface_probe(&args[1..]),
+        Some(other) => Err(CliError::Usage(format!(
+            "unknown surface subcommand {other} (expected build or probe)"
+        ))),
+    }
+}
+
+/// Parses an axis flag value of the form `LO:HI:N`.
+fn parse_axis(value: &str, flag: &str, log: bool) -> Result<Vec<f64>, CliError> {
+    let bad = || CliError::Usage(format!("{flag} expects LO:HI:N, got {value}"));
+    let parts: Vec<&str> = value.split(':').collect();
+    let [lo, hi, n] = parts.as_slice() else {
+        return Err(bad());
+    };
+    let lo: f64 = lo.parse().map_err(|_| bad())?;
+    let hi: f64 = hi.parse().map_err(|_| bad())?;
+    let n: usize = n.parse().map_err(|_| bad())?;
+    if n == 0 {
+        return Err(bad());
+    }
+    Ok(if log {
+        relia::surface::log_spaced(lo, hi, n)
+    } else {
+        relia::surface::lin_spaced(lo, hi, n)
+    })
+}
+
+fn run_surface_build(args: &[String]) -> Result<(), CliError> {
+    let mut spec = relia::surface::BuildSpec::paper_defaults();
+    let mut out = PathBuf::from("surface.rls");
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if matches!(arg.as_str(), "help" | "-h" | "--help") {
+            println!("{SURFACE_USAGE}");
+            return Ok(());
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| CliError::Usage(format!("flag {arg} needs a value")))?;
+        match arg.as_str() {
+            "--out" => out = PathBuf::from(value),
+            "--tstandby" => {
+                spec.t_standby_k = parse_axis(value, "--tstandby", false)?
+                    .into_iter()
+                    .map(Kelvin)
+                    .collect()
+            }
+            "--ras" => spec.ras_fraction = parse_axis(value, "--ras", false)?,
+            "--times" => spec.lifetime_s = parse_axis(value, "--times", true)?,
+            "--pairs" => {
+                spec.pairs.clear();
+                for part in value.split(',') {
+                    let (pa, ps) = part.split_once(':').ok_or_else(|| {
+                        CliError::Usage(format!("--pairs expects PA:PS,..., got {part}"))
+                    })?;
+                    let bad = |p: &str| CliError::Usage(format!("bad probability {p}"));
+                    spec.pairs.push((
+                        pa.parse().map_err(|_| bad(pa))?,
+                        ps.parse().map_err(|_| bad(ps))?,
+                    ));
+                }
+            }
+            "--workers" => {
+                spec.workers = value
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("bad worker count {value}")))?;
+                if spec.workers == 0 {
+                    return Err(CliError::Usage(
+                        "--workers must be at least 1 (omit the flag to use all cores)".into(),
+                    ));
+                }
+            }
+            other => {
+                return Err(CliError::Usage(format!(
+                    "unknown surface build flag {other}"
+                )))
+            }
+        }
+    }
+    let model = relia::core::NbtiModel::ptm90().map_err(stringify)?;
+    let artifact = relia::surface::build(&model, &spec).map_err(stringify)?;
+    let bound = relia::surface::DOCUMENTED_ERROR_BOUND;
+    if artifact.sup_error > bound {
+        return Err(CliError::Analysis(format!(
+            "measured sup-error {:e} exceeds the documented bound {bound:e}; \
+             refusing to write {} — densify the grid",
+            artifact.sup_error,
+            out.display()
+        )));
+    }
+    artifact.write(&out).map_err(stringify)?;
+    let g = &artifact.grid;
+    println!("surface: wrote {}", out.display());
+    println!(
+        "  grid: {} x {} x {} x {} nodes, {} stress pair(s), {} values",
+        g.t_active_k().len(),
+        g.t_standby_k().len(),
+        g.ras_fraction().len(),
+        g.lifetime_s().len(),
+        artifact.pairs.len(),
+        artifact.pairs.len() * g.len()
+    );
+    println!(
+        "  sup-error: {:e} over {} midpoint samples (bound {bound:e})",
+        artifact.sup_error, artifact.error_samples
+    );
+    Ok(())
+}
+
+fn run_surface_probe(args: &[String]) -> Result<(), CliError> {
+    if matches!(
+        args.first().map(String::as_str),
+        None | Some("help" | "-h" | "--help")
+    ) {
+        println!("{SURFACE_USAGE}");
+        return match args.first() {
+            None => Err(CliError::Usage(
+                "surface probe needs an artifact path".into(),
+            )),
+            Some(_) => Ok(()),
+        };
+    }
+    let path = PathBuf::from(&args[0]);
+    let mut query = relia::surface::SurfaceQuery {
+        t_active_k: Kelvin(jobs::SWEEP_TEMP_ACTIVE_K),
+        t_standby_k: Kelvin(330.0),
+        ras_fraction: 0.1,
+        lifetime_s: 1e8,
+        p_active: 0.5,
+        p_standby: 1.0,
+    };
+    let mut it = args[1..].iter();
+    while let Some(arg) = it.next() {
+        let value = it
+            .next()
+            .ok_or_else(|| CliError::Usage(format!("flag {arg} needs a value")))?;
+        let bad = |what: &str| CliError::Usage(format!("bad {what} {value}"));
+        match arg.as_str() {
+            "--tactive" => query.t_active_k = Kelvin(value.parse().map_err(|_| bad("kelvin"))?),
+            "--tstandby" => query.t_standby_k = Kelvin(value.parse().map_err(|_| bad("kelvin"))?),
+            "--ras" => {
+                let (a, s) = value
+                    .split_once(':')
+                    .ok_or_else(|| CliError::Usage(format!("--ras expects A:S, got {value}")))?;
+                let a: f64 = a.parse().map_err(|_| bad("ratio"))?;
+                let s: f64 = s.parse().map_err(|_| bad("ratio"))?;
+                if !(a >= 0.0 && s >= 0.0 && a + s > 0.0) {
+                    return Err(bad("ratio"));
+                }
+                query.ras_fraction = a / (a + s);
+            }
+            "--time" => query.lifetime_s = value.parse().map_err(|_| bad("time"))?,
+            "--pactive" => query.p_active = value.parse().map_err(|_| bad("probability"))?,
+            "--pstandby" => query.p_standby = value.parse().map_err(|_| bad("probability"))?,
+            other => {
+                return Err(CliError::Usage(format!(
+                    "unknown surface probe flag {other}"
+                )))
+            }
+        }
+    }
+    let model = relia::core::NbtiModel::ptm90().map_err(stringify)?;
+    let surface = relia::surface::Surface::load(&path)
+        .map_err(|e| CliError::Analysis(format!("cannot load {}: {e}", path.display())))?;
+    surface
+        .verify_model(&model)
+        .map_err(|e| CliError::Analysis(format!("{}: {e}", path.display())))?;
+    let g = &surface.artifact().grid;
+    println!(
+        "surface: {} — grid {} x {} x {} x {}, {} pair(s), sup-error {:e}",
+        path.display(),
+        g.t_active_k().len(),
+        g.t_standby_k().len(),
+        g.ras_fraction().len(),
+        g.lifetime_s().len(),
+        surface.artifact().pairs.len(),
+        surface.sup_error()
+    );
+    let lookup = surface.lookup(&query).ok_or_else(|| {
+        CliError::Analysis(format!(
+            "stress pair ({}, {}) is not in the artifact",
+            query.p_active, query.p_standby
+        ))
+    })?;
+    println!("delta_vth_v: {:e}", lookup.delta_vth_v);
+    println!("clamped: {}", lookup.clamped);
+    if lookup.clamped {
+        // Out-of-domain answers carry no accuracy contract; nothing to gate.
+        return Ok(());
+    }
+    let exact = relia::surface::evaluate_exact(&model, surface.artifact().period_s, &query)
+        .map_err(stringify)?;
+    let err = relia::surface::rel_error(lookup.delta_vth_v, exact);
+    let bound = relia::surface::DOCUMENTED_ERROR_BOUND;
+    println!("rel-error: {err:e} vs exact {exact:e} (bound {bound:e})");
+    if err > bound {
+        return Err(CliError::Analysis(format!(
+            "interpolated answer misses exact evaluation by {err:e} (> bound {bound:e})"
+        )));
     }
     Ok(())
 }

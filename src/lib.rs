@@ -40,6 +40,9 @@
 //! * [`fleet`] — the vectorized Monte Carlo engine for fleet-scale
 //!   statistical aging (hoisted batch evaluation, seeded correlated
 //!   sampling, streaming percentiles — `relia fleet`);
+//! * [`surface`] — the precomputed degradation response surface: parallel
+//!   grid builder, CRC-sealed artifact, microsecond interpolated lookups
+//!   (`relia surface`);
 //! * [`serve`] — the std-only HTTP degradation-query service (request
 //!   coalescing, shared memo cache, backpressure — `relia serve`);
 //! * [`lint`] — the offline static analyzer for unit and reliability
@@ -59,4 +62,5 @@ pub use relia_serve as serve;
 pub use relia_sim as sim;
 pub use relia_sleep as sleep;
 pub use relia_sta as sta;
+pub use relia_surface as surface;
 pub use relia_thermal as thermal;

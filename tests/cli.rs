@@ -149,6 +149,8 @@ fn help_prints_usage_to_stdout_and_succeeds() {
     assert!(stdout.contains("usage"));
     assert!(stdout.contains("sweep"));
     assert!(stdout.contains("fleet"));
+    assert!(stdout.contains("relia surface build"));
+    assert!(stdout.contains("relia surface probe"));
     assert!(stderr.is_empty(), "{stderr}");
 }
 
@@ -467,6 +469,152 @@ fn serve_boots_answers_and_drains_to_exit_0() {
 
     let status = child.wait().expect("server exits");
     assert_eq!(status.code(), Some(0), "graceful drain exits 0");
+}
+
+#[test]
+fn surface_help_and_exit_codes_are_pinned() {
+    // `relia surface --help` (and the bare subcommand) → 0 with the
+    // build/probe tables on stdout.
+    for args in [&["surface", "--help"][..], &["surface", "help"]] {
+        let (code, stdout, stderr) = relia_coded(args);
+        assert_eq!(code, Some(0), "{args:?}: {stderr}");
+        for needle in [
+            "usage: relia surface",
+            "build",
+            "probe",
+            "--tstandby",
+            "--pairs",
+            "sup-error",
+        ] {
+            assert!(stdout.contains(needle), "missing {needle:?} in {stdout}");
+        }
+    }
+    // Invocation mistakes → 2.
+    let (code, _, stderr) = relia_coded(&["surface", "frobnicate"]);
+    assert_eq!(code, Some(2), "{stderr}");
+    assert!(stderr.contains("unknown surface subcommand"), "{stderr}");
+    let (code, _, stderr) = relia_coded(&["surface", "build", "--tstandby", "nope"]);
+    assert_eq!(code, Some(2), "{stderr}");
+    assert!(stderr.contains("LO:HI:N"), "{stderr}");
+    let (code, _, stderr) = relia_coded(&["surface", "build", "--ras", "0.1:0.9"]);
+    assert_eq!(code, Some(2), "{stderr}");
+    let (code, _, stderr) = relia_coded(&["surface", "build", "--workers", "0"]);
+    assert_eq!(code, Some(2), "{stderr}");
+    let (code, _, stderr) = relia_coded(&["surface", "build", "--pairs", "0.5"]);
+    assert_eq!(code, Some(2), "{stderr}");
+    let (code, _, stderr) = relia_coded(&["surface", "probe"]);
+    assert_eq!(code, Some(2), "{stderr}");
+    let (code, _, stderr) = relia_coded(&["surface", "probe", "x.rls", "--ras", "oops"]);
+    assert_eq!(code, Some(2), "{stderr}");
+    // A missing or unreadable artifact is an analysis failure → 1, for
+    // probe and for mounting at serve startup alike.
+    let (code, _, stderr) = relia_coded(&["surface", "probe", "/no/such/artifact.rls"]);
+    assert_eq!(code, Some(1), "{stderr}");
+    let (code, _, stderr) = relia_coded(&["serve", "--surface", "/no/such/artifact.rls"]);
+    assert_eq!(code, Some(1), "{stderr}");
+    assert!(stderr.contains("cannot mount surface"), "{stderr}");
+}
+
+#[test]
+fn surface_build_probe_and_serve_round_trip() {
+    use std::io::{BufRead, BufReader, Read, Write};
+
+    let dir = std::env::temp_dir().join("relia_cli_test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let artifact = dir.join(format!("surface-{}.rls", std::process::id()));
+    let path = artifact.to_str().expect("utf-8 path");
+
+    // Build a small but bound-holding grid.
+    let (code, stdout, stderr) = relia_coded(&[
+        "surface",
+        "build",
+        "--out",
+        path,
+        "--tstandby",
+        "320:400:9",
+        "--ras",
+        "0.1:0.9:9",
+        "--times",
+        "1e6:1e9:13",
+        "--workers",
+        "2",
+    ]);
+    assert_eq!(code, Some(0), "{stderr}");
+    assert!(stdout.contains("surface: wrote"), "{stdout}");
+    assert!(stdout.contains("grid: 1 x 9 x 9 x 13"), "{stdout}");
+    assert!(stdout.contains("sup-error:"), "{stdout}");
+
+    // In-domain probe: interpolated answer, unclamped, error gated.
+    let (code, stdout, stderr) = relia_coded(&["surface", "probe", path, "--tstandby", "335"]);
+    assert_eq!(code, Some(0), "{stderr}");
+    assert!(stdout.contains("delta_vth_v:"), "{stdout}");
+    assert!(stdout.contains("clamped: false"), "{stdout}");
+    assert!(stdout.contains("rel-error:"), "{stdout}");
+
+    // Out-of-domain probe: clamped, reported, no error gate.
+    let (code, stdout, stderr) = relia_coded(&["surface", "probe", path, "--tstandby", "310"]);
+    assert_eq!(code, Some(0), "{stderr}");
+    assert!(stdout.contains("clamped: true"), "{stdout}");
+    assert!(!stdout.contains("rel-error:"), "{stdout}");
+
+    // A stress pair the artifact does not carry → 1.
+    let (code, _, stderr) = relia_coded(&["surface", "probe", path, "--pactive", "0.7"]);
+    assert_eq!(code, Some(1), "{stderr}");
+    assert!(stderr.contains("not in the artifact"), "{stderr}");
+
+    // Mount the artifact and serve: surface answers count as hits, the
+    // gauge reports the tier as active, and drain still exits 0.
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_relia"))
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--threads",
+            "2",
+            "--surface",
+            path,
+        ])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("server spawns");
+    let mut stdout_pipe = BufReader::new(child.stdout.take().expect("stdout piped"));
+    let mut banner = String::new();
+    stdout_pipe.read_line(&mut banner).expect("banner line");
+    let addr = banner
+        .trim()
+        .strip_prefix("relia-serve listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner {banner:?}"))
+        .to_owned();
+    let request = |verb: &str, path: &str, body: &str| -> String {
+        let mut s = std::net::TcpStream::connect(&addr).expect("connect");
+        write!(
+            s,
+            "{verb} {path} HTTP/1.1\r\nConnection: close\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .unwrap();
+        let mut response = String::new();
+        s.read_to_string(&mut response).expect("read response");
+        response
+    };
+    let body = "{\"ras\":[1,9],\"t_standby_k\":330,\"lifetime_s\":1e8,\
+                \"p_active\":0.5,\"p_standby\":1}";
+    let degrade = request("POST", "/v1/degrade", body);
+    assert!(degrade.starts_with("HTTP/1.1 200"), "{degrade}");
+    assert!(degrade.contains("delta_vth_v"), "{degrade}");
+    let metrics = request("GET", "/metrics", "");
+    assert!(metrics.contains("relia_surface_active 1"), "{metrics}");
+    assert!(metrics.contains("relia_surface_hits 1"), "{metrics}");
+    let shutdown = request("POST", "/admin/shutdown", "");
+    assert!(shutdown.starts_with("HTTP/1.1 200"), "{shutdown}");
+    assert_eq!(child.wait().expect("server exits").code(), Some(0));
+
+    // A truncated artifact is refused (torn-file rejection) → 1.
+    let bytes = std::fs::read(&artifact).expect("read artifact");
+    std::fs::write(&artifact, &bytes[..bytes.len() - 7]).expect("truncate");
+    let (code, _, stderr) = relia_coded(&["surface", "probe", path]);
+    assert_eq!(code, Some(1), "{stderr}");
+    std::fs::remove_file(&artifact).ok();
 }
 
 /// The committed workspace root, which the burn-down guarantees lints
